@@ -1,0 +1,221 @@
+// Package casper is the public API of this reproduction of
+// "The New Casper: Query Processing for Location Services without
+// Compromising Privacy" (Mokbel, Chow, Aref — VLDB 2006).
+//
+// Casper lets mobile users consume location-based services without
+// revealing their locations. A trusted location anonymizer blurs each
+// exact position into a cloaked region satisfying the user's privacy
+// profile (k, Amin); a privacy-aware query processor embedded in the
+// location-based database server answers nearest-neighbor and range
+// queries over those regions, returning candidate lists that provably
+// contain the exact answer and are of minimal size.
+//
+// # Quick start
+//
+//	c := casper.New(casper.DefaultConfig())
+//	c.LoadPublicObjects([]casper.PublicObject{
+//		{ID: 1, Pos: casper.Pt(120, 80), Name: "gas station"},
+//	})
+//	_ = c.RegisterUser(42, casper.Pt(100, 100), casper.Profile{K: 1})
+//	ans, _ := c.NearestPublic(42)
+//	fmt.Println(ans.Exact.Data) // "gas station" — found without the
+//	                            // server ever seeing (100, 100)
+//
+// The package re-exports the framework types from the internal
+// implementation packages; see DESIGN.md for the architecture map and
+// EXPERIMENTS.md for the reproduction of the paper's evaluation.
+package casper
+
+import (
+	"casper/internal/anonymizer"
+	"casper/internal/continuous"
+	"casper/internal/core"
+	"casper/internal/geo"
+	"casper/internal/geom"
+	"casper/internal/mobgen"
+	"casper/internal/privacyqp"
+	"casper/internal/protocol"
+	"casper/internal/roadnet"
+	"casper/internal/server"
+)
+
+// Re-exported geometry types. A Point is an exact location (meters);
+// a Rect is a cloaked spatial region.
+type (
+	// Point is a 2-D location.
+	Point = geom.Point
+	// Rect is an axis-aligned rectangle (a cloaked region).
+	Rect = geom.Rect
+)
+
+// Pt builds a Point.
+func Pt(x, y float64) Point { return geom.Pt(x, y) }
+
+// R builds a Rect from two corners, normalizing their order.
+func R(x0, y0, x1, y1 float64) Rect { return geom.R(x0, y0, x1, y1) }
+
+// Identity and privacy types.
+type (
+	// UserID identifies a registered mobile user. The ID never
+	// reaches the database server (pseudonymity).
+	UserID = anonymizer.UserID
+	// Profile is the user privacy profile (k, Amin): be
+	// indistinguishable among at least K users, within a region of
+	// area at least AMin.
+	Profile = anonymizer.Profile
+	// CloakedRegion is the anonymizer's output for one user.
+	CloakedRegion = anonymizer.CloakedRegion
+)
+
+// Framework types.
+type (
+	// Casper is a running framework instance: location anonymizer +
+	// privacy-aware database server.
+	Casper = core.Casper
+	// Config parameterizes a deployment.
+	Config = core.Config
+	// AnonymizerKind selects the basic or adaptive anonymizer.
+	AnonymizerKind = core.AnonymizerKind
+	// TransmissionModel is the candidate-list downlink model.
+	TransmissionModel = core.TransmissionModel
+	// Breakdown is the per-query end-to-end cost decomposition.
+	Breakdown = core.Breakdown
+	// NNAnswer is a nearest-neighbor query outcome.
+	NNAnswer = core.NNAnswer
+	// PublicObject is an exact-location object in the public table.
+	PublicObject = server.PublicObject
+	// PrivateObject is a pseudonymous cloaked object.
+	PrivateObject = server.PrivateObject
+	// QueryOptions tunes the privacy-aware query processor.
+	QueryOptions = privacyqp.Options
+	// CountPolicy decides how cloaked objects are counted by public
+	// range queries.
+	CountPolicy = privacyqp.CountPolicy
+)
+
+// Anonymizer kinds.
+const (
+	// BasicAnonymizer uses the complete pyramid (Sec. 4.1).
+	BasicAnonymizer = core.BasicAnonymizer
+	// AdaptiveAnonymizer uses the incomplete pyramid (Sec. 4.2).
+	AdaptiveAnonymizer = core.AdaptiveAnonymizer
+)
+
+// Count policies for public queries over private data.
+const (
+	// CountAnyOverlap counts any cloak overlapping the region.
+	CountAnyOverlap = privacyqp.CountAnyOverlap
+	// CountCenterIn counts cloaks whose center is inside.
+	CountCenterIn = privacyqp.CountCenterIn
+	// CountFractional sums overlap fractions (expected count).
+	CountFractional = privacyqp.CountFractional
+)
+
+// Continuous-query types (see internal/continuous): a SINA-style
+// incremental monitor for standing range-count and nearest-neighbor
+// queries over the moving, cloaked population.
+type (
+	// ContinuousMonitor maintains standing queries incrementally.
+	ContinuousMonitor = continuous.Monitor
+	// ContinuousEvent is a change notification for a standing query.
+	ContinuousEvent = continuous.Event
+	// ContinuousQueryID identifies a standing query.
+	ContinuousQueryID = continuous.QueryID
+)
+
+// Continuous event kinds.
+const (
+	// CountChanged reports a new range-count value.
+	CountChanged = continuous.CountChanged
+	// CandidatesChanged reports a new NN candidate list.
+	CandidatesChanged = continuous.CandidatesChanged
+)
+
+// Data kinds for queries that can target either table.
+const (
+	// PublicData targets exact public objects.
+	PublicData = privacyqp.PublicData
+	// PrivateData targets cloaked user regions.
+	PrivateData = privacyqp.PrivateData
+)
+
+// New builds an in-memory Casper instance (Config.WALPath is ignored;
+// use Open for durability).
+func New(cfg Config) *Casper { return core.New(cfg) }
+
+// Open builds a Casper instance, recovering the database server from
+// Config.WALPath when set. Close it to flush the log.
+func Open(cfg Config) (*Casper, error) { return core.Open(cfg) }
+
+// DefaultConfig mirrors the paper's experimental setup: a
+// 40 km x 40 km universe, a 9-level pyramid, the adaptive anonymizer,
+// four query filters, and a 100 Mbps / 64-byte-record downlink.
+func DefaultConfig() Config { return core.DefaultConfig() }
+
+// DefaultQueryOptions is the paper's full Algorithm 2 (four filters).
+func DefaultQueryOptions() QueryOptions { return privacyqp.DefaultOptions() }
+
+// Protocol types, for deploying the anonymizer as a real third party
+// over TCP (see cmd/casperd and cmd/casperctl).
+type (
+	// ProtocolServer serves the Casper wire protocol.
+	ProtocolServer = protocol.Server
+	// ProtocolClient is a client connection to a ProtocolServer.
+	ProtocolClient = protocol.Client
+	// ProtocolRect is the wire form of a rectangle.
+	ProtocolRect = protocol.Rect
+)
+
+// NewProtocolServer wraps a framework instance for network serving.
+func NewProtocolServer(c *Casper) *ProtocolServer { return protocol.NewServer(c) }
+
+// DialProtocol connects to a running casperd.
+func DialProtocol(addr string) (*ProtocolClient, error) { return protocol.Dial(addr) }
+
+// Workload generation, re-exported for examples and downstream
+// benchmarks.
+type (
+	// RoadNetwork is a road graph for the moving-object generator.
+	RoadNetwork = roadnet.Graph
+	// MovingObjects is a Brinkhoff-style network-based moving-object
+	// generator.
+	MovingObjects = mobgen.Generator
+	// LocationUpdate is one generated (id, position) report.
+	LocationUpdate = mobgen.Update
+)
+
+// GeoProjection converts WGS84 latitude/longitude to the local meter
+// coordinates Casper computes in (equirectangular around an origin;
+// county-scale accuracy).
+type GeoProjection = geo.Projection
+
+// NewGeoProjection anchors a projection at a geodetic origin.
+func NewGeoProjection(originLat, originLon float64) (GeoProjection, error) {
+	return geo.NewProjection(originLat, originLon)
+}
+
+// HennepinProjection returns the projection and local bounding box of
+// Hennepin County, MN — the map the paper's evaluation uses.
+func HennepinProjection() (GeoProjection, Rect) { return geo.Hennepin() }
+
+// SyntheticHennepin builds the synthetic county road network used in
+// place of the paper's Hennepin County map (see DESIGN.md §3).
+func SyntheticHennepin(seed int64) *RoadNetwork {
+	return roadnet.SyntheticHennepin(seed, roadnet.DefaultHennepinConfig())
+}
+
+// NewMovingObjects simulates n objects moving on the network.
+func NewMovingObjects(g *RoadNetwork, n int, seed int64) *MovingObjects {
+	return mobgen.New(g, mobgen.DefaultConfig(n, seed))
+}
+
+// UniformTargets places n public target objects uniformly in r (the
+// paper's target placement).
+func UniformTargets(r Rect, n int, seed int64) []PublicObject {
+	pts := mobgen.UniformPoints(r, n, seed)
+	objs := make([]PublicObject, n)
+	for i, p := range pts {
+		objs[i] = PublicObject{ID: int64(i), Pos: p, Name: "target"}
+	}
+	return objs
+}

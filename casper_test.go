@@ -1,0 +1,177 @@
+package casper_test
+
+import (
+	"testing"
+
+	"casper"
+)
+
+// TestFacadeQuickstart exercises the README quick-start path through
+// the public API only.
+func TestFacadeQuickstart(t *testing.T) {
+	cfg := casper.DefaultConfig()
+	cfg.Universe = casper.R(0, 0, 1000, 1000)
+	cfg.PyramidLevels = 6
+	c := casper.New(cfg)
+
+	c.LoadPublicObjects([]casper.PublicObject{
+		{ID: 1, Pos: casper.Pt(120, 80), Name: "gas station A"},
+		{ID: 2, Pos: casper.Pt(900, 900), Name: "gas station B"},
+	})
+	if err := c.RegisterUser(42, casper.Pt(100, 100), casper.Profile{K: 1}); err != nil {
+		t.Fatal(err)
+	}
+	ans, err := c.NearestPublic(42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ans.Exact.ID != 1 {
+		t.Fatalf("nearest = %d, want 1", ans.Exact.ID)
+	}
+	if name, _ := ans.Exact.Data.(string); name != "gas station A" {
+		t.Fatalf("payload = %v", ans.Exact.Data)
+	}
+	// The server saw only a cloaked region that contains the user.
+	if !ans.CloakedQuery.Contains(casper.Pt(100, 100)) {
+		t.Fatal("cloak does not contain the user")
+	}
+}
+
+func TestFacadeWorkloadHelpers(t *testing.T) {
+	net := casper.SyntheticHennepin(1)
+	if net.NumNodes() == 0 || !net.IsConnected() {
+		t.Fatal("bad synthetic network")
+	}
+	gen := casper.NewMovingObjects(net, 25, 2)
+	ups := gen.Step(5)
+	if len(ups) != 25 {
+		t.Fatalf("updates = %d", len(ups))
+	}
+	targets := casper.UniformTargets(casper.R(0, 0, 100, 100), 50, 3)
+	if len(targets) != 50 {
+		t.Fatalf("targets = %d", len(targets))
+	}
+	for _, o := range targets {
+		if !casper.R(0, 0, 100, 100).Contains(o.Pos) {
+			t.Fatalf("target outside: %v", o.Pos)
+		}
+	}
+}
+
+func TestFacadeEndToEndWithGenerator(t *testing.T) {
+	cfg := casper.DefaultConfig()
+	cfg.PyramidLevels = 8
+	c := casper.New(cfg)
+	c.LoadPublicObjects(casper.UniformTargets(cfg.Universe, 1000, 4))
+
+	net := casper.SyntheticHennepin(5)
+	gen := casper.NewMovingObjects(net, 300, 6)
+	for i, u := range gen.Positions() {
+		maxK := 20
+		if i+1 < maxK {
+			maxK = i + 1
+		}
+		prof := casper.Profile{K: 1 + i%maxK}
+		if err := c.RegisterUser(casper.UserID(u.ID), u.Pos, prof); err != nil {
+			t.Fatalf("register %d: %v", u.ID, err)
+		}
+	}
+	// Two rounds of movement with queries in between.
+	for round := 0; round < 2; round++ {
+		for _, u := range gen.Step(30) {
+			if err := c.UpdateUser(casper.UserID(u.ID), u.Pos); err != nil {
+				t.Fatalf("update %d: %v", u.ID, err)
+			}
+		}
+		for uid := 0; uid < 20; uid++ {
+			if _, err := c.NearestPublic(casper.UserID(uid)); err != nil {
+				t.Fatalf("round %d query %d: %v", round, uid, err)
+			}
+		}
+	}
+	n, err := c.CountUsersIn(cfg.Universe, casper.CountAnyOverlap)
+	if err != nil || n != 300 {
+		t.Fatalf("count = %v, %v", n, err)
+	}
+}
+
+func TestFacadeGeoProjection(t *testing.T) {
+	proj, box := casper.HennepinProjection()
+	if !box.IsValid() || box.Area() <= 0 {
+		t.Fatalf("county box = %v", box)
+	}
+	pt := proj.ToLocal(44.9778, -93.2650)
+	lat, lon := proj.ToGeodetic(pt)
+	if lat != 44.9778 || lon != -93.2650 {
+		t.Fatalf("round trip: %v, %v", lat, lon)
+	}
+	if _, err := casper.NewGeoProjection(89, 0); err == nil {
+		t.Fatal("polar origin accepted")
+	}
+
+	// A geodetic deployment end to end: register with GPS fixes.
+	cfg := casper.DefaultConfig()
+	cfg.Universe = box
+	cfg.PyramidLevels = 7
+	c := casper.New(cfg)
+	c.LoadPublicObjects([]casper.PublicObject{
+		{ID: 1, Pos: proj.ToLocal(44.9740, -93.2277), Name: "US Bank Stadium"},
+	})
+	if err := c.RegisterUser(1, proj.ToLocal(44.9778, -93.2650), casper.Profile{K: 1}); err != nil {
+		t.Fatal(err)
+	}
+	ans, err := c.NearestPublic(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ans.Exact.ID != 1 {
+		t.Fatalf("nearest = %d", ans.Exact.ID)
+	}
+}
+
+func TestFacadeContinuous(t *testing.T) {
+	cfg := casper.DefaultConfig()
+	cfg.Universe = casper.R(0, 0, 4096, 4096)
+	cfg.PyramidLevels = 6
+	c := casper.New(cfg)
+	for i := 0; i < 50; i++ {
+		p := casper.Pt(float64(i%10)*400+10, float64(i/10)*400+10)
+		if err := c.RegisterUser(casper.UserID(i), p, casper.Profile{K: 1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	events := 0
+	mon := c.EnableContinuous(func(e casper.ContinuousEvent) { events++ })
+	qid, n, err := mon.RegisterRangeCount(casper.R(0, 0, 2048, 2048), casper.CountAnyOverlap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n <= 0 {
+		t.Fatalf("initial count = %v", n)
+	}
+	if err := c.UpdateUser(0, casper.Pt(4000, 4000)); err != nil {
+		t.Fatal(err)
+	}
+	after, _ := mon.Count(qid)
+	if after >= n {
+		t.Fatalf("count did not fall after user left: %v -> %v", n, after)
+	}
+}
+
+func TestFacadeKNearest(t *testing.T) {
+	cfg := casper.DefaultConfig()
+	cfg.Universe = casper.R(0, 0, 1000, 1000)
+	cfg.PyramidLevels = 5
+	c := casper.New(cfg)
+	c.LoadPublicObjects(casper.UniformTargets(cfg.Universe, 100, 1))
+	if err := c.RegisterUser(1, casper.Pt(500, 500), casper.Profile{K: 1}); err != nil {
+		t.Fatal(err)
+	}
+	items, bd, err := c.KNearestPublic(1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(items) != 3 || bd.Candidates < 3 {
+		t.Fatalf("knn = %d items, %d candidates", len(items), bd.Candidates)
+	}
+}

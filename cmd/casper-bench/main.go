@@ -1,0 +1,137 @@
+// Command casper-bench regenerates the evaluation of the Casper paper
+// (Sec. 6): every figure panel plus the ablations in DESIGN.md, printed
+// as aligned text tables whose rows are the series the paper plots.
+//
+// Usage:
+//
+//	casper-bench [flags]
+//
+//	-scale    quick | paper       workload scale (default quick)
+//	-only     F13a[,F17b,...]     run a subset of experiments
+//	-users    N                   override the user population
+//	-targets  N                   override the target count
+//	-seed     N                   workload seed (default 1)
+//
+// "paper" scale reproduces the paper's setup (50K users, 10K targets,
+// 9-level pyramid) and takes a few minutes; "quick" keeps every
+// curve's shape in seconds.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"casper/internal/experiments"
+)
+
+func main() {
+	scale := flag.String("scale", "quick", "workload scale: quick or paper")
+	only := flag.String("only", "", "comma-separated experiment IDs to run (e.g. F13a,F17b)")
+	users := flag.Int("users", 0, "override user population")
+	targets := flag.Int("targets", 0, "override target count")
+	seed := flag.Int64("seed", 1, "workload seed")
+	csvDir := flag.String("csv", "", "also write each table as <dir>/<id>.csv")
+	flag.Parse()
+
+	var p experiments.Params
+	switch *scale {
+	case "quick":
+		p = experiments.Quick()
+	case "paper":
+		p = experiments.Default()
+	default:
+		fmt.Fprintf(os.Stderr, "casper-bench: unknown scale %q (want quick or paper)\n", *scale)
+		os.Exit(2)
+	}
+	if *users > 0 {
+		p.Users = *users
+	}
+	if *targets > 0 {
+		p.Targets = *targets
+	}
+	p.Seed = *seed
+
+	want := map[string]bool{}
+	if *only != "" {
+		for _, id := range strings.Split(*only, ",") {
+			want[strings.TrimSpace(id)] = true
+		}
+	}
+
+	if *csvDir != "" {
+		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+			fmt.Fprintf(os.Stderr, "casper-bench: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	fmt.Printf("casper-bench: scale=%s users=%d targets=%d pyramid H=%d seed=%d\n\n",
+		*scale, p.Users, p.Targets, p.Levels, p.Seed)
+
+	start := time.Now()
+	w := experiments.NewWorld(p)
+	fmt.Printf("workload built in %v (synthetic county map, %d moving users)\n\n",
+		time.Since(start).Round(time.Millisecond), p.Users)
+
+	type exp struct {
+		id  string
+		run func(*experiments.World) experiments.Table
+	}
+	all := []exp{
+		{"F10a", experiments.Fig10a},
+		{"F10b", experiments.Fig10b},
+		{"F10c", experiments.Fig10c},
+		{"F10d", experiments.Fig10d},
+		{"F11a", experiments.Fig11a},
+		{"F11b", experiments.Fig11b},
+		{"F12a", experiments.Fig12a},
+		{"F12b", experiments.Fig12b},
+		{"F13a", experiments.Fig13a},
+		{"F13b", experiments.Fig13b},
+		{"F14a", experiments.Fig14a},
+		{"F14b", experiments.Fig14b},
+		{"F15a", experiments.Fig15a},
+		{"F15b", experiments.Fig15b},
+		{"F16a", experiments.Fig16a},
+		{"F16b", experiments.Fig16b},
+		{"F17a", func(w *experiments.World) experiments.Table { return experiments.Fig17(w, false) }},
+		{"F17b", func(w *experiments.World) experiments.Table { return experiments.Fig17(w, true) }},
+		{"X1", experiments.FigX1},
+		{"X2", experiments.FigX2},
+		{"X3", experiments.FigX3},
+		{"A1", experiments.AblationNeighborMerge},
+		{"A2", experiments.AblationNaiveExtremes},
+		{"A3", experiments.AblationCloakers},
+		{"A4", experiments.AblationIndexes},
+		{"A5", experiments.AblationWAL},
+		{"A6", experiments.AblationAdversary},
+		{"A7", experiments.AblationTemporal},
+	}
+
+	ran := 0
+	for _, e := range all {
+		if len(want) > 0 && !want[e.id] {
+			continue
+		}
+		t0 := time.Now()
+		tab := e.run(w)
+		fmt.Println(tab)
+		fmt.Printf("(%s completed in %v)\n\n", e.id, time.Since(t0).Round(time.Millisecond))
+		if *csvDir != "" {
+			path := filepath.Join(*csvDir, e.id+".csv")
+			if err := os.WriteFile(path, []byte(tab.CSV()), 0o644); err != nil {
+				fmt.Fprintf(os.Stderr, "casper-bench: write %s: %v\n", path, err)
+				os.Exit(1)
+			}
+		}
+		ran++
+	}
+	if ran == 0 {
+		fmt.Fprintf(os.Stderr, "casper-bench: no experiments matched -only=%q\n", *only)
+		os.Exit(2)
+	}
+	fmt.Printf("done: %d experiments in %v\n", ran, time.Since(start).Round(time.Millisecond))
+}

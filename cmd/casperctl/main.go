@@ -1,0 +1,232 @@
+// Command casperctl is the command-line client for casperd.
+//
+// Usage:
+//
+//	casperctl [-addr host:port] <command> [args]
+//
+// Commands:
+//
+//	register <uid> <x> <y> <k> [amin]   register a mobile user
+//	update   <uid> <x> <y>              send a location update
+//	deregister <uid>                    remove a user
+//	profile  <uid> <k> [amin]           change a privacy profile
+//	nn       <uid>                      nearest public object
+//	knn      <uid> <k>                  k nearest public objects
+//	buddy    <uid>                      nearest (cloaked) buddy
+//	range    <uid> <radius>             public objects within radius
+//	count    <x0> <y0> <x1> <y1> [policy]  users in a region
+//	density  [n]                        ASCII density heatmap
+//	add-public <id> <x> <y> <name>      add a public object
+//	stats                               deployment statistics
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+
+	"casper"
+	"casper/internal/protocol"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:7467", "casperd address")
+	flag.Usage = usage
+	flag.Parse()
+	args := flag.Args()
+	if len(args) == 0 {
+		usage()
+		os.Exit(2)
+	}
+
+	cl, err := casper.DialProtocol(*addr)
+	if err != nil {
+		fatal("%v", err)
+	}
+	defer cl.Close()
+
+	cmd, args := args[0], args[1:]
+	if err := run(cl, cmd, args); err != nil {
+		fatal("%s: %v", cmd, err)
+	}
+}
+
+func run(cl *casper.ProtocolClient, cmd string, args []string) error {
+	switch cmd {
+	case "register":
+		uid, x, y := argInt(args, 0), argF(args, 1), argF(args, 2)
+		k := int(argInt(args, 3))
+		amin := 0.0
+		if len(args) > 4 {
+			amin = argF(args, 4)
+		}
+		if err := cl.Register(uid, x, y, k, amin); err != nil {
+			return err
+		}
+		fmt.Printf("registered user %d (k=%d, Amin=%g)\n", uid, k, amin)
+	case "update":
+		if err := cl.Update(argInt(args, 0), argF(args, 1), argF(args, 2)); err != nil {
+			return err
+		}
+		fmt.Println("ok")
+	case "deregister":
+		if err := cl.Deregister(argInt(args, 0)); err != nil {
+			return err
+		}
+		fmt.Println("ok")
+	case "profile":
+		amin := 0.0
+		if len(args) > 2 {
+			amin = argF(args, 2)
+		}
+		if err := cl.SetProfile(argInt(args, 0), int(argInt(args, 1)), amin); err != nil {
+			return err
+		}
+		fmt.Println("ok")
+	case "nn":
+		res, err := cl.NearestPublic(argInt(args, 0))
+		if err != nil {
+			return err
+		}
+		printNN(res)
+	case "knn":
+		items, cost, err := cl.KNearestPublic(argInt(args, 0), int(argInt(args, 1)))
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%d nearest objects (%d candidates shipped):\n", len(items), cost.Candidates)
+		for i, it := range items {
+			fmt.Printf("  %d. #%d %s at (%.1f, %.1f)\n", i+1, it.ID, it.Name, it.Rect.MinX, it.Rect.MinY)
+		}
+	case "buddy":
+		res, err := cl.NearestBuddy(argInt(args, 0))
+		if err != nil {
+			return err
+		}
+		printNN(res)
+	case "range":
+		items, cost, err := cl.RangePublic(argInt(args, 0), argF(args, 1))
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%d objects within range (%d candidates shipped):\n", len(items), cost.Candidates)
+		for _, it := range items {
+			fmt.Printf("  #%d %s at (%.1f, %.1f)\n", it.ID, it.Name, it.Rect.MinX, it.Rect.MinY)
+		}
+	case "count":
+		r := protocol.Rect{
+			MinX: argF(args, 0), MinY: argF(args, 1),
+			MaxX: argF(args, 2), MaxY: argF(args, 3),
+		}
+		policy := ""
+		if len(args) > 4 {
+			policy = args[4]
+		}
+		n, err := cl.CountUsers(r, policy)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%.2f users\n", n)
+	case "add-public":
+		if err := cl.AddPublic(argInt(args, 0), argF(args, 1), argF(args, 2), argStr(args, 3)); err != nil {
+			return err
+		}
+		fmt.Println("ok")
+	case "density":
+		n := 16
+		if len(args) > 0 {
+			n = int(argInt(args, 0))
+		}
+		grid, err := cl.Density(n)
+		if err != nil {
+			return err
+		}
+		shades := []byte(" .:-=+*#%@")
+		maxV := 0.0
+		for _, row := range grid {
+			for _, v := range row {
+				if v > maxV {
+					maxV = v
+				}
+			}
+		}
+		// Print top row first (grid[0] is the bottom).
+		for y := len(grid) - 1; y >= 0; y-- {
+			line := make([]byte, len(grid[y]))
+			for x, v := range grid[y] {
+				idx := 0
+				if maxV > 0 {
+					idx = int(v / maxV * float64(len(shades)-1))
+				}
+				line[x] = shades[idx]
+			}
+			fmt.Printf("  %s\n", line)
+		}
+		fmt.Printf("(expected users per cell, max %.1f)\n", maxV)
+	case "stats":
+		st, err := cl.Stats()
+		if err != nil {
+			return err
+		}
+		fmt.Printf("users: %d\npublic objects: %d\nqueries served: %d\nanonymizer update cost: %d\n",
+			st.Users, st.PublicObjs, st.Queries, st.UpdateCost)
+	default:
+		return fmt.Errorf("unknown command (run casperctl -h)")
+	}
+	return nil
+}
+
+func printNN(res protocol.NNResult) {
+	fmt.Printf("exact answer: #%d %s at (%.1f, %.1f)\n",
+		res.Exact.ID, res.Exact.Name, res.Exact.Rect.MinX, res.Exact.Rect.MinY)
+	fmt.Printf("candidate list: %d records, cloak %v ns + query %v ns + transmit %v ns\n",
+		res.Cost.Candidates, res.Cost.CloakNS, res.Cost.QueryNS, res.Cost.TransmitNS)
+}
+
+func argStr(args []string, i int) string {
+	if i >= len(args) {
+		fatal("missing argument %d (run casperctl -h)", i+1)
+	}
+	return args[i]
+}
+
+func argF(args []string, i int) float64 {
+	v, err := strconv.ParseFloat(argStr(args, i), 64)
+	if err != nil {
+		fatal("argument %d: %v", i+1, err)
+	}
+	return v
+}
+
+func argInt(args []string, i int) int64 {
+	v, err := strconv.ParseInt(argStr(args, i), 10, 64)
+	if err != nil {
+		fatal("argument %d: %v", i+1, err)
+	}
+	return v
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "casperctl: "+format+"\n", args...)
+	os.Exit(1)
+}
+
+func usage() {
+	fmt.Fprintf(os.Stderr, `usage: casperctl [-addr host:port] <command> [args]
+
+commands:
+  register <uid> <x> <y> <k> [amin]      register a mobile user
+  update   <uid> <x> <y>                 send a location update
+  deregister <uid>                       remove a user
+  profile  <uid> <k> [amin]              change a privacy profile
+  knn      <uid> <k>                     k nearest public objects
+  nn       <uid>                         nearest public object
+  buddy    <uid>                         nearest (cloaked) buddy
+  range    <uid> <radius>                public objects within radius
+  count    <x0> <y0> <x1> <y1> [policy]  users in a region
+  density  [n]                           ASCII density heatmap (n x n)
+  add-public <id> <x> <y> <name>         add a public object
+  stats                                  deployment statistics
+`)
+}

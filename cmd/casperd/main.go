@@ -1,0 +1,94 @@
+// Command casperd runs a Casper deployment: the location anonymizer
+// and the privacy-aware location-based database server behind one
+// TCP endpoint speaking newline-delimited JSON (see internal/protocol).
+//
+// Usage:
+//
+//	casperd [flags]
+//
+//	-addr        listen address                (default 127.0.0.1:7467)
+//	-extent      universe side length, meters  (default 40000)
+//	-levels      pyramid height H              (default 9)
+//	-anonymizer  basic | adaptive              (default adaptive)
+//	-filters     query filters: 1, 2 or 4      (default 4)
+//	-targets     preloaded public objects      (default 10000)
+//	-seed        workload seed                 (default 1)
+//
+// Try it with netcat:
+//
+//	$ casperd &
+//	$ printf '%s\n' '{"op":"register","uid":7,"x":100,"y":100,"k":1}' \
+//	    '{"op":"nn_public","uid":7}' | nc 127.0.0.1 7467
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"casper"
+)
+
+func main() {
+	log.SetFlags(log.LstdFlags | log.Lmicroseconds)
+	log.SetPrefix("casperd: ")
+
+	addr := flag.String("addr", "127.0.0.1:7467", "listen address")
+	extent := flag.Float64("extent", 40000, "universe side length in meters")
+	levels := flag.Int("levels", 9, "pyramid height")
+	anonKind := flag.String("anonymizer", "adaptive", "anonymizer kind: basic or adaptive")
+	filters := flag.Int("filters", 4, "query processor filters: 1, 2 or 4")
+	targets := flag.Int("targets", 10000, "number of preloaded public target objects")
+	seed := flag.Int64("seed", 1, "seed for target placement")
+	walPath := flag.String("wal", "", "write-ahead log path; empty disables persistence")
+	flag.Parse()
+
+	cfg := casper.DefaultConfig()
+	cfg.Universe = casper.R(0, 0, *extent, *extent)
+	cfg.PyramidLevels = *levels
+	cfg.Query.Filters = *filters
+	switch *anonKind {
+	case "basic":
+		cfg.Anonymizer = casper.BasicAnonymizer
+	case "adaptive":
+		cfg.Anonymizer = casper.AdaptiveAnonymizer
+	default:
+		fmt.Fprintf(os.Stderr, "casperd: unknown anonymizer %q (want basic or adaptive)\n", *anonKind)
+		os.Exit(2)
+	}
+
+	cfg.WALPath = *walPath
+	c, err := casper.Open(cfg)
+	if err != nil {
+		log.Fatalf("open: %v", err)
+	}
+	defer c.Close()
+	if *walPath != "" {
+		log.Printf("durable server: WAL at %s (recovered %d public, %d private objects)",
+			*walPath, c.Server().PublicCount(), c.Server().PrivateCount())
+	}
+	// Preload targets only when the (possibly recovered) table is empty.
+	if *targets > 0 && c.Server().PublicCount() == 0 {
+		c.LoadPublicObjects(casper.UniformTargets(cfg.Universe, *targets, *seed))
+		log.Printf("loaded %d public targets over %.0fm x %.0fm", *targets, *extent, *extent)
+	}
+
+	srv := casper.NewProtocolServer(c)
+	bound, err := srv.Listen(*addr)
+	if err != nil {
+		log.Fatalf("listen: %v", err)
+	}
+	log.Printf("serving on %s (pyramid H=%d, %s anonymizer, %d filters)",
+		bound, *levels, *anonKind, *filters)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	log.Printf("shutting down")
+	if err := srv.Close(); err != nil {
+		log.Printf("close: %v", err)
+	}
+}

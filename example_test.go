@@ -1,0 +1,83 @@
+package casper_test
+
+import (
+	"fmt"
+	"log"
+
+	"casper"
+)
+
+// The canonical flow: a user finds her nearest point of interest
+// without the server ever learning where she is.
+func Example() {
+	cfg := casper.DefaultConfig()
+	cfg.Universe = casper.R(0, 0, 1000, 1000)
+	cfg.PyramidLevels = 5
+	c := casper.New(cfg)
+
+	c.LoadPublicObjects([]casper.PublicObject{
+		{ID: 1, Pos: casper.Pt(120, 80), Name: "gas station A"},
+		{ID: 2, Pos: casper.Pt(880, 930), Name: "gas station B"},
+	})
+	if err := c.RegisterUser(42, casper.Pt(100, 100), casper.Profile{K: 1}); err != nil {
+		log.Fatal(err)
+	}
+	ans, err := c.NearestPublic(42)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(ans.Exact.Data)
+	fmt.Println(ans.CloakedQuery.Contains(casper.Pt(100, 100)))
+	// Output:
+	// gas station A
+	// true
+}
+
+// Public queries over private data: an administrator counts users in a
+// district from stored cloaks only.
+func Example_countUsers() {
+	cfg := casper.DefaultConfig()
+	cfg.Universe = casper.R(0, 0, 1000, 1000)
+	cfg.PyramidLevels = 5
+	c := casper.New(cfg)
+
+	positions := []casper.Point{
+		casper.Pt(100, 100), casper.Pt(120, 130), casper.Pt(160, 90),
+		casper.Pt(900, 900),
+	}
+	for i, p := range positions {
+		if err := c.RegisterUser(casper.UserID(i), p, casper.Profile{K: 1}); err != nil {
+			log.Fatal(err)
+		}
+	}
+	n, err := c.CountUsersIn(casper.R(0, 0, 500, 500), casper.CountFractional)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%.0f users in the southwest district\n", n)
+	// Output:
+	// 3 users in the southwest district
+}
+
+// Privacy profiles trade service quality for anonymity: a stricter k
+// yields a coarser cloak.
+func Example_profile() {
+	cfg := casper.DefaultConfig()
+	cfg.Universe = casper.R(0, 0, 1024, 1024)
+	cfg.PyramidLevels = 6
+	c := casper.New(cfg)
+	for i := 0; i < 64; i++ {
+		p := casper.Pt(float64(i%8)*128+3, float64(i/8)*128+3)
+		if err := c.RegisterUser(casper.UserID(i), p, casper.Profile{K: 1}); err != nil {
+			log.Fatal(err)
+		}
+	}
+	relaxed, _ := c.Anonymizer().Cloak(0)
+	_ = c.SetProfile(0, casper.Profile{K: 32})
+	strict, _ := c.Anonymizer().Cloak(0)
+	fmt.Println(strict.Region.Area() > relaxed.Region.Area())
+	fmt.Println(strict.KFound >= 32)
+	// Output:
+	// true
+	// true
+}

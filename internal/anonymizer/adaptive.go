@@ -1,0 +1,469 @@
+package anonymizer
+
+import (
+	"fmt"
+
+	"casper/internal/geom"
+	"casper/internal/pyramid"
+)
+
+// Adaptive is the adaptive location anonymizer (Sec. 4.2): an
+// incomplete pyramid (Aref & Samet) that maintains grid cells only
+// down to the levels that can actually serve some registered user's
+// privacy profile. The structure is a quadtree whose leaves are the
+// "lowest maintained cells"; cells split when a user in them could be
+// satisfied one level deeper, and four sibling cells merge when no
+// user in them can be satisfied at their level.
+//
+// Cloaking runs the same Algorithm 1 as the basic anonymizer but
+// starts from the user's lowest maintained cell instead of the lowest
+// pyramid level, which removes most (often all) of the upward
+// recursion. During the upward walk every cell Algorithm 1 inspects —
+// maintained ancestors and their siblings — exists as a node, because
+// splits always create all four children of a cell.
+//
+// Adaptive is not safe for concurrent use.
+type Adaptive struct {
+	grid    pyramid.Grid
+	root    *aNode
+	users   map[UserID]*aEntry
+	updates int64
+}
+
+// aNode is one maintained pyramid cell. children is nil for a
+// maintained leaf, which then owns the users located inside it.
+type aNode struct {
+	cell     pyramid.CellID
+	parent   *aNode
+	count    int
+	children *[4]*aNode
+	users    map[UserID]*aEntry
+}
+
+type aEntry struct {
+	uid     UserID
+	profile Profile
+	pos     geom.Point
+	leaf    *aNode
+}
+
+// NewAdaptive builds an adaptive anonymizer over a square universe
+// with the given maximum pyramid height.
+func NewAdaptive(universe geom.Rect, levels int) *Adaptive {
+	grid := pyramid.NewGrid(universe, levels)
+	return &Adaptive{
+		grid: grid,
+		root: &aNode{
+			cell:  pyramid.Root(),
+			users: make(map[UserID]*aEntry),
+		},
+		users: make(map[UserID]*aEntry),
+	}
+}
+
+// childIndex returns which of a node's four children (in
+// pyramid.CellID.Children order) contains the given descendant cell.
+func childIndex(parent pyramid.CellID, descendant pyramid.CellID) int {
+	c := descendant.AncestorAt(parent.Level + 1)
+	return (c.Y&1)<<1 | (c.X & 1)
+}
+
+// locate descends to the maintained leaf containing p.
+func (a *Adaptive) locate(p geom.Point) *aNode {
+	target := a.grid.LeafAt(p)
+	n := a.root
+	for n.children != nil {
+		if n.cell.Level == target.Level {
+			// Already at the lowest pyramid level; cannot descend.
+			break
+		}
+		n = n.children[childIndex(n.cell, target)]
+	}
+	return n
+}
+
+// Register implements Anonymizer.
+func (a *Adaptive) Register(uid UserID, p geom.Point, prof Profile) error {
+	if err := prof.Validate(); err != nil {
+		return err
+	}
+	if _, ok := a.users[uid]; ok {
+		return fmt.Errorf("%w: %d", ErrDuplicateUser, uid)
+	}
+	leaf := a.locate(p)
+	e := &aEntry{uid: uid, profile: prof, pos: p, leaf: leaf}
+	leaf.users[uid] = e
+	a.users[uid] = e
+	for n := leaf; n != nil; n = n.parent {
+		n.count++
+		a.updates++
+	}
+	a.maybeSplit(leaf)
+	return nil
+}
+
+// Deregister implements Anonymizer.
+func (a *Adaptive) Deregister(uid UserID) error {
+	e, ok := a.users[uid]
+	if !ok {
+		return fmt.Errorf("%w: %d", ErrUnknownUser, uid)
+	}
+	leaf := e.leaf
+	delete(leaf.users, uid)
+	delete(a.users, uid)
+	for n := leaf; n != nil; n = n.parent {
+		n.count--
+		a.updates++
+	}
+	a.maybeMerge(leaf.parent)
+	return nil
+}
+
+// Update implements Anonymizer.
+func (a *Adaptive) Update(uid UserID, p geom.Point) error {
+	e, ok := a.users[uid]
+	if !ok {
+		return fmt.Errorf("%w: %d", ErrUnknownUser, uid)
+	}
+	oldLeaf := e.leaf
+	target := a.grid.LeafAt(p)
+	if oldLeaf.cell.ContainsCell(target) {
+		// Still inside the same maintained cell: no counter changes,
+		// but the user's child assignment may now justify a split.
+		e.pos = p
+		a.maybeSplit(oldLeaf)
+		return nil
+	}
+	// Remove from the old leaf and walk up, decrementing, until the
+	// lowest common ancestor (the first maintained cell containing the
+	// new position).
+	delete(oldLeaf.users, uid)
+	n := oldLeaf
+	for !n.cell.ContainsCell(target) {
+		n.count--
+		a.updates++
+		n = n.parent
+	}
+	// Descend from the LCA to the maintained leaf for p, incrementing.
+	for n.children != nil && n.cell.Level < target.Level {
+		n = n.children[childIndex(n.cell, target)]
+		n.count++
+		a.updates++
+	}
+	e.pos = p
+	e.leaf = n
+	n.users[uid] = e
+	a.maybeMerge(oldLeaf.parent)
+	a.maybeSplit(n)
+	return nil
+}
+
+// SetProfile implements Anonymizer. A more relaxed profile can
+// justify splitting the user's cell; a stricter one can allow merging.
+func (a *Adaptive) SetProfile(uid UserID, prof Profile) error {
+	if err := prof.Validate(); err != nil {
+		return err
+	}
+	e, ok := a.users[uid]
+	if !ok {
+		return fmt.Errorf("%w: %d", ErrUnknownUser, uid)
+	}
+	e.profile = prof
+	a.maybeSplit(e.leaf)
+	a.maybeMerge(e.leaf.parent)
+	return nil
+}
+
+// Cloak implements Anonymizer.
+func (a *Adaptive) Cloak(uid UserID) (CloakedRegion, error) {
+	e, ok := a.users[uid]
+	if !ok {
+		return CloakedRegion{}, fmt.Errorf("%w: %d", ErrUnknownUser, uid)
+	}
+	return a.cloakFromNode(e.leaf, e.profile, CloakOpts{})
+}
+
+// CloakAt implements Anonymizer.
+func (a *Adaptive) CloakAt(p geom.Point, prof Profile) (CloakedRegion, error) {
+	return a.cloakFromNode(a.locate(p), prof, CloakOpts{})
+}
+
+// cloakFromNode is Algorithm 1 running directly on the incomplete
+// pyramid's node structure: counts and sibling neighbors are O(1)
+// pointer lookups instead of root-to-cell descents, which is where the
+// adaptive anonymizer's cloaking-time advantage comes from.
+func (a *Adaptive) cloakFromNode(n *aNode, prof Profile, opts CloakOpts) (CloakedRegion, error) {
+	if err := prof.Validate(); err != nil {
+		return CloakedRegion{}, err
+	}
+	steps := 0
+	for {
+		area := a.grid.CellArea(n.cell.Level)
+		if n.count >= prof.K && area >= prof.AMin {
+			return CloakedRegion{
+				Region:  a.grid.CellRect(n.cell),
+				Level:   n.cell.Level,
+				KFound:  n.count,
+				StepsUp: steps,
+			}, nil
+		}
+		if n.parent == nil {
+			return CloakedRegion{}, fmt.Errorf("%w: k=%d Amin=%v (population %d, universe area %v)",
+				ErrUnsatisfiable, prof.K, prof.AMin, n.count, area)
+		}
+		if !opts.DisableNeighborMerge {
+			// Sibling index within the parent: bit 0 is the X parity,
+			// bit 1 the Y parity, so the horizontal neighbor flips
+			// bit 0 and the vertical neighbor flips bit 1.
+			idx := (n.cell.Y&1)<<1 | (n.cell.X & 1)
+			sibH := n.parent.children[idx^1]
+			sibV := n.parent.children[idx^2]
+			nH := n.count + sibH.count
+			nV := n.count + sibV.count
+			if (nV >= prof.K || nH >= prof.K) && 2*area >= prof.AMin {
+				var with *aNode
+				var kFound int
+				if (nH >= prof.K && nV >= prof.K && nH <= nV) || nV < prof.K {
+					with, kFound = sibH, nH
+				} else {
+					with, kFound = sibV, nV
+				}
+				return CloakedRegion{
+					Region:  a.grid.CellRect(n.cell).Union(a.grid.CellRect(with.cell)),
+					Level:   n.cell.Level,
+					KFound:  kFound,
+					StepsUp: steps,
+				}, nil
+			}
+		}
+		n = n.parent
+		steps++
+	}
+}
+
+// Users implements Anonymizer.
+func (a *Adaptive) Users() int { return len(a.users) }
+
+// Grid implements Anonymizer.
+func (a *Adaptive) Grid() pyramid.Grid { return a.grid }
+
+// UpdateCost implements Anonymizer.
+func (a *Adaptive) UpdateCost() int64 { return a.updates }
+
+// ResetUpdateCost implements Anonymizer.
+func (a *Adaptive) ResetUpdateCost() { a.updates = 0 }
+
+// MaintainedCells returns the number of maintained cells (nodes); an
+// efficiency diagnostic contrasted with the complete pyramid's 4^H.
+func (a *Adaptive) MaintainedCells() int {
+	n := 0
+	var walk func(*aNode)
+	walk = func(nd *aNode) {
+		n++
+		if nd.children != nil {
+			for _, c := range nd.children {
+				walk(c)
+			}
+		}
+	}
+	walk(a.root)
+	return n
+}
+
+// cellCount implements cellCounter over the incomplete pyramid. For
+// maintained cells the stored counter is exact; for cells below a
+// maintained leaf the leaf's users are partitioned by position.
+func (a *Adaptive) cellCount(c pyramid.CellID) int {
+	n := a.root
+	for {
+		if n.cell == c {
+			return n.count
+		}
+		if !n.cell.ContainsCell(c) {
+			return 0
+		}
+		if n.children == nil {
+			cnt := 0
+			for _, e := range n.users {
+				if a.grid.CellAt(c.Level, e.pos) == c {
+					cnt++
+				}
+			}
+			return cnt
+		}
+		n = n.children[childIndex(n.cell, c)]
+	}
+}
+
+// satisfiedAt reports whether a user with profile prof would be
+// satisfied by a cell at the given level holding cnt users.
+func (a *Adaptive) satisfiedAt(prof Profile, level, cnt int) bool {
+	return a.grid.CellArea(level) >= prof.AMin && cnt >= prof.K
+}
+
+// maybeSplit splits leaf into four children when at least one of its
+// users would have her profile satisfied by the child cell that would
+// contain her (the paper's split criterion, made precise), then
+// recurses into the children. Splitting cost — redistributing the
+// users and creating the four child counters — is charged to the
+// update accounting; the paper amortizes exactly this cost.
+func (a *Adaptive) maybeSplit(leaf *aNode) {
+	if leaf.children != nil || leaf.cell.Level >= a.grid.LowestLevel() || len(leaf.users) == 0 {
+		return
+	}
+	childLevel := leaf.cell.Level + 1
+	var counts [4]int
+	for _, e := range leaf.users {
+		counts[childIndex(leaf.cell, a.grid.LeafAt(e.pos))]++
+	}
+	worthIt := false
+	for _, e := range leaf.users {
+		ci := childIndex(leaf.cell, a.grid.LeafAt(e.pos))
+		if a.satisfiedAt(e.profile, childLevel, counts[ci]) {
+			worthIt = true
+			break
+		}
+	}
+	if !worthIt {
+		return
+	}
+	cells := leaf.cell.Children()
+	var children [4]*aNode
+	for i := range children {
+		children[i] = &aNode{
+			cell:   cells[i],
+			parent: leaf,
+			count:  counts[i],
+			users:  make(map[UserID]*aEntry),
+		}
+	}
+	for uid, e := range leaf.users {
+		c := children[childIndex(leaf.cell, a.grid.LeafAt(e.pos))]
+		c.users[uid] = e
+		e.leaf = c
+	}
+	leaf.users = nil
+	leaf.children = &children
+	a.updates += int64(4 + leaf.count) // new counters + redistribution
+	for _, c := range children {
+		a.maybeSplit(c)
+	}
+}
+
+// maybeMerge merges parent's four children back into it when all four
+// are leaves and no user in them is satisfied at the child level (the
+// paper's merge criterion), then recurses upward.
+func (a *Adaptive) maybeMerge(parent *aNode) {
+	for parent != nil && parent.children != nil {
+		for _, c := range parent.children {
+			if c.children != nil {
+				return // an occupied subtree below; nothing to merge here
+			}
+		}
+		childLevel := parent.cell.Level + 1
+		for _, c := range parent.children {
+			for _, e := range c.users {
+				if a.satisfiedAt(e.profile, childLevel, c.count) {
+					return
+				}
+			}
+		}
+		merged := make(map[UserID]*aEntry)
+		moved := 0
+		for _, c := range parent.children {
+			for uid, e := range c.users {
+				merged[uid] = e
+				e.leaf = parent
+				moved++
+			}
+			// Detach the orphaned child so stale references to it are
+			// inert (e.g. a pending split check on a just-merged leaf).
+			c.users = nil
+			c.parent = nil
+		}
+		parent.users = merged
+		parent.children = nil
+		a.updates += int64(4 + moved)
+		parent = parent.parent
+	}
+}
+
+// CheckConsistency verifies structural invariants (tests only):
+// counts aggregate correctly, users sit in leaves whose cells contain
+// them, and the user index agrees with the tree.
+func (a *Adaptive) CheckConsistency() error {
+	seen := map[UserID]bool{}
+	var walk func(n *aNode) (int, error)
+	walk = func(n *aNode) (int, error) {
+		if n.children == nil {
+			for uid, e := range n.users {
+				if e.leaf != n {
+					return 0, fmt.Errorf("user %d leaf pointer mismatch", uid)
+				}
+				if got := a.grid.CellAt(n.cell.Level, e.pos); got != n.cell {
+					return 0, fmt.Errorf("user %d at %v outside leaf cell %v", uid, e.pos, n.cell)
+				}
+				if seen[uid] {
+					return 0, fmt.Errorf("user %d appears in two leaves", uid)
+				}
+				seen[uid] = true
+			}
+			if n.count != len(n.users) {
+				return 0, fmt.Errorf("leaf %v count %d != users %d", n.cell, n.count, len(n.users))
+			}
+			return n.count, nil
+		}
+		if n.users != nil {
+			return 0, fmt.Errorf("internal node %v holds users", n.cell)
+		}
+		sum := 0
+		for i, c := range n.children {
+			if c.parent != n {
+				return 0, fmt.Errorf("child %d of %v has wrong parent", i, n.cell)
+			}
+			if c.cell != n.cell.Children()[i] {
+				return 0, fmt.Errorf("child %d of %v has cell %v", i, n.cell, c.cell)
+			}
+			s, err := walk(c)
+			if err != nil {
+				return 0, err
+			}
+			sum += s
+		}
+		if sum != n.count {
+			return 0, fmt.Errorf("node %v count %d != children sum %d", n.cell, n.count, sum)
+		}
+		return sum, nil
+	}
+	total, err := walk(a.root)
+	if err != nil {
+		return err
+	}
+	if total != len(a.users) {
+		return fmt.Errorf("tree users %d != index %d", total, len(a.users))
+	}
+	for uid := range a.users {
+		if !seen[uid] {
+			return fmt.Errorf("user %d in index but not in tree", uid)
+		}
+	}
+	return nil
+}
+
+// Profile returns the stored profile of a user.
+func (a *Adaptive) Profile(uid UserID) (Profile, error) {
+	e, ok := a.users[uid]
+	if !ok {
+		return Profile{}, fmt.Errorf("%w: %d", ErrUnknownUser, uid)
+	}
+	return e.profile, nil
+}
+
+// Position returns the stored exact position of a user.
+func (a *Adaptive) Position(uid UserID) (geom.Point, error) {
+	e, ok := a.users[uid]
+	if !ok {
+		return geom.Point{}, fmt.Errorf("%w: %d", ErrUnknownUser, uid)
+	}
+	return e.pos, nil
+}

@@ -1,0 +1,216 @@
+// Package anonymizer implements Casper's location anonymizer: the
+// trusted third party that receives exact location updates from mobile
+// users and blurs each into a cloaked spatial region satisfying the
+// user's privacy profile (k, Amin) before anything reaches the
+// location-based database server (Sec. 4 of the paper).
+//
+// Two interchangeable implementations are provided:
+//
+//   - Basic: a complete grid pyramid with a per-cell user counter at
+//     every level (Sec. 4.1). Location updates propagate counter
+//     changes to the root; cloaking always starts from the lowest
+//     pyramid level.
+//   - Adaptive: an incomplete pyramid maintained only down to the
+//     levels that can actually serve some registered user's profile
+//     (Sec. 4.2), with cell splitting and merging as profiles and
+//     positions change. Cloaking starts from the lowest *maintained*
+//     cell, usually eliminating the upward recursion entirely.
+//
+// Both run the same bottom-up cloaking procedure (Algorithm 1), so
+// they satisfy the paper's four requirements: accuracy (the region's
+// population and area track k and Amin), quality (regions are
+// grid-aligned and data-independent, so every point of a region is
+// equally likely), efficiency, and flexibility (per-user profiles,
+// changeable at any time).
+package anonymizer
+
+import (
+	"errors"
+	"fmt"
+
+	"casper/internal/geom"
+	"casper/internal/pyramid"
+)
+
+// UserID identifies a registered mobile user at the anonymizer. The
+// ID never crosses the anonymizer boundary: cloaked regions are
+// forwarded to the database server without identity (pseudonymity).
+type UserID int64
+
+// Profile is a user's privacy profile (Sec. 3): the user wants to be
+// indistinguishable among at least K users, inside a region of area at
+// least AMin. K=1 and AMin=0 mean no privacy requirement.
+type Profile struct {
+	// K is the k-anonymity requirement; at least 1 (the user herself).
+	K int
+	// AMin is the minimum acceptable area of the cloaked region, in
+	// squared universe units.
+	AMin float64
+}
+
+// Validate reports whether the profile is well-formed.
+func (p Profile) Validate() error {
+	if p.K < 1 {
+		return fmt.Errorf("anonymizer: profile k=%d, need k >= 1", p.K)
+	}
+	if p.AMin < 0 {
+		return fmt.Errorf("anonymizer: profile Amin=%v, need Amin >= 0", p.AMin)
+	}
+	return nil
+}
+
+// MoreRelaxedThan reports whether p is a strictly weaker requirement
+// than q on at least one axis and no stronger on the other. It orders
+// the "most relaxed user" bookkeeping of the adaptive anonymizer.
+func (p Profile) MoreRelaxedThan(q Profile) bool {
+	return (p.K < q.K && p.AMin <= q.AMin) || (p.K <= q.K && p.AMin < q.AMin)
+}
+
+// CloakedRegion is the anonymizer's output for one user: a spatial
+// region satisfying the user's profile. It intentionally carries no
+// user identity.
+type CloakedRegion struct {
+	// Region is the cloaked spatial area. It is always a single
+	// pyramid cell or the rectangle formed by two neighboring sibling
+	// cells, so it is axis-aligned and data-independent.
+	Region geom.Rect
+	// Level is the pyramid level of the cell(s) forming the region.
+	Level int
+	// KFound is the number of registered users inside Region at
+	// cloaking time (k' in the paper's accuracy metric k'/k).
+	KFound int
+	// StepsUp is the number of times Algorithm 1 recursed to a parent
+	// cell before succeeding; an efficiency diagnostic.
+	StepsUp int
+}
+
+// Errors returned by anonymizer operations.
+var (
+	ErrUnknownUser   = errors.New("anonymizer: unknown user")
+	ErrDuplicateUser = errors.New("anonymizer: user already registered")
+	// ErrUnsatisfiable is returned when no region — not even the whole
+	// universe — can satisfy the profile (k exceeds the registered
+	// population or Amin exceeds the universe area).
+	ErrUnsatisfiable = errors.New("anonymizer: privacy profile unsatisfiable")
+)
+
+// Anonymizer is the interface shared by the basic and adaptive
+// implementations.
+type Anonymizer interface {
+	// Register adds a user at position p with the given profile.
+	Register(uid UserID, p geom.Point, prof Profile) error
+	// Deregister removes a user.
+	Deregister(uid UserID) error
+	// Update processes a location update (uid, x, y).
+	Update(uid UserID, p geom.Point) error
+	// SetProfile changes a user's privacy profile in place
+	// (flexibility requirement, Sec. 4).
+	SetProfile(uid UserID, prof Profile) error
+	// Cloak blurs the user's current exact position into a cloaked
+	// region satisfying their profile.
+	Cloak(uid UserID) (CloakedRegion, error)
+	// CloakAt cloaks an arbitrary point under a given profile without
+	// registering it; used for query regions of one-shot private
+	// queries.
+	CloakAt(p geom.Point, prof Profile) (CloakedRegion, error)
+	// Users returns the number of registered users.
+	Users() int
+	// Grid exposes the pyramid geometry in use.
+	Grid() pyramid.Grid
+	// UpdateCost returns the cumulative number of cell-counter writes
+	// (plus, for the adaptive anonymizer, split/merge redistribution
+	// work), the cost metric of Figures 10b, 11b, 12b.
+	UpdateCost() int64
+	// ResetUpdateCost zeroes the accounting.
+	ResetUpdateCost()
+}
+
+// cellCounter abstracts "how many users are in this pyramid cell" so
+// Algorithm 1 can run identically over the complete and incomplete
+// pyramids.
+type cellCounter interface {
+	cellCount(c pyramid.CellID) int
+}
+
+// CloakOpts controls Algorithm 1 ablations used by the experiment
+// harness.
+type CloakOpts struct {
+	// DisableNeighborMerge turns off lines 5-13 of Algorithm 1 (the
+	// horizontal/vertical sibling combination), so the algorithm
+	// always climbs to the parent instead. Used to quantify how much
+	// the neighbor step buys in accuracy.
+	DisableNeighborMerge bool
+}
+
+// CloakAtOpt cloaks an arbitrary point under a profile with explicit
+// ablation options (Basic anonymizer).
+func (b *Basic) CloakAtOpt(p geom.Point, prof Profile, opts CloakOpts) (CloakedRegion, error) {
+	return bottomUpCloakOpt(b, b.grid, b.grid.LeafAt(p), prof, opts)
+}
+
+// CloakAtOpt cloaks an arbitrary point under a profile with explicit
+// ablation options (Adaptive anonymizer).
+func (a *Adaptive) CloakAtOpt(p geom.Point, prof Profile, opts CloakOpts) (CloakedRegion, error) {
+	return a.cloakFromNode(a.locate(p), prof, opts)
+}
+
+// bottomUpCloak is Algorithm 1 of the paper: starting from cell start,
+// return the cell if it satisfies (k, Amin); otherwise try combining
+// it with its horizontal or vertical sibling neighbor, choosing the
+// combination whose population is closer to k; otherwise recurse on
+// the parent. The loop form below is the tail-recursive algorithm
+// unrolled.
+func bottomUpCloak(src cellCounter, g pyramid.Grid, start pyramid.CellID, prof Profile) (CloakedRegion, error) {
+	return bottomUpCloakOpt(src, g, start, prof, CloakOpts{})
+}
+
+func bottomUpCloakOpt(src cellCounter, g pyramid.Grid, start pyramid.CellID, prof Profile, opts CloakOpts) (CloakedRegion, error) {
+	if err := prof.Validate(); err != nil {
+		return CloakedRegion{}, err
+	}
+	steps := 0
+	for cid := start; ; cid = cid.Parent() {
+		n := src.cellCount(cid)
+		area := g.CellArea(cid.Level)
+		if n >= prof.K && area >= prof.AMin {
+			return CloakedRegion{
+				Region:  g.CellRect(cid),
+				Level:   cid.Level,
+				KFound:  n,
+				StepsUp: steps,
+			}, nil
+		}
+		if cid.IsRoot() {
+			// Even the whole universe fails the profile.
+			return CloakedRegion{}, fmt.Errorf("%w: k=%d Amin=%v (population %d, universe area %v)",
+				ErrUnsatisfiable, prof.K, prof.AMin, n, area)
+		}
+		if opts.DisableNeighborMerge {
+			steps++
+			continue
+		}
+		cidV, _ := cid.VerticalNeighbor()
+		cidH, _ := cid.HorizontalNeighbor()
+		nV := n + src.cellCount(cidV)
+		nH := n + src.cellCount(cidH)
+		if (nV >= prof.K || nH >= prof.K) && 2*area >= prof.AMin {
+			// Prefer the combination whose population is closer to k
+			// (both exceed k, pick the smaller; otherwise pick the one
+			// that reaches k).
+			var with pyramid.CellID
+			var kFound int
+			if (nH >= prof.K && nV >= prof.K && nH <= nV) || nV < prof.K {
+				with, kFound = cidH, nH
+			} else {
+				with, kFound = cidV, nV
+			}
+			return CloakedRegion{
+				Region:  g.CellRect(cid).Union(g.CellRect(with)),
+				Level:   cid.Level,
+				KFound:  kFound,
+				StepsUp: steps,
+			}, nil
+		}
+		steps++
+	}
+}

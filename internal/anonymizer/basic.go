@@ -1,0 +1,154 @@
+package anonymizer
+
+import (
+	"fmt"
+
+	"casper/internal/geom"
+	"casper/internal/pyramid"
+)
+
+// Basic is the basic location anonymizer (Sec. 4.1): a complete grid
+// pyramid with a user counter in every cell of every level, plus a
+// hash table mapping each registered user to (profile, lowest-level
+// cell). Location updates adjust counters along the paths from the old
+// and new leaf cells to their lowest common ancestor; cloaking runs
+// Algorithm 1 starting from the user's lowest-level cell.
+//
+// Basic is not safe for concurrent use; the protocol layer serializes.
+type Basic struct {
+	grid  pyramid.Grid
+	pyr   *pyramid.Complete
+	users map[UserID]*basicEntry
+}
+
+type basicEntry struct {
+	profile Profile
+	pos     geom.Point
+	leaf    pyramid.CellID
+}
+
+// NewBasic builds a basic anonymizer over a square universe with the
+// given pyramid height (the paper's experiments use 9 levels over
+// Hennepin County).
+func NewBasic(universe geom.Rect, levels int) *Basic {
+	grid := pyramid.NewGrid(universe, levels)
+	return &Basic{
+		grid:  grid,
+		pyr:   pyramid.NewComplete(grid),
+		users: make(map[UserID]*basicEntry),
+	}
+}
+
+// Register implements Anonymizer.
+func (b *Basic) Register(uid UserID, p geom.Point, prof Profile) error {
+	if err := prof.Validate(); err != nil {
+		return err
+	}
+	if _, ok := b.users[uid]; ok {
+		return fmt.Errorf("%w: %d", ErrDuplicateUser, uid)
+	}
+	leaf := b.pyr.Add(p)
+	b.users[uid] = &basicEntry{profile: prof, pos: p, leaf: leaf}
+	return nil
+}
+
+// Deregister implements Anonymizer.
+func (b *Basic) Deregister(uid UserID) error {
+	e, ok := b.users[uid]
+	if !ok {
+		return fmt.Errorf("%w: %d", ErrUnknownUser, uid)
+	}
+	b.pyr.RemoveAt(e.leaf)
+	delete(b.users, uid)
+	return nil
+}
+
+// Update implements Anonymizer.
+func (b *Basic) Update(uid UserID, p geom.Point) error {
+	e, ok := b.users[uid]
+	if !ok {
+		return fmt.Errorf("%w: %d", ErrUnknownUser, uid)
+	}
+	e.leaf, _ = b.pyr.Move(e.leaf, p)
+	e.pos = p
+	return nil
+}
+
+// SetProfile implements Anonymizer. The complete pyramid's shape does
+// not depend on profiles, so this is a pure metadata change.
+func (b *Basic) SetProfile(uid UserID, prof Profile) error {
+	if err := prof.Validate(); err != nil {
+		return err
+	}
+	e, ok := b.users[uid]
+	if !ok {
+		return fmt.Errorf("%w: %d", ErrUnknownUser, uid)
+	}
+	e.profile = prof
+	return nil
+}
+
+// Cloak implements Anonymizer.
+func (b *Basic) Cloak(uid UserID) (CloakedRegion, error) {
+	e, ok := b.users[uid]
+	if !ok {
+		return CloakedRegion{}, fmt.Errorf("%w: %d", ErrUnknownUser, uid)
+	}
+	return bottomUpCloak(b, b.grid, e.leaf, e.profile)
+}
+
+// CloakAt implements Anonymizer.
+func (b *Basic) CloakAt(p geom.Point, prof Profile) (CloakedRegion, error) {
+	return bottomUpCloak(b, b.grid, b.grid.LeafAt(p), prof)
+}
+
+// Users implements Anonymizer.
+func (b *Basic) Users() int { return len(b.users) }
+
+// Grid implements Anonymizer.
+func (b *Basic) Grid() pyramid.Grid { return b.grid }
+
+// UpdateCost implements Anonymizer.
+func (b *Basic) UpdateCost() int64 { return b.pyr.Updates() }
+
+// ResetUpdateCost implements Anonymizer.
+func (b *Basic) ResetUpdateCost() { b.pyr.ResetUpdates() }
+
+// Profile returns the stored profile of a user (for tests and the
+// protocol layer).
+func (b *Basic) Profile(uid UserID) (Profile, error) {
+	e, ok := b.users[uid]
+	if !ok {
+		return Profile{}, fmt.Errorf("%w: %d", ErrUnknownUser, uid)
+	}
+	return e.profile, nil
+}
+
+// Position returns the stored exact position of a user. Only the
+// anonymizer (the trusted party) may see this.
+func (b *Basic) Position(uid UserID) (geom.Point, error) {
+	e, ok := b.users[uid]
+	if !ok {
+		return geom.Point{}, fmt.Errorf("%w: %d", ErrUnknownUser, uid)
+	}
+	return e.pos, nil
+}
+
+// cellCount implements cellCounter via the complete pyramid.
+func (b *Basic) cellCount(c pyramid.CellID) int { return b.pyr.Count(c) }
+
+// CheckConsistency verifies internal invariants (tests only).
+func (b *Basic) CheckConsistency() error {
+	if err := b.pyr.CheckConsistency(); err != nil {
+		return err
+	}
+	if b.pyr.Total() != len(b.users) {
+		return fmt.Errorf("pyramid total %d != users %d", b.pyr.Total(), len(b.users))
+	}
+	for uid, e := range b.users {
+		if got := b.grid.LeafAt(e.pos); got != e.leaf {
+			return fmt.Errorf("user %d leaf %v != recomputed %v", uid, e.leaf, got)
+		}
+	}
+	return nil
+}

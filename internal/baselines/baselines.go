@@ -1,0 +1,222 @@
+// Package baselines reimplements the two prior location cloakers the
+// Casper paper positions itself against (Sec. 2), so the comparison
+// the authors argue qualitatively can be demonstrated quantitatively:
+//
+//   - QuadtreeCloak — the spatio-temporal cloaking of Gruteser &
+//     Grunwald (MobiSys 2003): for each request the space is
+//     recursively quartered (KD/quadtree style) until the quadrant
+//     holding the user would drop below k users; all users share one
+//     system-wide k. Its weakness is scalability: every request scans
+//     the live user population at every level.
+//
+//   - CliqueCloak — the customizable k-anonymity model of Gedik & Liu
+//     (ICDCS 2005), simplified: pending requests are combined into a
+//     group of size >= max(k in group), and the cloaked region is the
+//     group's minimum bounding rectangle. Its weaknesses are the
+//     privacy leak Casper calls out — some users necessarily lie ON
+//     the MBR boundary, so the region is not data-independent — and
+//     failure for k beyond ~5-10 with realistic pending sets.
+//
+// Both satisfy the same operational interface as Casper's anonymizer
+// output (a rectangle containing the user with >= k users inside), so
+// the ablation benchmarks can swap them in.
+package baselines
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"casper/internal/geom"
+)
+
+// ErrCannotCloak is returned when a baseline fails to produce a
+// region satisfying the request.
+var ErrCannotCloak = errors.New("baselines: cannot satisfy cloaking request")
+
+// QuadtreeCloak is the Gruteser-Grunwald cloaker. It holds the exact
+// positions of all users (it is, like Casper's anonymizer, a trusted
+// party) and a single system-wide anonymity level K.
+type QuadtreeCloak struct {
+	universe geom.Rect
+	k        int
+	users    map[int64]geom.Point
+}
+
+// quadtreeMaxDepth bounds the recursive subdivision, like the finite
+// quadtree of the original system. Without it, k users sharing one
+// exact position (common on a road network, where objects sit on
+// junctions) would keep every quadrant above k forever.
+const quadtreeMaxDepth = 30
+
+// NewQuadtreeCloak builds the cloaker. k applies to every user — the
+// model has no per-user profiles (the flexibility gap Casper fixes).
+func NewQuadtreeCloak(universe geom.Rect, k int) *QuadtreeCloak {
+	if k < 1 {
+		panic(fmt.Sprintf("baselines: k = %d", k))
+	}
+	return &QuadtreeCloak{universe: universe, k: k, users: make(map[int64]geom.Point)}
+}
+
+// Set registers or moves a user.
+func (q *QuadtreeCloak) Set(uid int64, p geom.Point) { q.users[uid] = p }
+
+// Remove deletes a user.
+func (q *QuadtreeCloak) Remove(uid int64) { delete(q.users, uid) }
+
+// Len returns the user count.
+func (q *QuadtreeCloak) Len() int { return len(q.users) }
+
+// Cloak computes the cloaked region for uid: the smallest quadrant of
+// the recursive subdivision that still contains at least k users.
+// Every call scans the population per level — the O(n log n) per
+// request behavior that limits the approach to small populations.
+func (q *QuadtreeCloak) Cloak(uid int64) (geom.Rect, error) {
+	p, ok := q.users[uid]
+	if !ok {
+		return geom.Rect{}, fmt.Errorf("baselines: unknown user %d", uid)
+	}
+	region := q.universe
+	if q.countIn(region) < q.k {
+		return geom.Rect{}, fmt.Errorf("%w: k=%d exceeds population %d", ErrCannotCloak, q.k, len(q.users))
+	}
+	for depth := 0; depth < quadtreeMaxDepth; depth++ {
+		quadrant := quadrantContaining(region, p)
+		if q.countIn(quadrant) < q.k {
+			return region, nil
+		}
+		region = quadrant
+	}
+	return region, nil
+}
+
+func (q *QuadtreeCloak) countIn(r geom.Rect) int {
+	n := 0
+	for _, p := range q.users {
+		if r.Contains(p) {
+			n++
+		}
+	}
+	return n
+}
+
+func quadrantContaining(r geom.Rect, p geom.Point) geom.Rect {
+	c := r.Center()
+	x0, x1 := r.Min.X, c.X
+	if p.X > c.X {
+		x0, x1 = c.X, r.Max.X
+	}
+	y0, y1 := r.Min.Y, c.Y
+	if p.Y > c.Y {
+		y0, y1 = c.Y, r.Max.Y
+	}
+	return geom.R(x0, y0, x1, y1)
+}
+
+// Request is a pending CliqueCloak cloaking request.
+type Request struct {
+	UID int64
+	Pos geom.Point
+	K   int
+}
+
+// CliqueCloak is the simplified Gedik-Liu cloaker: it accumulates
+// pending requests and, on demand, groups a request with enough
+// compatible neighbors that everybody in the group is k-satisfied,
+// answering with the group's MBR.
+type CliqueCloak struct {
+	pending map[int64]Request
+	// MaxGroupRadius bounds how far apart grouped users may be; the
+	// original bounds this with per-user spatial tolerances.
+	MaxGroupRadius float64
+}
+
+// NewCliqueCloak builds the cloaker with the given grouping radius.
+func NewCliqueCloak(maxGroupRadius float64) *CliqueCloak {
+	return &CliqueCloak{
+		pending:        make(map[int64]Request),
+		MaxGroupRadius: maxGroupRadius,
+	}
+}
+
+// Submit adds or refreshes a pending request.
+func (c *CliqueCloak) Submit(r Request) {
+	if r.K < 1 {
+		panic(fmt.Sprintf("baselines: request k = %d", r.K))
+	}
+	c.pending[r.UID] = r
+}
+
+// Pending returns the number of outstanding requests.
+func (c *CliqueCloak) Pending() int { return len(c.pending) }
+
+// Cloak tries to serve the request of uid: it greedily collects the
+// nearest pending requests within MaxGroupRadius until the group size
+// reaches the maximum k of its members. On success, all group members
+// are answered with the group MBR and removed from the pending set.
+// The returned member list includes uid.
+func (c *CliqueCloak) Cloak(uid int64) (geom.Rect, []int64, error) {
+	req, ok := c.pending[uid]
+	if !ok {
+		return geom.Rect{}, nil, fmt.Errorf("baselines: no pending request for %d", uid)
+	}
+	// Candidates sorted by distance from the requester.
+	cands := make([]Request, 0, len(c.pending))
+	for _, r := range c.pending {
+		if r.UID != uid && r.Pos.Dist(req.Pos) <= c.MaxGroupRadius {
+			cands = append(cands, r)
+		}
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		return cands[i].Pos.Dist(req.Pos) < cands[j].Pos.Dist(req.Pos)
+	})
+
+	group := []Request{req}
+	need := req.K
+	for _, cand := range cands {
+		if len(group) >= need {
+			break
+		}
+		group = append(group, cand)
+		if cand.K > need {
+			need = cand.K
+		}
+	}
+	if len(group) < need {
+		return geom.Rect{}, nil, fmt.Errorf("%w: need %d users within radius, have %d",
+			ErrCannotCloak, need, len(group))
+	}
+	mbr := geom.RectFromPoints(positions(group)...)
+	members := make([]int64, len(group))
+	for i, g := range group {
+		members[i] = g.UID
+		delete(c.pending, g.UID)
+	}
+	return mbr, members, nil
+}
+
+func positions(rs []Request) []geom.Point {
+	out := make([]geom.Point, len(rs))
+	for i, r := range rs {
+		out[i] = r.Pos
+	}
+	return out
+}
+
+// BoundaryLeak reports how many of the given positions lie exactly on
+// the boundary of region r — the privacy defect of MBR-based cloaking
+// that Sec. 2 of the Casper paper calls out (at least two users always
+// do, for a non-degenerate MBR of its members).
+func BoundaryLeak(r geom.Rect, pts []geom.Point) int {
+	n := 0
+	for _, p := range pts {
+		if !r.Contains(p) {
+			continue
+		}
+		on := p.X == r.Min.X || p.X == r.Max.X || p.Y == r.Min.Y || p.Y == r.Max.Y
+		if on {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,206 @@
+package baselines
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"casper/internal/anonymizer"
+	"casper/internal/geom"
+)
+
+var universe = geom.R(0, 0, 1024, 1024)
+
+func TestQuadtreeCloakSatisfiesK(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	q := NewQuadtreeCloak(universe, 10)
+	pts := make(map[int64]geom.Point)
+	for i := int64(0); i < 500; i++ {
+		p := geom.Pt(rng.Float64()*1024, rng.Float64()*1024)
+		pts[i] = p
+		q.Set(i, p)
+	}
+	if q.Len() != 500 {
+		t.Fatalf("Len = %d", q.Len())
+	}
+	for uid := int64(0); uid < 100; uid++ {
+		r, err := q.Cloak(uid)
+		if err != nil {
+			t.Fatalf("uid %d: %v", uid, err)
+		}
+		if !r.Contains(pts[uid]) {
+			t.Fatalf("uid %d: region %v misses user", uid, r)
+		}
+		// Census the region: at least k users.
+		n := 0
+		for _, p := range pts {
+			if r.Contains(p) {
+				n++
+			}
+		}
+		if n < 10 {
+			t.Fatalf("uid %d: region holds %d users, want >= 10", uid, n)
+		}
+	}
+}
+
+func TestQuadtreeCloakErrors(t *testing.T) {
+	q := NewQuadtreeCloak(universe, 5)
+	if _, err := q.Cloak(1); err == nil {
+		t.Fatal("unknown user accepted")
+	}
+	q.Set(1, geom.Pt(1, 1))
+	if _, err := q.Cloak(1); !errors.Is(err, ErrCannotCloak) {
+		t.Fatalf("undersized population: %v", err)
+	}
+	q.Remove(1)
+	if q.Len() != 0 {
+		t.Fatal("Remove failed")
+	}
+}
+
+func TestQuadtreeCloakPanicsOnBadK(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewQuadtreeCloak(universe, 0)
+}
+
+func TestQuadtreeCloakShrinksWithDensity(t *testing.T) {
+	// Dense population -> small regions; sparse -> large.
+	rng := rand.New(rand.NewSource(2))
+	dense := NewQuadtreeCloak(universe, 10)
+	sparse := NewQuadtreeCloak(universe, 10)
+	for i := int64(0); i < 5000; i++ {
+		dense.Set(i, geom.Pt(rng.Float64()*1024, rng.Float64()*1024))
+	}
+	for i := int64(0); i < 50; i++ {
+		sparse.Set(i, geom.Pt(rng.Float64()*1024, rng.Float64()*1024))
+	}
+	rd, err := dense.Cloak(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, err := sparse.Cloak(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rd.Area() >= rs.Area() {
+		t.Fatalf("dense region %v not smaller than sparse %v", rd.Area(), rs.Area())
+	}
+}
+
+func TestCliqueCloakGroups(t *testing.T) {
+	c := NewCliqueCloak(200)
+	// Five users near each other, all with k=3.
+	positions := []geom.Point{
+		{X: 100, Y: 100}, {X: 110, Y: 105}, {X: 95, Y: 98}, {X: 120, Y: 110}, {X: 105, Y: 95},
+	}
+	for i, p := range positions {
+		c.Submit(Request{UID: int64(i), Pos: p, K: 3})
+	}
+	r, members, err := c.Cloak(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(members) < 3 {
+		t.Fatalf("group size %d", len(members))
+	}
+	for _, m := range members {
+		if !r.Contains(positions[m]) {
+			t.Fatalf("member %d outside MBR", m)
+		}
+	}
+	// Served members left the pending set.
+	if c.Pending() != 5-len(members) {
+		t.Fatalf("pending = %d", c.Pending())
+	}
+}
+
+func TestCliqueCloakFailsForLargeK(t *testing.T) {
+	// The paper's observation: CliqueCloak is limited to small k.
+	rng := rand.New(rand.NewSource(3))
+	c := NewCliqueCloak(50) // tight grouping radius
+	for i := int64(0); i < 100; i++ {
+		c.Submit(Request{
+			UID: i,
+			Pos: geom.Pt(rng.Float64()*1024, rng.Float64()*1024),
+			K:   50,
+		})
+	}
+	if _, _, err := c.Cloak(0); !errors.Is(err, ErrCannotCloak) {
+		t.Fatalf("expected failure for k=50 with sparse neighbors, got %v", err)
+	}
+}
+
+func TestCliqueCloakErrors(t *testing.T) {
+	c := NewCliqueCloak(100)
+	if _, _, err := c.Cloak(9); err == nil {
+		t.Fatal("missing request accepted")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on k=0")
+		}
+	}()
+	c.Submit(Request{UID: 1, Pos: geom.Pt(0, 0), K: 0})
+}
+
+func TestCliqueCloakMaxKGovernsGroup(t *testing.T) {
+	c := NewCliqueCloak(1000)
+	// Requester needs k=2 but its nearest neighbor needs k=4: the
+	// group must grow to 4.
+	c.Submit(Request{UID: 0, Pos: geom.Pt(0, 0), K: 2})
+	c.Submit(Request{UID: 1, Pos: geom.Pt(1, 0), K: 4})
+	c.Submit(Request{UID: 2, Pos: geom.Pt(2, 0), K: 1})
+	c.Submit(Request{UID: 3, Pos: geom.Pt(3, 0), K: 1})
+	_, members, err := c.Cloak(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(members) < 4 {
+		t.Fatalf("group of %d violates member k=4", len(members))
+	}
+}
+
+// TestMBRBoundaryLeakVsCasper demonstrates the privacy argument of
+// Sec. 2: CliqueCloak's MBR always has users sitting exactly on its
+// boundary, while Casper's grid-aligned regions almost surely have
+// none (the region depends on the grid, not the data).
+func TestMBRBoundaryLeakVsCasper(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+
+	// CliqueCloak: group 6 random users, check the MBR leak.
+	c := NewCliqueCloak(2000)
+	pts := make([]geom.Point, 6)
+	for i := range pts {
+		pts[i] = geom.Pt(rng.Float64()*1024, rng.Float64()*1024)
+		c.Submit(Request{UID: int64(i), Pos: pts[i], K: 6})
+	}
+	mbr, _, err := c.Cloak(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if leak := BoundaryLeak(mbr, pts); leak < 2 {
+		t.Fatalf("MBR boundary leak = %d, expected >= 2 (degenerate alignment aside)", leak)
+	}
+
+	// Casper: register the same users; cloaked regions are grid cells,
+	// so no user lies on a region boundary (probability zero for
+	// random positions).
+	anon := anonymizer.NewBasic(universe, 6)
+	for i, p := range pts {
+		if err := anon.Register(anonymizer.UserID(i), p, anonymizer.Profile{K: 6}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cr, err := anon.Cloak(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if leak := BoundaryLeak(cr.Region, pts); leak != 0 {
+		t.Fatalf("Casper region boundary leak = %d, want 0", leak)
+	}
+}

@@ -1,0 +1,140 @@
+package baselines
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"casper/internal/geom"
+)
+
+// TemporalCloak implements the *temporal* half of Gruteser &
+// Grunwald's spatio-temporal cloaking: when spatial cloaking alone
+// cannot reach k users (sparse areas), the request is delayed and its
+// timestamp blurred — the location is released only once at least k
+// distinct users have visited the request's cell since just before the
+// request, so the adversary cannot tell which visitor issued it.
+//
+// Casper deliberately avoids this mechanism (a delayed answer is a
+// degraded answer for real-time queries), which is exactly the
+// trade-off the ablation using this type demonstrates: temporal
+// cloaking trades latency for anonymity, Casper trades area.
+type TemporalCloak struct {
+	universe geom.Rect
+	gridN    int
+	k        int
+	// visits[cell] holds the recent visit log: (user, time), pruned to
+	// the horizon.
+	visits  map[int][]visit
+	horizon time.Duration
+}
+
+type visit struct {
+	uid int64
+	at  time.Time
+}
+
+// pending is a delayed request.
+type pendingRequest struct {
+	uid  int64
+	cell int
+	at   time.Time
+}
+
+// NewTemporalCloak builds the cloaker over a gridN x gridN cell grid
+// with anonymity level k and a visit-retention horizon.
+func NewTemporalCloak(universe geom.Rect, gridN, k int, horizon time.Duration) *TemporalCloak {
+	if gridN < 1 || k < 1 || horizon <= 0 {
+		panic(fmt.Sprintf("baselines: bad temporal cloak params gridN=%d k=%d horizon=%v", gridN, k, horizon))
+	}
+	return &TemporalCloak{
+		universe: universe,
+		gridN:    gridN,
+		k:        k,
+		visits:   make(map[int][]visit),
+		horizon:  horizon,
+	}
+}
+
+// cellOf maps a point to its grid cell.
+func (t *TemporalCloak) cellOf(p geom.Point) int {
+	cx := int((p.X - t.universe.Min.X) / t.universe.Width() * float64(t.gridN))
+	cy := int((p.Y - t.universe.Min.Y) / t.universe.Height() * float64(t.gridN))
+	cx = clampInt(cx, 0, t.gridN-1)
+	cy = clampInt(cy, 0, t.gridN-1)
+	return cy*t.gridN + cx
+}
+
+// CellRect returns the spatial extent of the cell containing p (the
+// spatial component of the cloak).
+func (t *TemporalCloak) CellRect(p geom.Point) geom.Rect {
+	cell := t.cellOf(p)
+	cx, cy := cell%t.gridN, cell/t.gridN
+	w := t.universe.Width() / float64(t.gridN)
+	h := t.universe.Height() / float64(t.gridN)
+	x0 := t.universe.Min.X + float64(cx)*w
+	y0 := t.universe.Min.Y + float64(cy)*h
+	return geom.R(x0, y0, x0+w, y0+h)
+}
+
+// Observe records that uid was seen at p at the given time (the
+// continuous stream of position reports the cloaker watches).
+func (t *TemporalCloak) Observe(uid int64, p geom.Point, at time.Time) {
+	cell := t.cellOf(p)
+	vs := append(t.visits[cell], visit{uid: uid, at: at})
+	// Prune beyond the horizon.
+	cutoff := at.Add(-t.horizon)
+	keep := vs[:0]
+	for _, v := range vs {
+		if !v.at.Before(cutoff) {
+			keep = append(keep, v)
+		}
+	}
+	t.visits[cell] = keep
+}
+
+// Request asks to cloak uid's position p requested at time at. It
+// returns the spatial cell, the release interval [from, release], and
+// whether the request can be released yet: release is the time the
+// k-th distinct user (counting the requester) visited the cell at or
+// after from, where from is the requester's own visit time. ok is
+// false while fewer than k distinct users have visited — the caller
+// retries after more Observe calls (the "delay" of temporal cloaking).
+func (t *TemporalCloak) Request(uid int64, p geom.Point, at time.Time) (cell geom.Rect, release time.Time, ok bool) {
+	c := t.cellOf(p)
+	vs := t.visits[c]
+	// Distinct visitors at or after the request time minus horizon,
+	// sorted by time; find when the k-th distinct user appears.
+	sorted := append([]visit(nil), vs...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].at.Before(sorted[j].at) })
+	seen := map[int64]bool{uid: true}
+	count := 1
+	release = at
+	for _, v := range sorted {
+		if v.at.Before(at.Add(-t.horizon)) {
+			continue
+		}
+		if seen[v.uid] {
+			continue
+		}
+		seen[v.uid] = true
+		count++
+		if v.at.After(release) {
+			release = v.at
+		}
+		if count >= t.k {
+			return t.CellRect(p), release, true
+		}
+	}
+	return t.CellRect(p), time.Time{}, false
+}
+
+func clampInt(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

@@ -1,0 +1,88 @@
+package baselines
+
+import (
+	"testing"
+	"time"
+
+	"casper/internal/geom"
+)
+
+var t0 = time.Date(2026, 7, 4, 12, 0, 0, 0, time.UTC)
+
+func TestTemporalCloakValidation(t *testing.T) {
+	for _, f := range []func(){
+		func() { NewTemporalCloak(universe, 0, 5, time.Minute) },
+		func() { NewTemporalCloak(universe, 8, 0, time.Minute) },
+		func() { NewTemporalCloak(universe, 8, 5, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestTemporalCloakDelaysUntilKVisitors(t *testing.T) {
+	tc := NewTemporalCloak(universe, 8, 3, 10*time.Minute)
+	p := geom.Pt(100, 100)
+
+	// Alone in the cell: not releasable.
+	tc.Observe(1, p, t0)
+	if _, _, ok := tc.Request(1, p, t0); ok {
+		t.Fatal("released with one visitor")
+	}
+	// A second distinct user arrives: still short of k=3.
+	tc.Observe(2, geom.Pt(110, 105), t0.Add(30*time.Second))
+	if _, _, ok := tc.Request(1, p, t0); ok {
+		t.Fatal("released with two visitors")
+	}
+	// Repeat visits by the same user do not count.
+	tc.Observe(2, geom.Pt(112, 100), t0.Add(40*time.Second))
+	if _, _, ok := tc.Request(1, p, t0); ok {
+		t.Fatal("released on repeat visits")
+	}
+	// The third distinct user releases the request, stamped at their
+	// arrival (the temporal blur).
+	tc.Observe(3, geom.Pt(95, 99), t0.Add(2*time.Minute))
+	cell, release, ok := tc.Request(1, p, t0)
+	if !ok {
+		t.Fatal("not released with three visitors")
+	}
+	if !release.Equal(t0.Add(2 * time.Minute)) {
+		t.Fatalf("release = %v", release)
+	}
+	if !cell.Contains(p) {
+		t.Fatal("cell does not contain requester")
+	}
+}
+
+func TestTemporalCloakHorizonExpiry(t *testing.T) {
+	tc := NewTemporalCloak(universe, 8, 2, time.Minute)
+	p := geom.Pt(500, 500)
+	tc.Observe(1, p, t0)
+	tc.Observe(2, geom.Pt(505, 505), t0.Add(10*time.Second))
+	// Request far in the future: the old visits are outside the
+	// horizon relative to the request.
+	late := t0.Add(10 * time.Minute)
+	// Observing at the late time prunes stale entries.
+	tc.Observe(1, p, late)
+	if _, _, ok := tc.Request(1, p, late); ok {
+		t.Fatal("released on expired visits")
+	}
+}
+
+func TestTemporalCloakDifferentCellsIndependent(t *testing.T) {
+	tc := NewTemporalCloak(universe, 8, 2, 10*time.Minute)
+	// Crowd in one cell; requester in another.
+	for i := int64(10); i < 15; i++ {
+		tc.Observe(i, geom.Pt(3000, 3000), t0)
+	}
+	tc.Observe(1, geom.Pt(100, 100), t0)
+	if _, _, ok := tc.Request(1, geom.Pt(100, 100), t0); ok {
+		t.Fatal("visitors in another cell counted")
+	}
+}

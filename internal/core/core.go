@@ -1,0 +1,622 @@
+// Package core wires the two Casper components — the location
+// anonymizer and the privacy-aware location-based database server —
+// into the end-to-end framework of Fig. 1 in the paper:
+//
+//	mobile user --exact location--> location anonymizer
+//	location anonymizer --(pseudonym, cloaked region)--> database server
+//	database server --candidate list--> user (via the anonymizer)
+//	user refines the exact answer locally
+//
+// The package also carries the paper's transmission-cost model (64-byte
+// records over a 100 Mbps channel, Sec. 6.3) and produces the
+// end-to-end time breakdown of Fig. 17: cloaking time + query
+// processing time + candidate-list transmission time.
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"casper/internal/anonymizer"
+	"casper/internal/continuous"
+	"casper/internal/geom"
+	"casper/internal/privacyqp"
+	"casper/internal/rtree"
+	"casper/internal/server"
+)
+
+// AnonymizerKind selects the anonymizer implementation.
+type AnonymizerKind int
+
+const (
+	// BasicAnonymizer is the complete-pyramid anonymizer (Sec. 4.1).
+	BasicAnonymizer AnonymizerKind = iota
+	// AdaptiveAnonymizer is the incomplete-pyramid anonymizer
+	// (Sec. 4.2) — the variant the end-to-end experiments use.
+	AdaptiveAnonymizer
+)
+
+// Config parameterizes a Casper deployment.
+type Config struct {
+	// Universe is the spatial extent served.
+	Universe geom.Rect
+	// PyramidLevels is the anonymizer's pyramid height H (9 in the
+	// paper's experiments).
+	PyramidLevels int
+	// Anonymizer selects basic or adaptive.
+	Anonymizer AnonymizerKind
+	// Query tunes the privacy-aware query processor (filter count).
+	Query privacyqp.Options
+	// Transmission models the downlink carrying the candidate list.
+	Transmission TransmissionModel
+	// Seed drives pseudonym generation.
+	Seed int64
+	// WALPath, when non-empty, makes the database server durable: all
+	// public objects and cloaked regions are write-ahead logged there
+	// and recovered on restart (see internal/wal). The log holds only
+	// pseudonymous cloaks — persistence does not widen the privacy
+	// boundary.
+	WALPath string
+}
+
+// DefaultConfig mirrors the paper's experimental setup over a
+// 40 km x 40 km universe.
+func DefaultConfig() Config {
+	return Config{
+		Universe:      geom.R(0, 0, 40000, 40000),
+		PyramidLevels: 9,
+		Anonymizer:    AdaptiveAnonymizer,
+		Query:         privacyqp.DefaultOptions(),
+		Transmission:  DefaultTransmission(),
+		Seed:          1,
+	}
+}
+
+// TransmissionModel is the analytic downlink model of Sec. 6.3.
+type TransmissionModel struct {
+	// RecordBytes is the wire size of one candidate record.
+	RecordBytes int
+	// BandwidthBps is the channel bandwidth in bits per second.
+	BandwidthBps float64
+}
+
+// DefaultTransmission is the paper's model: 64-byte records over a
+// 100 Mbps channel.
+func DefaultTransmission() TransmissionModel {
+	return TransmissionModel{RecordBytes: 64, BandwidthBps: 100e6}
+}
+
+// Time returns the time to ship n records.
+func (m TransmissionModel) Time(n int) time.Duration {
+	if n <= 0 {
+		return 0
+	}
+	bits := float64(n*m.RecordBytes) * 8
+	return time.Duration(bits / m.BandwidthBps * float64(time.Second))
+}
+
+// Breakdown is the per-query cost decomposition of Fig. 17.
+type Breakdown struct {
+	// Cloak is the time the anonymizer spent blurring the query
+	// location.
+	Cloak time.Duration
+	// Query is the time the privacy-aware query processor spent
+	// computing the candidate list.
+	Query time.Duration
+	// Transmit is the modeled time to ship the candidate list to the
+	// client.
+	Transmit time.Duration
+	// Candidates is the candidate-list length.
+	Candidates int
+}
+
+// Total returns the end-to-end time.
+func (b Breakdown) Total() time.Duration { return b.Cloak + b.Query + b.Transmit }
+
+// Casper is a running framework instance. Its methods take the role
+// of the mobile client's library: they talk to the anonymizer with
+// exact locations, let the server see only cloaked regions, and refine
+// candidate lists client-side.
+//
+// Casper is not safe for concurrent use; the protocol layer
+// serializes requests.
+type Casper struct {
+	anon   anonymizer.Anonymizer
+	srv    *server.Server
+	cfg    Config
+	pseudo map[anonymizer.UserID]int64 // uid -> server pseudonym
+	rng    *rand.Rand
+
+	// monitor, when enabled, receives the same pseudonymous update
+	// stream as the server and maintains continuous queries.
+	monitor      *continuous.Monitor
+	watches      map[anonymizer.UserID][]continuous.QueryID
+	rangeWatches map[anonymizer.UserID][]continuous.QueryID
+
+	// persist, when configured, is the WAL wrapper through which all
+	// server mutations are routed; it shares state with srv.
+	persist *server.Persistent
+}
+
+// New builds a Casper instance from the configuration. A WALPath in
+// the configuration is ignored here (New cannot surface I/O errors);
+// use Open for durable deployments.
+func New(cfg Config) *Casper {
+	cfg.WALPath = ""
+	c, _ := Open(cfg)
+	return c
+}
+
+// Open builds a Casper instance, recovering the database server from
+// cfg.WALPath when set. Note that only the server side is durable:
+// users re-register with the anonymizer after a restart (their exact
+// positions were never persisted anywhere — that is the point), and
+// their recovered cloaks serve public queries meanwhile.
+func Open(cfg Config) (*Casper, error) {
+	var anon anonymizer.Anonymizer
+	switch cfg.Anonymizer {
+	case AdaptiveAnonymizer:
+		anon = anonymizer.NewAdaptive(cfg.Universe, cfg.PyramidLevels)
+	default:
+		anon = anonymizer.NewBasic(cfg.Universe, cfg.PyramidLevels)
+	}
+	c := &Casper{
+		anon:   anon,
+		cfg:    cfg,
+		pseudo: make(map[anonymizer.UserID]int64),
+		rng:    rand.New(rand.NewSource(cfg.Seed)),
+	}
+	if cfg.WALPath != "" {
+		p, err := server.OpenPersistent(cfg.WALPath)
+		if err != nil {
+			return nil, err
+		}
+		c.persist = p
+		c.srv = p.Server
+	} else {
+		c.srv = server.New()
+	}
+	return c, nil
+}
+
+// Close flushes and closes the WAL when persistence is configured.
+func (c *Casper) Close() error {
+	if c.persist != nil {
+		return c.persist.Close()
+	}
+	return nil
+}
+
+// Anonymizer exposes the anonymizer (e.g. for experiment probes).
+func (c *Casper) Anonymizer() anonymizer.Anonymizer { return c.anon }
+
+// Server exposes the database server.
+func (c *Casper) Server() *server.Server { return c.srv }
+
+// Config returns the configuration in use.
+func (c *Casper) Config() Config { return c.cfg }
+
+// LoadPublicObjects installs the public table (gas stations,
+// restaurants, ...). Public data bypasses the anonymizer entirely.
+func (c *Casper) LoadPublicObjects(objs []server.PublicObject) {
+	if c.persist != nil {
+		// Durable bulk load: the WAL is compacted to the new state.
+		// A failure here leaves the in-memory state loaded; surface
+		// persistence problems at the next Sync/Close.
+		_ = c.persist.LoadPublic(objs)
+	} else {
+		c.srv.LoadPublic(objs)
+	}
+	if c.monitor != nil {
+		c.monitor.SetPublic(publicItems(objs))
+	}
+}
+
+func publicItems(objs []server.PublicObject) []rtree.Item {
+	items := make([]rtree.Item, len(objs))
+	for i, o := range objs {
+		items[i] = rtree.Item{Rect: geom.Rect{Min: o.Pos, Max: o.Pos}, ID: o.ID, Data: o.Name}
+	}
+	return items
+}
+
+// AddPublicObject inserts one public object, durably when a WAL is
+// configured, and keeps the continuous monitor in step.
+func (c *Casper) AddPublicObject(o server.PublicObject) error {
+	var err error
+	if c.persist != nil {
+		err = c.persist.AddPublic(o)
+	} else {
+		err = c.srv.AddPublic(o)
+	}
+	if err != nil {
+		return err
+	}
+	if c.monitor != nil {
+		c.monitor.AddPublic(rtree.Item{Rect: geom.Rect{Min: o.Pos, Max: o.Pos}, ID: o.ID, Data: o.Name})
+	}
+	return nil
+}
+
+// RemovePublicObject removes a public object, durably when a WAL is
+// configured.
+func (c *Casper) RemovePublicObject(id int64) error {
+	o, ok := c.srv.GetPublic(id)
+	if !ok {
+		return fmt.Errorf("%w: public %d", server.ErrUnknownObject, id)
+	}
+	var err error
+	if c.persist != nil {
+		err = c.persist.RemovePublic(id)
+	} else {
+		err = c.srv.RemovePublic(id)
+	}
+	if err != nil {
+		return err
+	}
+	if c.monitor != nil {
+		c.monitor.RemovePublic(id, geom.Rect{Min: o.Pos, Max: o.Pos})
+	}
+	return nil
+}
+
+// EnableContinuous attaches a continuous-query monitor to the
+// framework: from now on every cloaked-region update that reaches the
+// server also reaches the monitor (still pseudonymous — the monitor is
+// part of the server side and never sees identities or exact
+// positions). notify receives change events; see package continuous.
+// Calling it again returns the existing monitor.
+func (c *Casper) EnableContinuous(notify func(continuous.Event)) *continuous.Monitor {
+	if c.monitor != nil {
+		return c.monitor
+	}
+	c.monitor = continuous.New(notify)
+	c.watches = make(map[anonymizer.UserID][]continuous.QueryID)
+	c.rangeWatches = make(map[anonymizer.UserID][]continuous.QueryID)
+	// Seed with current state.
+	c.monitor.SetPublic(c.srv.PublicItems())
+	for _, uid := range c.registeredUsers() {
+		if cr, err := c.anon.Cloak(uid); err == nil {
+			_ = c.monitor.UpsertPrivate(c.pseudo[uid], cr.Region)
+		}
+	}
+	return c.monitor
+}
+
+// Monitor returns the attached continuous monitor, nil when disabled.
+func (c *Casper) Monitor() *continuous.Monitor { return c.monitor }
+
+// WatchNearest registers a continuous nearest-neighbor query for a
+// registered user: the monitor keeps the candidate list current as the
+// user's cloak and the target data change. kind selects public targets
+// or other users' cloaks (the asker's own cloak is excluded
+// automatically). EnableContinuous must have been called.
+func (c *Casper) WatchNearest(uid anonymizer.UserID, kind privacyqp.DataKind) (continuous.QueryID, []rtree.Item, error) {
+	if c.monitor == nil {
+		return 0, nil, fmt.Errorf("core: continuous monitoring not enabled")
+	}
+	cr, err := c.anon.Cloak(uid)
+	if err != nil {
+		return 0, nil, err
+	}
+	exclude := int64(-1)
+	if kind == privacyqp.PrivateData {
+		exclude = c.pseudo[uid]
+	}
+	qid, cands, err := c.monitor.RegisterNN(cr.Region, kind, c.cfg.Query, exclude)
+	if err != nil {
+		return 0, nil, err
+	}
+	c.watches[uid] = append(c.watches[uid], qid)
+	return qid, cands, nil
+}
+
+// WatchRange registers a standing private range query for a user: the
+// monitor keeps "all targets within radius of me" current as the
+// user's cloak and the data change. EnableContinuous must have been
+// called.
+func (c *Casper) WatchRange(uid anonymizer.UserID, radius float64, kind privacyqp.DataKind) (continuous.QueryID, []rtree.Item, error) {
+	if c.monitor == nil {
+		return 0, nil, fmt.Errorf("core: continuous monitoring not enabled")
+	}
+	cr, err := c.anon.Cloak(uid)
+	if err != nil {
+		return 0, nil, err
+	}
+	exclude := int64(-1)
+	if kind == privacyqp.PrivateData {
+		exclude = c.pseudo[uid]
+	}
+	qid, cands, err := c.monitor.RegisterRadius(cr.Region, radius, kind, exclude)
+	if err != nil {
+		return 0, nil, err
+	}
+	c.rangeWatches[uid] = append(c.rangeWatches[uid], qid)
+	return qid, cands, nil
+}
+
+// registeredUsers lists user IDs known to the pseudonym table.
+func (c *Casper) registeredUsers() []anonymizer.UserID {
+	out := make([]anonymizer.UserID, 0, len(c.pseudo))
+	for uid := range c.pseudo {
+		out = append(out, uid)
+	}
+	return out
+}
+
+// RegisterUser registers a mobile user: the anonymizer learns the
+// exact position and profile, assigns a pseudonym, and pushes only the
+// cloaked region to the server.
+func (c *Casper) RegisterUser(uid anonymizer.UserID, pos geom.Point, prof anonymizer.Profile) error {
+	if _, ok := c.pseudo[uid]; ok {
+		return fmt.Errorf("core: user %d already registered", uid)
+	}
+	if err := c.anon.Register(uid, pos, prof); err != nil {
+		return err
+	}
+	// Pseudonyms are random, so the server cannot infer registration
+	// order or identity. Skip pseudonyms already stored at the server:
+	// after a WAL recovery the deterministic generator would otherwise
+	// replay IDs that still name recovered cloaks.
+	pid := c.rng.Int63()
+	for {
+		if _, exists := c.srv.GetPrivate(pid); !exists {
+			break
+		}
+		pid = c.rng.Int63()
+	}
+	c.pseudo[uid] = pid
+	return c.pushCloak(uid)
+}
+
+// UpdateUser processes a location update and refreshes the user's
+// cloaked region at the server.
+func (c *Casper) UpdateUser(uid anonymizer.UserID, pos geom.Point) error {
+	if err := c.anon.Update(uid, pos); err != nil {
+		return err
+	}
+	return c.pushCloak(uid)
+}
+
+// SetProfile changes a user's privacy profile and re-cloaks.
+func (c *Casper) SetProfile(uid anonymizer.UserID, prof anonymizer.Profile) error {
+	if err := c.anon.SetProfile(uid, prof); err != nil {
+		return err
+	}
+	return c.pushCloak(uid)
+}
+
+// DeregisterUser removes a user from both components, tearing down
+// any continuous queries they registered.
+func (c *Casper) DeregisterUser(uid anonymizer.UserID) error {
+	if err := c.anon.Deregister(uid); err != nil {
+		return err
+	}
+	pid := c.pseudo[uid]
+	delete(c.pseudo, uid)
+	if c.monitor != nil {
+		c.monitor.RemovePrivate(pid)
+		for _, qid := range c.watches[uid] {
+			c.monitor.Unregister(qid)
+		}
+		delete(c.watches, uid)
+		for _, qid := range c.rangeWatches[uid] {
+			c.monitor.Unregister(qid)
+		}
+		delete(c.rangeWatches, uid)
+	}
+	if c.persist != nil {
+		return c.persist.RemovePrivate(pid)
+	}
+	return c.srv.RemovePrivate(pid)
+}
+
+// pushCloak recomputes the user's cloaked region and upserts it at the
+// server (and the continuous monitor, when enabled) under the
+// pseudonym. An unsatisfiable profile leaves the previous region in
+// place and reports the error.
+func (c *Casper) pushCloak(uid anonymizer.UserID) error {
+	cr, err := c.anon.Cloak(uid)
+	if err != nil {
+		return err
+	}
+	obj := server.PrivateObject{ID: c.pseudo[uid], Region: cr.Region}
+	var upsertErr error
+	if c.persist != nil {
+		upsertErr = c.persist.UpsertPrivate(obj)
+	} else {
+		upsertErr = c.srv.UpsertPrivate(obj)
+	}
+	if upsertErr != nil {
+		return upsertErr
+	}
+	if c.monitor != nil {
+		if err := c.monitor.UpsertPrivate(c.pseudo[uid], cr.Region); err != nil {
+			return err
+		}
+		for _, qid := range c.watches[uid] {
+			if err := c.monitor.UpdateNNCloak(qid, cr.Region); err != nil {
+				return err
+			}
+		}
+		for _, qid := range c.rangeWatches[uid] {
+			if err := c.monitor.UpdateRadiusCloak(qid, cr.Region); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// NNAnswer is the outcome of a private nearest-neighbor query.
+type NNAnswer struct {
+	// Exact is the refined exact answer (the client-side step).
+	Exact rtree.Item
+	// Candidates is the candidate list the server produced.
+	Candidates []rtree.Item
+	// CloakedQuery is the blurred query region the server saw.
+	CloakedQuery geom.Rect
+	// Cost is the end-to-end breakdown.
+	Cost Breakdown
+}
+
+// NearestPublic runs the full private-query-over-public-data pipeline
+// for a registered user: cloak the query location, compute the
+// candidate list server-side, ship it, refine locally.
+func (c *Casper) NearestPublic(uid anonymizer.UserID) (NNAnswer, error) {
+	pos, err := c.userPos(uid)
+	if err != nil {
+		return NNAnswer{}, err
+	}
+	t0 := time.Now()
+	cr, err := c.anon.Cloak(uid)
+	if err != nil {
+		return NNAnswer{}, err
+	}
+	t1 := time.Now()
+	res, err := c.srv.NNPublic(cr.Region, c.cfg.Query)
+	if err != nil {
+		return NNAnswer{}, err
+	}
+	t2 := time.Now()
+	ans := NNAnswer{
+		Candidates:   res.Candidates,
+		CloakedQuery: cr.Region,
+		Cost: Breakdown{
+			Cloak:      t1.Sub(t0),
+			Query:      t2.Sub(t1),
+			Transmit:   c.cfg.Transmission.Time(len(res.Candidates)),
+			Candidates: len(res.Candidates),
+		},
+	}
+	exact, ok := privacyqp.RefineNN(pos, res.Candidates, privacyqp.PublicData)
+	if !ok {
+		return ans, fmt.Errorf("core: empty candidate list")
+	}
+	ans.Exact = exact
+	return ans, nil
+}
+
+// NearestBuddy runs the private-query-over-private-data pipeline: the
+// candidate list holds cloaked regions of other users; the refined
+// answer minimizes the pessimistic (furthest-corner) distance.
+func (c *Casper) NearestBuddy(uid anonymizer.UserID) (NNAnswer, error) {
+	pos, err := c.userPos(uid)
+	if err != nil {
+		return NNAnswer{}, err
+	}
+	t0 := time.Now()
+	cr, err := c.anon.Cloak(uid)
+	if err != nil {
+		return NNAnswer{}, err
+	}
+	t1 := time.Now()
+	res, err := c.srv.NNPrivate(cr.Region, c.pseudo[uid], c.cfg.Query)
+	if err != nil {
+		return NNAnswer{}, err
+	}
+	t2 := time.Now()
+	ans := NNAnswer{
+		Candidates:   res.Candidates,
+		CloakedQuery: cr.Region,
+		Cost: Breakdown{
+			Cloak:      t1.Sub(t0),
+			Query:      t2.Sub(t1),
+			Transmit:   c.cfg.Transmission.Time(len(res.Candidates)),
+			Candidates: len(res.Candidates),
+		},
+	}
+	exact, ok := privacyqp.RefineNN(pos, res.Candidates, privacyqp.PrivateData)
+	if !ok {
+		return ans, fmt.Errorf("core: no other users to answer the buddy query")
+	}
+	ans.Exact = exact
+	return ans, nil
+}
+
+// KNearestPublic runs the private k-NN pipeline over public data: the
+// server computes an inclusive candidate list from the cloak alone;
+// the client refines the exact k nearest, ascending.
+func (c *Casper) KNearestPublic(uid anonymizer.UserID, k int) ([]rtree.Item, Breakdown, error) {
+	pos, err := c.userPos(uid)
+	if err != nil {
+		return nil, Breakdown{}, err
+	}
+	t0 := time.Now()
+	cr, err := c.anon.Cloak(uid)
+	if err != nil {
+		return nil, Breakdown{}, err
+	}
+	t1 := time.Now()
+	res, err := c.srv.KNNPublic(cr.Region, k, c.cfg.Query)
+	if err != nil {
+		return nil, Breakdown{}, err
+	}
+	t2 := time.Now()
+	bd := Breakdown{
+		Cloak:      t1.Sub(t0),
+		Query:      t2.Sub(t1),
+		Transmit:   c.cfg.Transmission.Time(len(res.Candidates)),
+		Candidates: len(res.Candidates),
+	}
+	return privacyqp.RefineKNN(pos, res.Candidates, k, privacyqp.PublicData), bd, nil
+}
+
+// RangePublic runs a private range query over public data: all public
+// targets within radius of the user, refined exactly client-side.
+func (c *Casper) RangePublic(uid anonymizer.UserID, radius float64) ([]rtree.Item, Breakdown, error) {
+	pos, err := c.userPos(uid)
+	if err != nil {
+		return nil, Breakdown{}, err
+	}
+	t0 := time.Now()
+	cr, err := c.anon.Cloak(uid)
+	if err != nil {
+		return nil, Breakdown{}, err
+	}
+	t1 := time.Now()
+	res, err := c.srv.RangePublic(cr.Region, radius)
+	if err != nil {
+		return nil, Breakdown{}, err
+	}
+	t2 := time.Now()
+	bd := Breakdown{
+		Cloak:      t1.Sub(t0),
+		Query:      t2.Sub(t1),
+		Transmit:   c.cfg.Transmission.Time(len(res.Candidates)),
+		Candidates: len(res.Candidates),
+	}
+	return privacyqp.RefineRange(pos, res.Candidates, radius, privacyqp.PublicData), bd, nil
+}
+
+// CountUsersIn answers a public (administrator) query over private
+// data: how many users are in region r. Public queries bypass the
+// anonymizer (Fig. 1); the server answers from stored cloaks.
+func (c *Casper) CountUsersIn(r geom.Rect, policy privacyqp.CountPolicy) (float64, error) {
+	return c.srv.CountPrivate(r, policy)
+}
+
+// UserDensityGrid returns the n x n expected-count density map of the
+// registered population over the universe, computed from cloaks only
+// (a public query over private data).
+func (c *Casper) UserDensityGrid(n int) ([][]float64, error) {
+	return c.srv.DensityPrivate(c.cfg.Universe, n)
+}
+
+// userPos fetches the exact position known to the anonymizer; it
+// stands in for "the client knows where it is" in this in-process
+// deployment.
+func (c *Casper) userPos(uid anonymizer.UserID) (geom.Point, error) {
+	type positioned interface {
+		Position(anonymizer.UserID) (geom.Point, error)
+	}
+	p, ok := c.anon.(positioned)
+	if !ok {
+		return geom.Point{}, fmt.Errorf("core: anonymizer does not expose positions")
+	}
+	return p.Position(uid)
+}
+
+// Users returns the number of registered users.
+func (c *Casper) Users() int { return c.anon.Users() }

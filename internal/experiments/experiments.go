@@ -1,0 +1,159 @@
+// Package experiments regenerates every figure of the Casper paper's
+// evaluation (Sec. 6) plus the ablations called out in DESIGN.md.
+//
+// Each figure panel is one function returning a Table whose rows are
+// the series the paper plots; cmd/casper-bench prints them, and
+// bench_test.go at the repository root exposes the same kernels as
+// testing.B benchmarks. Absolute numbers differ from the paper's 2006
+// testbed; the reproduction target is the shape of each curve (who
+// wins, by what factor, where the crossovers are), recorded in
+// EXPERIMENTS.md.
+package experiments
+
+import (
+	"encoding/csv"
+	"fmt"
+	"strings"
+	"time"
+)
+
+// Params sizes an experiment run. Default follows Sec. 6 of the
+// paper; Quick is a scaled-down version for CI and tests.
+type Params struct {
+	// UniverseSide is the square universe's side length in meters.
+	UniverseSide float64
+	// Levels is the pyramid height H (9 in the paper).
+	Levels int
+	// Users is the mobile-user population (50K in the paper).
+	Users int
+	// KRange is the default privacy profile k range ([1,50]).
+	KRange [2]int
+	// AminFrac is the default Amin range as a fraction of the universe
+	// area ([0.005%, 0.01%] in the paper).
+	AminFrac [2]float64
+	// Targets is the target-object count (10K in the paper).
+	Targets int
+	// PrivateCells is the private target region size range in
+	// lowest-level cells ([1, 64] in the paper).
+	PrivateCells [2]int
+	// CloakSamples is how many cloaking requests each anonymizer
+	// measurement averages over.
+	CloakSamples int
+	// QuerySamples is how many queries each query-processor
+	// measurement averages over.
+	QuerySamples int
+	// Seed drives all randomness.
+	Seed int64
+}
+
+// Default mirrors the paper's experimental setup.
+func Default() Params {
+	return Params{
+		UniverseSide: 40000,
+		Levels:       9,
+		Users:        50000,
+		KRange:       [2]int{1, 50},
+		AminFrac:     [2]float64{5e-5, 1e-4},
+		Targets:      10000,
+		PrivateCells: [2]int{1, 64},
+		CloakSamples: 2000,
+		QuerySamples: 200,
+		Seed:         1,
+	}
+}
+
+// Quick is a scaled-down configuration that keeps every curve's shape
+// while finishing in seconds; used by tests and the default bench run.
+func Quick() Params {
+	p := Default()
+	p.Users = 6000
+	p.Targets = 3000
+	p.CloakSamples = 400
+	p.QuerySamples = 60
+	return p
+}
+
+// Table is one regenerated figure panel.
+type Table struct {
+	// ID is the experiment identifier from DESIGN.md (e.g. "F10a").
+	ID string
+	// Title describes the panel.
+	Title string
+	// Columns are the column headers; the first is the x-axis.
+	Columns []string
+	// Rows hold formatted cells.
+	Rows [][]string
+}
+
+// AddRow appends one formatted row.
+func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// String renders the table as aligned text.
+func (t Table) String() string {
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n", t.ID, t.Title)
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Columns)
+	for i, w := range widths {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		b.WriteString(strings.Repeat("-", w))
+	}
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// CSV renders the table as RFC-4180 CSV (header row first) for
+// plotting tools.
+func (t Table) CSV() string {
+	var b strings.Builder
+	w := csv.NewWriter(&b)
+	_ = w.Write(t.Columns)
+	for _, row := range t.Rows {
+		_ = w.Write(row)
+	}
+	w.Flush()
+	return b.String()
+}
+
+// f1 formats a float with one decimal.
+func f1(v float64) string { return fmt.Sprintf("%.1f", v) }
+
+// f2 formats a float with two decimals.
+func f2(v float64) string { return fmt.Sprintf("%.2f", v) }
+
+// us formats a duration as microseconds with two decimals.
+func us(d time.Duration) string {
+	return fmt.Sprintf("%.2f", float64(d.Nanoseconds())/1e3)
+}
+
+// avgDuration divides a total by a sample count.
+func avgDuration(total time.Duration, n int) time.Duration {
+	if n == 0 {
+		return 0
+	}
+	return total / time.Duration(n)
+}

@@ -1,0 +1,174 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"casper/internal/anonymizer"
+	"casper/internal/geom"
+	"casper/internal/mobgen"
+	"casper/internal/roadnet"
+	"casper/internal/rtree"
+)
+
+// World precomputes everything the figures share: the synthetic road
+// network, a moving-object trace (initial positions plus one movement
+// step per user), per-user privacy profiles, and target placements.
+// Building the world once and reusing it across figures keeps a full
+// casper-bench run fast and makes all panels draw from the same
+// workload, as in the paper.
+type World struct {
+	P        Params
+	Universe geom.Rect
+	// Initial and Moved are the user positions before and after one
+	// simulated movement interval (60 s of network-constrained travel).
+	Initial []geom.Point
+	Moved   []geom.Point
+	// Profiles are the default per-user privacy profiles (k in KRange,
+	// Amin in AminFrac of the universe area).
+	Profiles []anonymizer.Profile
+	rng      *rand.Rand
+}
+
+// NewWorld builds the shared workload.
+func NewWorld(p Params) *World {
+	universe := geom.R(0, 0, p.UniverseSide, p.UniverseSide)
+	netCfg := roadnet.DefaultHennepinConfig()
+	netCfg.Extent = p.UniverseSide
+	net := roadnet.SyntheticHennepin(p.Seed, netCfg)
+	gen := mobgen.New(net, mobgen.DefaultConfig(p.Users, p.Seed+1))
+
+	w := &World{
+		P:        p,
+		Universe: universe,
+		rng:      rand.New(rand.NewSource(p.Seed + 2)),
+	}
+	// Warm the generator up so objects are spread along road segments
+	// rather than clustered on the junctions they spawned at — the
+	// steady state a Brinkhoff trace reports.
+	for _, u := range gen.Step(180) {
+		w.Initial = append(w.Initial, u.Pos)
+	}
+	for _, u := range gen.Step(60) {
+		w.Moved = append(w.Moved, u.Pos)
+	}
+	w.Profiles = w.MakeProfiles(p.Users, p.KRange, p.AminFrac)
+	return w
+}
+
+// MakeProfiles draws n profiles with k uniform in kRange and Amin
+// uniform in aminFrac of the universe area.
+func (w *World) MakeProfiles(n int, kRange [2]int, aminFrac [2]float64) []anonymizer.Profile {
+	area := w.Universe.Area()
+	out := make([]anonymizer.Profile, n)
+	for i := range out {
+		out[i] = anonymizer.Profile{
+			K:    kRange[0] + w.rng.Intn(kRange[1]-kRange[0]+1),
+			AMin: (aminFrac[0] + w.rng.Float64()*(aminFrac[1]-aminFrac[0])) * area,
+		}
+	}
+	return out
+}
+
+// BuildBasic registers the first n users into a fresh basic
+// anonymizer with the given pyramid height.
+func (w *World) BuildBasic(levels, n int, profiles []anonymizer.Profile) *anonymizer.Basic {
+	a := anonymizer.NewBasic(w.Universe, levels)
+	w.register(a, n, profiles)
+	return a
+}
+
+// BuildAdaptive registers the first n users into a fresh adaptive
+// anonymizer.
+func (w *World) BuildAdaptive(levels, n int, profiles []anonymizer.Profile) *anonymizer.Adaptive {
+	a := anonymizer.NewAdaptive(w.Universe, levels)
+	w.register(a, n, profiles)
+	return a
+}
+
+func (w *World) register(a anonymizer.Anonymizer, n int, profiles []anonymizer.Profile) {
+	if n > len(w.Initial) {
+		panic(fmt.Sprintf("experiments: %d users requested, trace has %d", n, len(w.Initial)))
+	}
+	for i := 0; i < n; i++ {
+		if err := a.Register(anonymizer.UserID(i), w.Initial[i], profiles[i]); err != nil {
+			panic(fmt.Sprintf("experiments: register %d: %v", i, err))
+		}
+	}
+}
+
+// ApplyMovement replays the one-step movement trace for the first n
+// users and returns how many location updates were issued.
+func (w *World) ApplyMovement(a anonymizer.Anonymizer, n int) int {
+	for i := 0; i < n; i++ {
+		if err := a.Update(anonymizer.UserID(i), w.Moved[i]); err != nil {
+			panic(fmt.Sprintf("experiments: update %d: %v", i, err))
+		}
+	}
+	return n
+}
+
+// PublicTree bulk-loads n uniformly placed public point targets.
+func (w *World) PublicTree(n int) *rtree.Tree {
+	pts := mobgen.UniformPoints(w.Universe, n, w.P.Seed+10)
+	items := make([]rtree.Item, n)
+	for i, p := range pts {
+		items[i] = rtree.Item{Rect: geom.Rect{Min: p, Max: p}, ID: int64(i)}
+	}
+	return rtree.BulkLoad(items)
+}
+
+// LeafCellArea is the area of one lowest-level pyramid cell at the
+// world's configured height — the unit the paper sizes private regions
+// and query regions in.
+func (w *World) LeafCellArea() float64 {
+	cells := float64(int64(1) << uint(2*(w.P.Levels-1)))
+	return w.Universe.Area() / cells
+}
+
+// PrivateTree bulk-loads n private targets: cloaked rectangles whose
+// areas span [cellRange[0], cellRange[1]] lowest-level cells.
+func (w *World) PrivateTree(n int, cellRange [2]int) *rtree.Tree {
+	leaf := w.LeafCellArea()
+	rects := mobgen.UniformRects(w.Universe, n,
+		float64(cellRange[0])*leaf, float64(cellRange[1])*leaf, w.P.Seed+11)
+	items := make([]rtree.Item, n)
+	for i, r := range rects {
+		items[i] = rtree.Item{Rect: r, ID: int64(i)}
+	}
+	return rtree.BulkLoad(items)
+}
+
+// SampleCloaks produces n cloaked query regions by running the real
+// anonymizer over random registered users (the paper's query
+// workload). Unsatisfiable cloaks (possible when test profiles exceed
+// the population) fall back to the whole universe.
+func (w *World) SampleCloaks(a anonymizer.Anonymizer, n int) []geom.Rect {
+	out := make([]geom.Rect, 0, n)
+	users := a.Users()
+	for len(out) < n {
+		uid := anonymizer.UserID(w.rng.Intn(users))
+		cr, err := a.Cloak(uid)
+		if err != nil {
+			out = append(out, w.Universe)
+			continue
+		}
+		out = append(out, cr.Region)
+	}
+	return out
+}
+
+// FixedSizeCloaks builds n square cloaked regions of exactly the given
+// number of lowest-level cells, centered at random user positions and
+// clipped to the universe — how Figures 15 and 16 vary region size
+// directly.
+func (w *World) FixedSizeCloaks(n, cells int) []geom.Rect {
+	side := math.Sqrt(float64(cells) * w.LeafCellArea())
+	out := make([]geom.Rect, n)
+	for i := range out {
+		c := w.Initial[w.rng.Intn(len(w.Initial))]
+		out[i] = geom.R(c.X-side/2, c.Y-side/2, c.X+side/2, c.Y+side/2).ClipTo(w.Universe)
+	}
+	return out
+}

@@ -1,0 +1,94 @@
+// Package geo converts between WGS84 geodetic coordinates (latitude,
+// longitude in degrees) and the local planar meter coordinates the
+// rest of Casper computes in.
+//
+// The projection is the local equirectangular (plate carrée)
+// approximation around a reference origin: x = R·Δλ·cos(φ0),
+// y = R·Δφ. Over a county-sized extent (tens of kilometers) the
+// distortion is far below the resolution of any cloaked region, which
+// makes it the right tool for feeding real GPS fixes into the
+// anonymizer; it is not suitable for continental distances.
+package geo
+
+import (
+	"fmt"
+	"math"
+
+	"casper/internal/geom"
+)
+
+// EarthRadiusMeters is the WGS84 mean earth radius.
+const EarthRadiusMeters = 6371008.8
+
+// Projection maps lat/lon to local meters around an origin.
+type Projection struct {
+	// OriginLat, OriginLon anchor the local plane (degrees).
+	OriginLat, OriginLon float64
+	cosLat               float64
+}
+
+// NewProjection builds a projection anchored at the given origin. It
+// returns an error outside the usable latitude band (the cos(φ0)
+// scale factor degenerates toward the poles).
+func NewProjection(originLat, originLon float64) (Projection, error) {
+	if originLat < -85 || originLat > 85 {
+		return Projection{}, fmt.Errorf("geo: origin latitude %v outside [-85, 85]", originLat)
+	}
+	if originLon < -180 || originLon > 180 {
+		return Projection{}, fmt.Errorf("geo: origin longitude %v outside [-180, 180]", originLon)
+	}
+	return Projection{
+		OriginLat: originLat,
+		OriginLon: originLon,
+		cosLat:    math.Cos(originLat * math.Pi / 180),
+	}, nil
+}
+
+// ToLocal converts a geodetic fix to local meters.
+func (p Projection) ToLocal(lat, lon float64) geom.Point {
+	dLat := (lat - p.OriginLat) * math.Pi / 180
+	dLon := (lon - p.OriginLon) * math.Pi / 180
+	return geom.Pt(
+		EarthRadiusMeters*dLon*p.cosLat,
+		EarthRadiusMeters*dLat,
+	)
+}
+
+// ToGeodetic converts local meters back to (lat, lon).
+func (p Projection) ToGeodetic(pt geom.Point) (lat, lon float64) {
+	lat = p.OriginLat + pt.Y/EarthRadiusMeters*180/math.Pi
+	lon = p.OriginLon + pt.X/(EarthRadiusMeters*p.cosLat)*180/math.Pi
+	return lat, lon
+}
+
+// RectToLocal converts a geodetic bounding box (south, west, north,
+// east) to a local rectangle.
+func (p Projection) RectToLocal(south, west, north, east float64) geom.Rect {
+	a := p.ToLocal(south, west)
+	b := p.ToLocal(north, east)
+	return geom.R(a.X, a.Y, b.X, b.Y)
+}
+
+// HaversineMeters returns the great-circle distance between two
+// geodetic fixes — the ground truth the projection approximates.
+func HaversineMeters(lat1, lon1, lat2, lon2 float64) float64 {
+	const d = math.Pi / 180
+	phi1, phi2 := lat1*d, lat2*d
+	dPhi := (lat2 - lat1) * d
+	dLam := (lon2 - lon1) * d
+	a := math.Sin(dPhi/2)*math.Sin(dPhi/2) +
+		math.Cos(phi1)*math.Cos(phi2)*math.Sin(dLam/2)*math.Sin(dLam/2)
+	return 2 * EarthRadiusMeters * math.Asin(math.Min(1, math.Sqrt(a)))
+}
+
+// Hennepin returns the projection anchored at downtown Minneapolis —
+// the county the paper's evaluation map covers — and the local
+// rectangle of the county's approximate bounding box.
+func Hennepin() (Projection, geom.Rect) {
+	p, err := NewProjection(44.9778, -93.2650)
+	if err != nil {
+		panic(err) // constants are in range
+	}
+	// Hennepin County approx: 44.78..45.25 N, -93.77..-93.18 W.
+	return p, p.RectToLocal(44.78, -93.77, 45.25, -93.18)
+}

@@ -1,0 +1,93 @@
+package geo
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestNewProjectionValidation(t *testing.T) {
+	for _, c := range [][2]float64{{90, 0}, {-89, 0}, {0, 200}, {0, -181}} {
+		if _, err := NewProjection(c[0], c[1]); err == nil {
+			t.Errorf("origin %v accepted", c)
+		}
+	}
+	if _, err := NewProjection(44.98, -93.27); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	p, err := NewProjection(44.9778, -93.2650)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 500; i++ {
+		lat := 44.9778 + (rng.Float64()-0.5)*0.5
+		lon := -93.2650 + (rng.Float64()-0.5)*0.5
+		pt := p.ToLocal(lat, lon)
+		lat2, lon2 := p.ToGeodetic(pt)
+		if math.Abs(lat2-lat) > 1e-9 || math.Abs(lon2-lon) > 1e-9 {
+			t.Fatalf("round trip drift: (%v,%v) -> (%v,%v)", lat, lon, lat2, lon2)
+		}
+	}
+}
+
+func TestOriginMapsToZero(t *testing.T) {
+	p, _ := NewProjection(44.9778, -93.2650)
+	pt := p.ToLocal(44.9778, -93.2650)
+	if pt.X != 0 || pt.Y != 0 {
+		t.Fatalf("origin = %v", pt)
+	}
+}
+
+func TestProjectionMatchesHaversineLocally(t *testing.T) {
+	// Over county-scale offsets the planar distance tracks the
+	// great-circle distance to a few tenths of a percent (the E-W
+	// scale varies as cos(lat)/cos(lat0) ≈ 1 ± 0.26% over ±0.15° of
+	// latitude at 45°N) — orders of magnitude below any cloaked
+	// region's resolution.
+	p, _ := NewProjection(44.9778, -93.2650)
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 300; i++ {
+		lat1 := 44.9778 + (rng.Float64()-0.5)*0.3
+		lon1 := -93.2650 + (rng.Float64()-0.5)*0.3
+		lat2 := 44.9778 + (rng.Float64()-0.5)*0.3
+		lon2 := -93.2650 + (rng.Float64()-0.5)*0.3
+		planar := p.ToLocal(lat1, lon1).Dist(p.ToLocal(lat2, lon2))
+		truth := HaversineMeters(lat1, lon1, lat2, lon2)
+		if truth < 100 {
+			continue
+		}
+		if rel := math.Abs(planar-truth) / truth; rel > 5e-3 {
+			t.Fatalf("distortion %.4f%% at %v km", rel*100, truth/1000)
+		}
+	}
+}
+
+func TestHaversineKnownDistance(t *testing.T) {
+	// Minneapolis to Saint Paul city halls: ~13.9 km.
+	d := HaversineMeters(44.9772, -93.2655, 44.9442, -93.0936)
+	if d < 13000 || d > 15000 {
+		t.Fatalf("MSP-STP distance = %v m", d)
+	}
+}
+
+func TestRectToLocalAndHennepin(t *testing.T) {
+	p, box := Hennepin()
+	if !box.IsValid() || box.Area() <= 0 {
+		t.Fatalf("county box = %v", box)
+	}
+	// The county is roughly 46 km wide and 52 km tall.
+	if box.Width() < 40000 || box.Width() > 55000 {
+		t.Fatalf("county width = %v m", box.Width())
+	}
+	if box.Height() < 45000 || box.Height() > 60000 {
+		t.Fatalf("county height = %v m", box.Height())
+	}
+	// Downtown (the origin) is inside the box.
+	if !box.Contains(p.ToLocal(44.9778, -93.2650)) {
+		t.Fatal("origin outside county box")
+	}
+}

@@ -1,0 +1,68 @@
+package geom
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzBisectorIntersection checks the middle-point construction of
+// Algorithm 2 over arbitrary inputs: whatever the segment and filter
+// points, the result must lie on the segment (never NaN, never beyond
+// the endpoints) whenever ok is reported.
+func FuzzBisectorIntersection(f *testing.F) {
+	f.Add(0.0, 0.0, 10.0, 0.0, 3.0, 4.0, 7.0, -4.0)
+	f.Add(1.0, 1.0, 1.0, 1.0, 0.0, 0.0, 2.0, 2.0) // degenerate segment
+	f.Add(0.0, 0.0, 5.0, 5.0, 3.0, 3.0, 3.0, 3.0) // identical filters
+	f.Fuzz(func(t *testing.T, ax, ay, bx, by, fx1, fy1, fx2, fy2 float64) {
+		for _, v := range []float64{ax, ay, bx, by, fx1, fy1, fx2, fy2} {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				t.Skip()
+			}
+		}
+		seg := Segment{A: Pt(ax, ay), B: Pt(bx, by)}
+		m, ok := BisectorIntersection(seg, Pt(fx1, fy1), Pt(fx2, fy2))
+		if !ok {
+			return
+		}
+		if math.IsNaN(m.X) || math.IsNaN(m.Y) {
+			t.Fatalf("NaN middle point for seg=%v", seg)
+		}
+		// m stays on the segment (within fp slack proportional to the
+		// coordinate magnitudes involved).
+		scale := 1.0
+		for _, v := range []float64{ax, ay, bx, by} {
+			if a := math.Abs(v); a > scale {
+				scale = a
+			}
+		}
+		foot := seg.ClosestPointTo(m)
+		if foot.Dist(m) > 1e-6*scale {
+			t.Fatalf("middle point %v off segment %v (dist %v)", m, seg, foot.Dist(m))
+		}
+	})
+}
+
+// FuzzRectOps checks that rectangle algebra never produces invalid
+// rectangles from valid inputs.
+func FuzzRectOps(f *testing.F) {
+	f.Add(0.0, 0.0, 2.0, 2.0, 1.0, 1.0, 3.0, 3.0)
+	f.Fuzz(func(t *testing.T, a0, a1, a2, a3, b0, b1, b2, b3 float64) {
+		for _, v := range []float64{a0, a1, a2, a3, b0, b1, b2, b3} {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				t.Skip()
+			}
+		}
+		a, b := R(a0, a1, a2, a3), R(b0, b1, b2, b3)
+		if u := a.Union(b); !u.IsValid() || !u.ContainsRect(a) || !u.ContainsRect(b) {
+			t.Fatalf("bad union %v of %v, %v", u, a, b)
+		}
+		if in, ok := a.Intersect(b); ok {
+			if !in.IsValid() || !a.ContainsRect(in) || !b.ContainsRect(in) {
+				t.Fatalf("bad intersection %v", in)
+			}
+		}
+		if f := OverlapFraction(a, b); f < 0 || f > 1+1e-9 {
+			t.Fatalf("overlap fraction %v", f)
+		}
+	})
+}

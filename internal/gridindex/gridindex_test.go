@@ -1,0 +1,254 @@
+package gridindex
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"casper/internal/geom"
+	"casper/internal/rtree"
+)
+
+var universe = geom.R(0, 0, 1000, 1000)
+
+func randPointItem(rng *rand.Rand, id int64) rtree.Item {
+	p := geom.Pt(rng.Float64()*1000, rng.Float64()*1000)
+	return rtree.Item{Rect: geom.Rect{Min: p, Max: p}, ID: id}
+}
+
+func randRectItem(rng *rand.Rand, id int64) rtree.Item {
+	x, y := rng.Float64()*950, rng.Float64()*950
+	return rtree.Item{Rect: geom.R(x, y, x+rng.Float64()*50, y+rng.Float64()*50), ID: id}
+}
+
+func TestNewValidation(t *testing.T) {
+	for _, f := range []func(){
+		func() { New(geom.R(0, 0, 0, 1), 4) },
+		func() { New(universe, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestEmptyGrid(t *testing.T) {
+	g := New(universe, 8)
+	if g.Len() != 0 {
+		t.Fatal("Len != 0")
+	}
+	if got := g.Search(universe); len(got) != 0 {
+		t.Fatalf("Search = %v", got)
+	}
+	if _, ok := g.Nearest(geom.Pt(1, 1), rtree.MinDist); ok {
+		t.Fatal("Nearest on empty grid")
+	}
+	if g.Delete(1, geom.R(0, 0, 1, 1)) {
+		t.Fatal("Delete on empty grid succeeded")
+	}
+}
+
+func TestInsertSearchDelete(t *testing.T) {
+	g := New(universe, 16)
+	it := rtree.Item{Rect: geom.R(100, 100, 200, 200), ID: 7, Data: "x"}
+	g.Insert(it)
+	if g.Len() != 1 {
+		t.Fatalf("Len = %d", g.Len())
+	}
+	got := g.Search(geom.R(150, 150, 160, 160))
+	if len(got) != 1 || got[0].ID != 7 || got[0].Data != "x" {
+		t.Fatalf("Search = %v", got)
+	}
+	// A multi-bucket item is reported exactly once even for a window
+	// covering all its buckets.
+	got = g.Search(universe)
+	if len(got) != 1 {
+		t.Fatalf("full-window Search = %d items", len(got))
+	}
+	if !g.Delete(7, it.Rect) {
+		t.Fatal("Delete failed")
+	}
+	if g.Len() != 0 || len(g.Search(universe)) != 0 {
+		t.Fatal("item still present after delete")
+	}
+}
+
+func TestRangeMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	g := New(universe, 20)
+	var items []rtree.Item
+	for i := 0; i < 1200; i++ {
+		it := randRectItem(rng, int64(i))
+		items = append(items, it)
+		g.Insert(it)
+	}
+	for trial := 0; trial < 100; trial++ {
+		q := geom.R(rng.Float64()*1000, rng.Float64()*1000,
+			rng.Float64()*1000, rng.Float64()*1000)
+		want := map[int64]bool{}
+		for _, it := range items {
+			if it.Rect.Intersects(q) {
+				want[it.ID] = true
+			}
+		}
+		got := g.Search(q)
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: got %d, want %d", trial, len(got), len(want))
+		}
+		for _, it := range got {
+			if !want[it.ID] {
+				t.Fatalf("trial %d: unexpected %d", trial, it.ID)
+			}
+		}
+	}
+}
+
+func TestNearestKMatchesBruteForce(t *testing.T) {
+	for _, metric := range []rtree.Metric{rtree.MinDist, rtree.MaxDist} {
+		rng := rand.New(rand.NewSource(2))
+		g := New(universe, 16)
+		var items []rtree.Item
+		for i := 0; i < 900; i++ {
+			it := randRectItem(rng, int64(i))
+			items = append(items, it)
+			g.Insert(it)
+		}
+		for trial := 0; trial < 60; trial++ {
+			q := geom.Pt(rng.Float64()*1200-100, rng.Float64()*1200-100)
+			k := 1 + rng.Intn(10)
+			got := g.NearestK(q, k, metric)
+			want := make([]float64, 0, len(items))
+			for _, it := range items {
+				want = append(want, metric.DistTo(q, it.Rect))
+			}
+			sort.Float64s(want)
+			if len(got) != k {
+				t.Fatalf("metric %v trial %d: %d results", metric, trial, len(got))
+			}
+			for i := 0; i < k; i++ {
+				if math.Abs(got[i].Dist-want[i]) > 1e-9 {
+					t.Fatalf("metric %v trial %d rank %d: %v, want %v",
+						metric, trial, i, got[i].Dist, want[i])
+				}
+			}
+		}
+	}
+}
+
+func TestNearestKEdgeCases(t *testing.T) {
+	g := New(universe, 8)
+	g.Insert(rtree.Item{Rect: geom.R(5, 5, 5, 5), ID: 1})
+	if got := g.NearestK(geom.Pt(0, 0), 0, rtree.MinDist); got != nil {
+		t.Fatal("k=0 returned results")
+	}
+	if got := g.NearestK(geom.Pt(0, 0), 10, rtree.MinDist); len(got) != 1 {
+		t.Fatalf("k>size returned %d", len(got))
+	}
+	// Query far outside the universe still works (clamped buckets).
+	nb, ok := g.Nearest(geom.Pt(-5000, 9000), rtree.MinDist)
+	if !ok || nb.Item.ID != 1 {
+		t.Fatalf("out-of-universe Nearest = %+v, %v", nb, ok)
+	}
+}
+
+func TestDuplicateItems(t *testing.T) {
+	g := New(universe, 8)
+	r := geom.R(10, 10, 300, 300) // spans many buckets
+	g.Insert(rtree.Item{Rect: r, ID: 1})
+	g.Insert(rtree.Item{Rect: r, ID: 1})
+	if g.Len() != 2 {
+		t.Fatalf("Len = %d", g.Len())
+	}
+	if got := g.Search(universe); len(got) != 2 {
+		t.Fatalf("Search = %d", len(got))
+	}
+	got := g.NearestK(geom.Pt(0, 0), 5, rtree.MinDist)
+	if len(got) != 2 {
+		t.Fatalf("NearestK = %d results", len(got))
+	}
+	if !g.Delete(1, r) || g.Len() != 1 {
+		t.Fatal("Delete one copy failed")
+	}
+}
+
+func TestAllEnumeratesOnce(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	g := New(universe, 10)
+	for i := 0; i < 500; i++ {
+		g.Insert(randRectItem(rng, int64(i)))
+	}
+	all := g.All()
+	if len(all) != 500 {
+		t.Fatalf("All = %d", len(all))
+	}
+	seen := map[int64]bool{}
+	for _, it := range all {
+		if seen[it.ID] {
+			t.Fatalf("duplicate %d in All", it.ID)
+		}
+		seen[it.ID] = true
+	}
+}
+
+func TestChurn(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	g := New(universe, 12)
+	live := map[int64]rtree.Item{}
+	next := int64(0)
+	for round := 0; round < 4000; round++ {
+		if len(live) == 0 || rng.Float64() < 0.6 {
+			it := randRectItem(rng, next)
+			next++
+			live[it.ID] = it
+			g.Insert(it)
+		} else {
+			for id, it := range live {
+				if !g.Delete(id, it.Rect) {
+					t.Fatalf("delete %d failed", id)
+				}
+				delete(live, id)
+				break
+			}
+		}
+	}
+	if g.Len() != len(live) {
+		t.Fatalf("Len %d != live %d", g.Len(), len(live))
+	}
+	if got := len(g.Search(universe.Expand(100))); got != len(live) {
+		t.Fatalf("Search %d != live %d", got, len(live))
+	}
+}
+
+func BenchmarkGridSearch(b *testing.B) {
+	rng := rand.New(rand.NewSource(5))
+	g := New(universe, 32)
+	for i := 0; i < 10000; i++ {
+		g.Insert(randPointItem(rng, int64(i)))
+	}
+	q := geom.R(200, 200, 320, 320)
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		n := 0
+		g.SearchFunc(q, func(rtree.Item) bool { n++; return true })
+	}
+}
+
+func BenchmarkGridNearestK(b *testing.B) {
+	rng := rand.New(rand.NewSource(6))
+	g := New(universe, 32)
+	for i := 0; i < 10000; i++ {
+		g.Insert(randPointItem(rng, int64(i)))
+	}
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		g.NearestK(geom.Pt(500, 500), 4, rtree.MinDist)
+	}
+}

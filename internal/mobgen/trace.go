@@ -1,0 +1,129 @@
+package mobgen
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// This file persists generated workloads so experiments can be
+// re-run bit-for-bit from a file, or fed to other tools — the role
+// Brinkhoff's generator plays when its output is saved to disk.
+//
+// The trace format is line-oriented text, one event per line:
+//
+//	# comment
+//	S <step> <dt-seconds>
+//	U <id> <x> <y>        (position report within the current step)
+//	D <id>                (object departed)
+//	A <id> <x> <y>        (object arrived)
+//
+// Step 0 holds the initial placements as U lines.
+
+// TraceEvent is one parsed trace line.
+type TraceEvent struct {
+	// Step is the simulation step the event belongs to (0 = initial).
+	Step int
+	// Kind is 'U' (position), 'D' (departure) or 'A' (arrival).
+	Kind byte
+	// ID is the object.
+	ID int64
+	// X, Y hold the position for U and A events.
+	X, Y float64
+}
+
+// WriteTrace simulates steps ticks of dt seconds with the given
+// departure fraction per tick and writes the trace to w. The generator
+// is advanced in place.
+func WriteTrace(w io.Writer, gen *Generator, steps int, dt, departFrac float64) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "# casper moving-object trace: %d objects, %d steps of %gs, churn %g\n",
+		gen.NumObjects(), steps, dt, departFrac)
+	fmt.Fprintf(bw, "S 0 0\n")
+	for _, u := range gen.Positions() {
+		fmt.Fprintf(bw, "U %d %.3f %.3f\n", u.ID, u.Pos.X, u.Pos.Y)
+	}
+	for s := 1; s <= steps; s++ {
+		fmt.Fprintf(bw, "S %d %g\n", s, dt)
+		res := gen.StepChurn(dt, departFrac)
+		for _, id := range res.Departed {
+			fmt.Fprintf(bw, "D %d\n", id)
+		}
+		for _, a := range res.Arrived {
+			fmt.Fprintf(bw, "A %d %.3f %.3f\n", a.ID, a.Pos.X, a.Pos.Y)
+		}
+		arrived := make(map[int64]bool, len(res.Arrived))
+		for _, a := range res.Arrived {
+			arrived[a.ID] = true
+		}
+		for _, u := range res.Updates {
+			if !arrived[u.ID] {
+				fmt.Fprintf(bw, "U %d %.3f %.3f\n", u.ID, u.Pos.X, u.Pos.Y)
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadTrace parses a trace and streams its events to fn in order;
+// returning an error from fn aborts the read.
+func ReadTrace(r io.Reader, fn func(TraceEvent) error) error {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64*1024), 1<<20)
+	step := 0
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		bad := func(why string) error {
+			return fmt.Errorf("mobgen: trace line %d: %s: %q", lineNo, why, line)
+		}
+		switch fields[0] {
+		case "S":
+			if len(fields) != 3 {
+				return bad("malformed step header")
+			}
+			s, err := strconv.Atoi(fields[1])
+			if err != nil || s < 0 {
+				return bad("bad step number")
+			}
+			step = s
+		case "U", "A":
+			if len(fields) != 4 {
+				return bad("malformed position event")
+			}
+			id, err := strconv.ParseInt(fields[1], 10, 64)
+			if err != nil {
+				return bad("bad id")
+			}
+			x, errX := strconv.ParseFloat(fields[2], 64)
+			y, errY := strconv.ParseFloat(fields[3], 64)
+			if errX != nil || errY != nil {
+				return bad("bad coordinates")
+			}
+			if err := fn(TraceEvent{Step: step, Kind: fields[0][0], ID: id, X: x, Y: y}); err != nil {
+				return err
+			}
+		case "D":
+			if len(fields) != 2 {
+				return bad("malformed departure event")
+			}
+			id, err := strconv.ParseInt(fields[1], 10, 64)
+			if err != nil {
+				return bad("bad id")
+			}
+			if err := fn(TraceEvent{Step: step, Kind: 'D', ID: id}); err != nil {
+				return err
+			}
+		default:
+			return bad("unknown event kind")
+		}
+	}
+	return sc.Err()
+}

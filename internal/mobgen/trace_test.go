@@ -1,0 +1,107 @@
+package mobgen
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestTraceRoundTrip(t *testing.T) {
+	g := testNet(t)
+	gen := New(g, DefaultConfig(50, 31))
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, gen, 10, 5, 0.05); err != nil {
+		t.Fatal(err)
+	}
+	live := map[int64]bool{}
+	positions := map[int64][2]float64{}
+	steps := map[int]bool{}
+	if err := ReadTrace(&buf, func(e TraceEvent) error {
+		steps[e.Step] = true
+		switch e.Kind {
+		case 'U':
+			if e.Step == 0 {
+				live[e.ID] = true
+			} else if !live[e.ID] {
+				t.Fatalf("step %d: update for unknown object %d", e.Step, e.ID)
+			}
+			positions[e.ID] = [2]float64{e.X, e.Y}
+		case 'A':
+			if live[e.ID] {
+				t.Fatalf("step %d: arrival of live object %d", e.Step, e.ID)
+			}
+			live[e.ID] = true
+			positions[e.ID] = [2]float64{e.X, e.Y}
+		case 'D':
+			if !live[e.ID] {
+				t.Fatalf("step %d: departure of unknown object %d", e.Step, e.ID)
+			}
+			delete(live, e.ID)
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(live) != 50 {
+		t.Fatalf("final population = %d", len(live))
+	}
+	for s := 0; s <= 10; s++ {
+		if !steps[s] {
+			t.Fatalf("step %d missing from trace", s)
+		}
+	}
+	b := g.Bounds()
+	for id, p := range positions {
+		if p[0] < b.Min.X-1 || p[0] > b.Max.X+1 || p[1] < b.Min.Y-1 || p[1] > b.Max.Y+1 {
+			t.Fatalf("object %d out of bounds: %v", id, p)
+		}
+	}
+}
+
+func TestReadTraceMalformed(t *testing.T) {
+	cases := []string{
+		"S x 0\n",
+		"U 1\n",
+		"U a 1 2\n",
+		"U 1 x 2\n",
+		"D\n",
+		"D z\n",
+		"Q 1 2 3\n",
+		"S -1 0\n",
+	}
+	for _, c := range cases {
+		if err := ReadTrace(strings.NewReader(c), func(TraceEvent) error { return nil }); err == nil {
+			t.Errorf("accepted %q", c)
+		}
+	}
+	// Comments and blank lines are fine.
+	ok := "# hello\n\nS 0 0\nU 1 2.5 3.5\n"
+	n := 0
+	if err := ReadTrace(strings.NewReader(ok), func(TraceEvent) error { n++; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Fatalf("events = %d", n)
+	}
+}
+
+func TestReadTraceCallbackError(t *testing.T) {
+	trace := "S 0 0\nU 1 1 1\nU 2 2 2\n"
+	calls := 0
+	err := ReadTrace(strings.NewReader(trace), func(TraceEvent) error {
+		calls++
+		if calls == 1 {
+			return errStop
+		}
+		return nil
+	})
+	if err != errStop || calls != 1 {
+		t.Fatalf("err=%v calls=%d", err, calls)
+	}
+}
+
+var errStop = &traceErr{}
+
+type traceErr struct{}
+
+func (*traceErr) Error() string { return "stop" }

@@ -1,0 +1,261 @@
+package privacy
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"casper/internal/anonymizer"
+	"casper/internal/baselines"
+	"casper/internal/geom"
+)
+
+var universe = geom.R(0, 0, 4096, 4096)
+
+func TestExpectedCenterDistance(t *testing.T) {
+	// Unit square: E ≈ 0.3826 (known constant (sqrt2 + asinh(1))/6).
+	want := (math.Sqrt2 + math.Asinh(1)) / 6
+	got := ExpectedCenterDistance(geom.R(0, 0, 1, 1))
+	if math.Abs(got-want) > 1e-3 {
+		t.Fatalf("unit square E = %v, want %v", got, want)
+	}
+	// Scales linearly.
+	if g10 := ExpectedCenterDistance(geom.R(0, 0, 10, 10)); math.Abs(g10-10*got) > 1e-6 {
+		t.Fatalf("scaling broken: %v vs %v", g10, 10*got)
+	}
+	// Degenerates.
+	if d := ExpectedCenterDistance(geom.R(5, 5, 5, 5)); d != 0 {
+		t.Fatalf("point = %v", d)
+	}
+	if d := ExpectedCenterDistance(geom.R(0, 0, 8, 0)); d != 2 {
+		t.Fatalf("segment = %v (want side/4)", d)
+	}
+}
+
+func TestAnalyzeGuessUniformIsNeutral(t *testing.T) {
+	// Users genuinely uniform in their regions: normalized error ~ 1.
+	rng := rand.New(rand.NewSource(1))
+	var cloaks []geom.Rect
+	var truths []geom.Point
+	for i := 0; i < 4000; i++ {
+		x, y := rng.Float64()*3000, rng.Float64()*3000
+		r := geom.R(x, y, x+200+rng.Float64()*400, y+200+rng.Float64()*400)
+		cloaks = append(cloaks, r)
+		truths = append(truths, geom.Pt(
+			r.Min.X+rng.Float64()*r.Width(),
+			r.Min.Y+rng.Float64()*r.Height(),
+		))
+	}
+	rep, err := AnalyzeGuess(cloaks, truths, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.NormalizedError < 0.97 || rep.NormalizedError > 1.03 {
+		t.Fatalf("normalized error = %v, want ~1", rep.NormalizedError)
+	}
+	if rep.Pinpointed > 2 {
+		t.Fatalf("pinpointed %d of %d uniform users", rep.Pinpointed, rep.Pairs)
+	}
+}
+
+func TestAnalyzeGuessDetectsCenteredCloaks(t *testing.T) {
+	// The broken scheme: regions centered on the user. The adversary's
+	// center guess is exact; normalized error collapses to ~0.
+	rng := rand.New(rand.NewSource(2))
+	var cloaks []geom.Rect
+	var truths []geom.Point
+	for i := 0; i < 500; i++ {
+		p := geom.Pt(rng.Float64()*3000, rng.Float64()*3000)
+		cloaks = append(cloaks, geom.R(p.X-150, p.Y-150, p.X+150, p.Y+150))
+		truths = append(truths, p)
+	}
+	rep, err := AnalyzeGuess(cloaks, truths, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.NormalizedError > 0.01 {
+		t.Fatalf("centered cloaks not detected: normalized = %v", rep.NormalizedError)
+	}
+	if rep.Pinpointed != 500 {
+		t.Fatalf("pinpointed = %d", rep.Pinpointed)
+	}
+}
+
+func TestAnalyzeGuessValidation(t *testing.T) {
+	if _, err := AnalyzeGuess(nil, nil, 1); err == nil {
+		t.Fatal("empty input accepted")
+	}
+	if _, err := AnalyzeGuess(make([]geom.Rect, 2), make([]geom.Point, 1), 1); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+}
+
+func TestCasperCloaksPassGuessAudit(t *testing.T) {
+	// End-to-end: real anonymizer cloaks over a real population score
+	// ~1.0 normalized (grid regions are data-independent).
+	rng := rand.New(rand.NewSource(3))
+	anon := anonymizer.NewBasic(universe, 7)
+	var positions []geom.Point
+	for i := 0; i < 3000; i++ {
+		p := geom.Pt(rng.Float64()*4096, rng.Float64()*4096)
+		positions = append(positions, p)
+		if err := anon.Register(anonymizer.UserID(i), p, anonymizer.Profile{K: 1 + rng.Intn(20)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var cloaks []geom.Rect
+	var truths []geom.Point
+	for i := 0; i < 3000; i++ {
+		cr, err := anon.Cloak(anonymizer.UserID(i))
+		if err != nil {
+			continue
+		}
+		cloaks = append(cloaks, cr.Region)
+		truths = append(truths, positions[i])
+	}
+	rep, err := AnalyzeGuess(cloaks, truths, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Grid regions are data-independent, but the road-free uniform
+	// population still concentrates users arbitrarily; accept a wide
+	// neutral band around 1.
+	if rep.NormalizedError < 0.9 || rep.NormalizedError > 1.1 {
+		t.Fatalf("casper cloaks: normalized error = %v", rep.NormalizedError)
+	}
+}
+
+func TestAuditKAnonymity(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	anon := anonymizer.NewBasic(universe, 7)
+	var positions []geom.Point
+	const users = 2000
+	for i := 0; i < users; i++ {
+		p := geom.Pt(rng.Float64()*4096, rng.Float64()*4096)
+		positions = append(positions, p)
+		if err := anon.Register(anonymizer.UserID(i), p, anonymizer.Profile{K: 10}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var cloaks []geom.Rect
+	for i := 0; i < 300; i++ {
+		cr, err := anon.Cloak(anonymizer.UserID(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		cloaks = append(cloaks, cr.Region)
+	}
+	audit := AuditKAnonymity(cloaks, positions, 10)
+	if audit.Violations != 0 {
+		t.Fatalf("audit violations = %d (worst k = %d)", audit.Violations, audit.WorstK)
+	}
+	if audit.Satisfied != 300 {
+		t.Fatalf("satisfied = %d", audit.Satisfied)
+	}
+	if audit.WorstK < 10 {
+		t.Fatalf("worst k = %d", audit.WorstK)
+	}
+	// A deliberately tiny region fails the audit.
+	bad := append([]geom.Rect{}, geom.R(0, 0, 1, 1))
+	a2 := AuditKAnonymity(bad, positions, 10)
+	if a2.Violations != 1 {
+		t.Fatalf("tiny region not flagged: %+v", a2)
+	}
+	// Empty input.
+	if a := AuditKAnonymity(nil, positions, 5); a.WorstK != 0 || a.Satisfied != 0 {
+		t.Fatalf("empty audit = %+v", a)
+	}
+}
+
+func TestOverlapAttackOnGridCloaks(t *testing.T) {
+	// A user moving slowly inside one grid cell publishes the same
+	// region every time: the attack learns nothing.
+	rng := rand.New(rand.NewSource(5))
+	anon := anonymizer.NewBasic(universe, 6)
+	for i := 0; i < 500; i++ {
+		if err := anon.Register(anonymizer.UserID(i),
+			geom.Pt(rng.Float64()*4096, rng.Float64()*4096),
+			anonymizer.Profile{K: 5}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var seq []geom.Rect
+	pos := geom.Pt(1000, 1000)
+	for step := 0; step < 20; step++ {
+		pos = geom.Pt(pos.X+rng.Float64()*4-2, pos.Y+rng.Float64()*4-2) // tiny jitter
+		if err := anon.Update(0, pos); err != nil {
+			t.Fatal(err)
+		}
+		cr, err := anon.Cloak(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seq = append(seq, cr.Region)
+	}
+	res := RunOverlapAttack(seq)
+	if res.SurvivingFraction < 0.999 {
+		t.Fatalf("grid cloaks leaked under overlap attack: surviving %v", res.SurvivingFraction)
+	}
+}
+
+func TestOverlapAttackPinsCenteredCloaks(t *testing.T) {
+	// The broken scheme again: fresh user-centered regions each update.
+	// Intersecting a handful pins the victim to a sliver.
+	rng := rand.New(rand.NewSource(6))
+	user := geom.Pt(2000, 2000)
+	var seq []geom.Rect
+	for step := 0; step < 20; step++ {
+		// Region of fixed size, randomly offset but containing the user.
+		ox := (rng.Float64() - 0.5) * 300
+		oy := (rng.Float64() - 0.5) * 300
+		c := geom.Pt(user.X+ox, user.Y+oy)
+		seq = append(seq, geom.R(c.X-200, c.Y-200, c.X+200, c.Y+200))
+	}
+	res := RunOverlapAttack(seq)
+	if res.SurvivingFraction > 0.5 {
+		t.Fatalf("centered cloaks survived overlap attack: %v", res.SurvivingFraction)
+	}
+}
+
+func TestOverlapAttackResets(t *testing.T) {
+	seq := []geom.Rect{
+		geom.R(0, 0, 10, 10),
+		geom.R(100, 100, 110, 110), // disjoint: reset
+		geom.R(100, 100, 110, 110),
+	}
+	res := RunOverlapAttack(seq)
+	if res.Resets != 1 {
+		t.Fatalf("resets = %d", res.Resets)
+	}
+	if res.SurvivingFraction != 1 {
+		t.Fatalf("surviving = %v", res.SurvivingFraction)
+	}
+	if r := RunOverlapAttack(nil); r.SurvivingFraction != 1 {
+		t.Fatalf("empty sequence = %+v", r)
+	}
+}
+
+func TestMBRCloaksFailGuessAudit(t *testing.T) {
+	// CliqueCloak MBRs put members on the boundary; for the member
+	// nearest the MBR center the guess error underperforms uniform...
+	// more directly: members ON the boundary have min-distance 0 to
+	// the boundary, so BoundaryLeak > 0 while Casper regions show 0.
+	rng := rand.New(rand.NewSource(7))
+	clique := baselines.NewCliqueCloak(2000)
+	pts := make([]geom.Point, 8)
+	for i := range pts {
+		pts[i] = geom.Pt(1000+rng.Float64()*500, 1000+rng.Float64()*500)
+		clique.Submit(baselines.Request{UID: int64(i), Pos: pts[i], K: 8})
+	}
+	mbr, members, err := clique.Cloak(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	memberPts := make([]geom.Point, len(members))
+	for i, m := range members {
+		memberPts[i] = pts[m]
+	}
+	if leak := baselines.BoundaryLeak(mbr, memberPts); leak < 2 {
+		t.Fatalf("MBR leak = %d", leak)
+	}
+}

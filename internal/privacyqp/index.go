@@ -1,0 +1,34 @@
+package privacyqp
+
+import (
+	"casper/internal/geom"
+	"casper/internal/rtree"
+)
+
+// SpatialIndex is the spatial-access-method contract the privacy-aware
+// query processor needs: one nearest-neighbor primitive for the filter
+// step and one range primitive for the candidate-list step. The paper
+// is explicit that Casper is independent of the underlying index
+// ("it can be employed using R-tree or any other methods", Sec. 5.1.1);
+// this interface is that independence made concrete. *rtree.Tree and
+// *gridindex.Grid both satisfy it, and the equivalence is
+// property-tested in index_test.go.
+type SpatialIndex interface {
+	// Len returns the number of stored objects.
+	Len() int
+	// Nearest returns the nearest item to q under the metric; ok is
+	// false when the index is empty.
+	Nearest(q geom.Point, m rtree.Metric) (rtree.Neighbor, bool)
+	// NearestK returns the k nearest items in ascending distance
+	// order (fewer if the index holds fewer).
+	NearestK(q geom.Point, k int, m rtree.Metric) []rtree.Neighbor
+	// Search returns all items whose rectangles intersect r.
+	Search(r geom.Rect) []rtree.Item
+	// SearchFunc streams items intersecting r; returning false stops.
+	SearchFunc(r geom.Rect, fn func(rtree.Item) bool)
+	// All returns every stored item in unspecified order.
+	All() []rtree.Item
+}
+
+// Compile-time check that the R-tree satisfies the contract.
+var _ SpatialIndex = (*rtree.Tree)(nil)

@@ -1,0 +1,205 @@
+package protocol
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+)
+
+// Client is a mobile-user (or administrator) connection to a Casper
+// protocol server. It is safe for concurrent use; requests are
+// serialized over the single connection.
+type Client struct {
+	mu   sync.Mutex
+	conn net.Conn
+	enc  *json.Encoder
+	dec  *json.Decoder
+}
+
+// Dial connects to a Casper protocol server.
+func Dial(addr string) (*Client, error) {
+	return DialTimeout(addr, 5*time.Second)
+}
+
+// DialTimeout connects with an explicit timeout.
+func DialTimeout(addr string, timeout time.Duration) (*Client, error) {
+	conn, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, fmt.Errorf("protocol: dial %s: %w", addr, err)
+	}
+	return &Client{
+		conn: conn,
+		enc:  json.NewEncoder(conn),
+		dec:  json.NewDecoder(conn),
+	}, nil
+}
+
+// Close closes the connection.
+func (c *Client) Close() error { return c.conn.Close() }
+
+// roundTrip sends one request and reads one response.
+func (c *Client) roundTrip(req Request) (Response, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := c.enc.Encode(req); err != nil {
+		return Response{}, fmt.Errorf("protocol: send: %w", err)
+	}
+	var resp Response
+	if err := c.dec.Decode(&resp); err != nil {
+		return Response{}, fmt.Errorf("protocol: recv: %w", err)
+	}
+	return resp, nil
+}
+
+// call is roundTrip plus application-level error unwrapping.
+func (c *Client) call(req Request) (Response, error) {
+	resp, err := c.roundTrip(req)
+	if err != nil {
+		return resp, err
+	}
+	if !resp.OK {
+		return resp, fmt.Errorf("protocol: %s: %s", req.Op, resp.Error)
+	}
+	return resp, nil
+}
+
+// Register registers a mobile user with an exact position and privacy
+// profile (k, Amin). Only the anonymizer endpoint ever sees x, y.
+func (c *Client) Register(uid int64, x, y float64, k int, amin float64) error {
+	_, err := c.call(Request{Op: OpRegister, UserID: uid, X: x, Y: y, K: k, AMin: amin})
+	return err
+}
+
+// Update sends a location update.
+func (c *Client) Update(uid int64, x, y float64) error {
+	_, err := c.call(Request{Op: OpUpdate, UserID: uid, X: x, Y: y})
+	return err
+}
+
+// BatchUpdate sends many location updates in one frame and returns
+// how many were applied; on error, updates before the failing one have
+// already been applied.
+func (c *Client) BatchUpdate(updates []BatchUpdate) (int, error) {
+	resp, err := c.call(Request{Op: OpBatchUpdate, Batch: updates})
+	if err != nil {
+		return int(resp.Count), err
+	}
+	return int(resp.Count), nil
+}
+
+// Deregister removes the user.
+func (c *Client) Deregister(uid int64) error {
+	_, err := c.call(Request{Op: OpDeregister, UserID: uid})
+	return err
+}
+
+// SetProfile changes the user's privacy profile.
+func (c *Client) SetProfile(uid int64, k int, amin float64) error {
+	_, err := c.call(Request{Op: OpSetProfile, UserID: uid, K: k, AMin: amin})
+	return err
+}
+
+// NNResult is a nearest-neighbor answer as seen by the client.
+type NNResult struct {
+	Exact      Object
+	Candidates []Object
+	Cost       Cost
+}
+
+// NearestPublic asks "what is my nearest public object?".
+func (c *Client) NearestPublic(uid int64) (NNResult, error) {
+	resp, err := c.call(Request{Op: OpNearestPublic, UserID: uid})
+	return nnResult(resp, err)
+}
+
+// NearestBuddy asks "where is my nearest (cloaked) buddy?".
+func (c *Client) NearestBuddy(uid int64) (NNResult, error) {
+	resp, err := c.call(Request{Op: OpNearestBuddy, UserID: uid})
+	return nnResult(resp, err)
+}
+
+func nnResult(resp Response, err error) (NNResult, error) {
+	if err != nil {
+		return NNResult{}, err
+	}
+	out := NNResult{Candidates: resp.Candidates}
+	if resp.Exact != nil {
+		out.Exact = *resp.Exact
+	}
+	if resp.Cost != nil {
+		out.Cost = *resp.Cost
+	}
+	return out, nil
+}
+
+// KNearestPublic asks for the user's k nearest public objects,
+// refined exactly and returned in ascending distance order.
+func (c *Client) KNearestPublic(uid int64, k int) ([]Object, Cost, error) {
+	resp, err := c.call(Request{Op: OpKNearestPublic, UserID: uid, NN: k})
+	if err != nil {
+		return nil, Cost{}, err
+	}
+	var cost Cost
+	if resp.Cost != nil {
+		cost = *resp.Cost
+	}
+	return resp.Candidates, cost, nil
+}
+
+// RangePublic asks for all public objects within radius of the user.
+func (c *Client) RangePublic(uid int64, radius float64) ([]Object, Cost, error) {
+	resp, err := c.call(Request{Op: OpRangePublic, UserID: uid, Radius: radius})
+	if err != nil {
+		return nil, Cost{}, err
+	}
+	var cost Cost
+	if resp.Cost != nil {
+		cost = *resp.Cost
+	}
+	return resp.Candidates, cost, nil
+}
+
+// CountUsers is the administrator query: how many users in the region,
+// under policy "any-overlap", "center-in" or "fractional" ("" means
+// any-overlap).
+func (c *Client) CountUsers(r Rect, policy string) (float64, error) {
+	resp, err := c.call(Request{Op: OpCountUsers, Rect: &r, Policy: policy})
+	if err != nil {
+		return 0, err
+	}
+	return resp.Count, nil
+}
+
+// AddPublic registers a public object (no anonymity).
+func (c *Client) AddPublic(id int64, x, y float64, name string) error {
+	_, err := c.call(Request{Op: OpAddPublic, PubID: id, X: x, Y: y, Name: name})
+	return err
+}
+
+// Density fetches the administrator's n x n expected-count density
+// map of the registered population ([0] is the bottom row; n=0 means
+// the server default of 16).
+func (c *Client) Density(n int) ([][]float64, error) {
+	resp, err := c.call(Request{Op: OpDensity, NN: n})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Density, nil
+}
+
+// Stats fetches deployment statistics.
+func (c *Client) Stats() (Stats, error) {
+	resp, err := c.call(Request{Op: OpStats})
+	if err != nil {
+		return Stats{}, err
+	}
+	if resp.Stats == nil {
+		return Stats{}, fmt.Errorf("protocol: stats response missing payload")
+	}
+	return *resp.Stats, nil
+}
+
+// Raw sends an arbitrary request (testing and debugging).
+func (c *Client) Raw(req Request) (Response, error) { return c.roundTrip(req) }

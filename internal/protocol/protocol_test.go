@@ -1,0 +1,455 @@
+package protocol
+
+import (
+	"bufio"
+	"fmt"
+	"math/rand"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"casper/internal/core"
+	"casper/internal/geom"
+	"casper/internal/server"
+)
+
+// startServer spins up a protocol server over a small Casper world and
+// returns its address plus a cleanup-registered close.
+func startServer(t *testing.T) string {
+	t.Helper()
+	cfg := core.DefaultConfig()
+	cfg.Universe = geom.R(0, 0, 4096, 4096)
+	cfg.PyramidLevels = 7
+	c := core.New(cfg)
+	// Preload public objects.
+	rng := rand.New(rand.NewSource(1))
+	objs := make([]server.PublicObject, 200)
+	for i := range objs {
+		objs[i] = server.PublicObject{
+			ID:   int64(i),
+			Pos:  geom.Pt(rng.Float64()*4096, rng.Float64()*4096),
+			Name: fmt.Sprintf("poi-%d", i),
+		}
+	}
+	c.LoadPublicObjects(objs)
+
+	srv := NewServer(c)
+	srv.SetLogf(func(string, ...any) {}) // silence accept-loop noise
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	return addr.String()
+}
+
+func TestRectRoundTrip(t *testing.T) {
+	g := geom.R(1, 2, 3, 4)
+	if got := FromGeom(g).ToGeom(); got != g {
+		t.Fatalf("round trip = %v", got)
+	}
+}
+
+func TestRegisterQueryFlow(t *testing.T) {
+	addr := startServer(t)
+	cl, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	if err := cl.Register(1, 100, 100, 1, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Register(2, 120, 110, 2, 0); err != nil {
+		t.Fatal(err)
+	}
+	res, err := cl.NearestPublic(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Candidates) == 0 {
+		t.Fatal("no candidates")
+	}
+	if res.Exact.Name == "" || !strings.HasPrefix(res.Exact.Name, "poi-") {
+		t.Fatalf("exact answer lacks payload: %+v", res.Exact)
+	}
+	if res.Cost.Candidates != len(res.Candidates) {
+		t.Fatal("cost mismatch")
+	}
+
+	// Buddy query: user 1's nearest buddy is user 2's cloak.
+	buddy, err := cl.NearestBuddy(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(buddy.Candidates) == 0 {
+		t.Fatal("no buddy candidates")
+	}
+
+	// Range query.
+	items, _, err := cl.RangePublic(1, 800)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, it := range items {
+		p := geom.Pt(it.Rect.MinX, it.Rect.MinY)
+		if p.Dist(geom.Pt(100, 100)) > 800+1e-6 {
+			t.Fatalf("range answer %v too far", p)
+		}
+	}
+
+	// Admin count.
+	n, err := cl.CountUsers(Rect{MinX: 0, MinY: 0, MaxX: 4096, MaxY: 4096}, "any-overlap")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 {
+		t.Fatalf("CountUsers = %v", n)
+	}
+
+	// Stats.
+	st, err := cl.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Users != 2 || st.PublicObjs != 200 || st.Queries < 2 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestUpdateMovesUser(t *testing.T) {
+	addr := startServer(t)
+	cl, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	if err := cl.Register(1, 10, 10, 1, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Update(1, 4000, 4000); err != nil {
+		t.Fatal(err)
+	}
+	n, err := cl.CountUsers(Rect{MinX: 3500, MinY: 3500, MaxX: 4096, MaxY: 4096}, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Fatalf("user did not move: count = %v", n)
+	}
+	if err := cl.Deregister(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Update(1, 1, 1); err == nil {
+		t.Fatal("update after deregister should fail")
+	}
+}
+
+func TestSetProfileOverWire(t *testing.T) {
+	addr := startServer(t)
+	cl, _ := Dial(addr)
+	defer cl.Close()
+	for i := int64(0); i < 30; i++ {
+		if err := cl.Register(i, float64(i*50), float64(i*37), 1, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := cl.SetProfile(0, 20, 0); err != nil {
+		t.Fatal(err)
+	}
+	res, err := cl.NearestPublic(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Candidates) == 0 {
+		t.Fatal("no candidates after profile change")
+	}
+}
+
+func TestApplicationErrors(t *testing.T) {
+	addr := startServer(t)
+	cl, _ := Dial(addr)
+	defer cl.Close()
+	if err := cl.Update(99, 1, 1); err == nil {
+		t.Fatal("unknown user accepted")
+	}
+	if err := cl.Register(1, 10, 10, 0, 0); err == nil {
+		t.Fatal("invalid profile accepted")
+	}
+	if _, err := cl.CountUsers(Rect{}, "bogus-policy"); err == nil {
+		t.Fatal("bad policy accepted")
+	}
+	resp, err := cl.Raw(Request{Op: "no-such-op"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.OK || !strings.Contains(resp.Error, "unknown op") {
+		t.Fatalf("response = %+v", resp)
+	}
+	// count_users without a rect.
+	resp, err = cl.Raw(Request{Op: OpCountUsers})
+	if err != nil || resp.OK {
+		t.Fatalf("missing rect: %+v, %v", resp, err)
+	}
+}
+
+func TestMalformedFrameGetsErrorResponse(t *testing.T) {
+	addr := startServer(t)
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := fmt.Fprintln(conn, "this is not json"); err != nil {
+		t.Fatal(err)
+	}
+	conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+	line, err := bufio.NewReader(conn).ReadString('\n')
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(line, "malformed") {
+		t.Fatalf("response = %q", line)
+	}
+}
+
+func TestConcurrentClients(t *testing.T) {
+	addr := startServer(t)
+	var wg sync.WaitGroup
+	errs := make(chan error, 16)
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(base int64) {
+			defer wg.Done()
+			cl, err := Dial(addr)
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer cl.Close()
+			for i := int64(0); i < 20; i++ {
+				uid := base*100 + i
+				if err := cl.Register(uid, float64(uid%4000), float64((uid*7)%4000), 1, 0); err != nil {
+					errs <- err
+					return
+				}
+				if _, err := cl.NearestPublic(uid); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(int64(w))
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	cl, _ := Dial(addr)
+	defer cl.Close()
+	st, err := cl.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Users != 160 {
+		t.Fatalf("users = %d, want 160", st.Users)
+	}
+}
+
+func TestAddPublicOverWire(t *testing.T) {
+	addr := startServer(t)
+	cl, _ := Dial(addr)
+	defer cl.Close()
+	if err := cl.AddPublic(9999, 50, 50, "new-cafe"); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.AddPublic(9999, 60, 60, "dup"); err == nil {
+		t.Fatal("duplicate public object accepted")
+	}
+	st, _ := cl.Stats()
+	if st.PublicObjs != 201 {
+		t.Fatalf("public objects = %d", st.PublicObjs)
+	}
+}
+
+func TestDialFailure(t *testing.T) {
+	if _, err := DialTimeout("127.0.0.1:1", 200*time.Millisecond); err == nil {
+		t.Fatal("dial to closed port succeeded")
+	}
+}
+
+func TestKNearestPublicOverWire(t *testing.T) {
+	addr := startServer(t)
+	cl, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	if err := cl.Register(1, 2000, 2000, 1, 0); err != nil {
+		t.Fatal(err)
+	}
+	items, cost, err := cl.KNearestPublic(1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(items) != 3 {
+		t.Fatalf("items = %d", len(items))
+	}
+	if cost.Candidates < 3 {
+		t.Fatalf("cost = %+v", cost)
+	}
+	if _, _, err := cl.KNearestPublic(1, 0); err == nil {
+		t.Fatal("k=0 accepted over wire")
+	}
+}
+
+func TestOversizedFrameDropsConnection(t *testing.T) {
+	addr := startServer(t)
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	// A frame beyond MaxFrameBytes must terminate the session.
+	huge := make([]byte, MaxFrameBytes+1024)
+	for i := range huge {
+		huge[i] = 'a'
+	}
+	if _, err := conn.Write(huge); err != nil {
+		// The server may reset before we finish writing; acceptable.
+		return
+	}
+	conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+	buf := make([]byte, 1)
+	if _, err := conn.Read(buf); err == nil {
+		t.Fatal("connection survived an oversized frame with a payload response")
+	}
+}
+
+func TestBlankLinesTolerated(t *testing.T) {
+	addr := startServer(t)
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := fmt.Fprintf(conn, "\n\n{\"op\":\"stats\"}\n"); err != nil {
+		t.Fatal(err)
+	}
+	conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+	line, err := bufio.NewReader(conn).ReadString('\n')
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(line, `"ok":true`) {
+		t.Fatalf("response = %q", line)
+	}
+}
+
+func TestIdleTimeoutDisconnects(t *testing.T) {
+	cfg := core.DefaultConfig()
+	cfg.Universe = geom.R(0, 0, 1024, 1024)
+	cfg.PyramidLevels = 5
+	srv := NewServer(core.New(cfg))
+	srv.SetLogf(func(string, ...any) {})
+	srv.IdleTimeout = 150 * time.Millisecond
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	conn, err := net.Dial("tcp", addr.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	conn.SetReadDeadline(time.Now().Add(3 * time.Second))
+	buf := make([]byte, 1)
+	start := time.Now()
+	if _, err := conn.Read(buf); err == nil {
+		t.Fatal("idle connection not dropped")
+	}
+	if time.Since(start) > 2*time.Second {
+		t.Fatal("idle drop took too long")
+	}
+}
+
+func TestBatchUpdateOverWire(t *testing.T) {
+	addr := startServer(t)
+	cl, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	for i := int64(1); i <= 5; i++ {
+		if err := cl.Register(i, float64(i*100), float64(i*100), 1, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	updates := make([]BatchUpdate, 5)
+	for i := range updates {
+		updates[i] = BatchUpdate{UserID: int64(i + 1), X: 3000 + float64(i), Y: 3000}
+	}
+	n, err := cl.BatchUpdate(updates)
+	if err != nil || n != 5 {
+		t.Fatalf("batch: n=%d err=%v", n, err)
+	}
+	count, err := cl.CountUsers(Rect{MinX: 2500, MinY: 2500, MaxX: 3500, MaxY: 3500}, "")
+	if err != nil || count != 5 {
+		t.Fatalf("count after batch = %v, %v", count, err)
+	}
+	// A batch with an unknown user aborts midway, reporting progress.
+	bad := []BatchUpdate{
+		{UserID: 1, X: 10, Y: 10},
+		{UserID: 999, X: 20, Y: 20},
+		{UserID: 2, X: 30, Y: 30},
+	}
+	n, err = cl.BatchUpdate(bad)
+	if err == nil {
+		t.Fatal("bad batch accepted")
+	}
+	if n != 1 {
+		t.Fatalf("applied before abort = %d, want 1", n)
+	}
+}
+
+func TestDensityOverWire(t *testing.T) {
+	addr := startServer(t)
+	cl, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	for i := int64(0); i < 20; i++ {
+		if err := cl.Register(i, float64(i*100+50), float64((i*150+50)%4000), 1, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	grid, err := cl.Density(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(grid) != 8 || len(grid[0]) != 8 {
+		t.Fatalf("grid %dx%d", len(grid), len(grid[0]))
+	}
+	total := 0.0
+	for _, row := range grid {
+		for _, v := range row {
+			total += v
+		}
+	}
+	if total < 19.99 || total > 20.01 {
+		t.Fatalf("density mass = %v", total)
+	}
+	// Default resolution.
+	grid, err = cl.Density(0)
+	if err != nil || len(grid) != 16 {
+		t.Fatalf("default density: %d, %v", len(grid), err)
+	}
+	if _, err := cl.Density(-3); err == nil {
+		t.Fatal("negative n accepted")
+	}
+}

@@ -1,0 +1,308 @@
+package protocol
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log"
+	"net"
+	"sync"
+	"time"
+
+	"casper/internal/anonymizer"
+	"casper/internal/core"
+	"casper/internal/geom"
+	"casper/internal/privacyqp"
+	"casper/internal/rtree"
+	"casper/internal/server"
+)
+
+// MaxFrameBytes is the hard per-request frame limit: a line longer
+// than this drops the connection rather than buffering unboundedly.
+const MaxFrameBytes = 1 << 20
+
+// DefaultIdleTimeout disconnects clients that send nothing for this
+// long; zero disables the deadline.
+const DefaultIdleTimeout = 5 * time.Minute
+
+// Server serves the Casper protocol over TCP. One instance hosts both
+// roles of Fig. 1 — the anonymizer endpoint for mobile users and the
+// administrator endpoint for public queries — while preserving the
+// internal trust boundary (the DB server half never sees identities or
+// exact positions).
+type Server struct {
+	mu     sync.Mutex // serializes access to the core framework
+	casper *core.Casper
+	ln     net.Listener
+	logf   func(string, ...any)
+
+	// IdleTimeout bounds how long a connection may stay silent; set
+	// before Listen. Zero disables it.
+	IdleTimeout time.Duration
+
+	wg       sync.WaitGroup
+	closed   chan struct{}
+	closeOne sync.Once
+}
+
+// NewServer wraps a core framework instance.
+func NewServer(c *core.Casper) *Server {
+	return &Server{
+		casper:      c,
+		logf:        log.Printf,
+		IdleTimeout: DefaultIdleTimeout,
+		closed:      make(chan struct{}),
+	}
+}
+
+// SetLogf overrides the server's logger (tests silence it).
+func (s *Server) SetLogf(f func(string, ...any)) { s.logf = f }
+
+// Listen starts accepting on addr (e.g. "127.0.0.1:7467") and returns
+// the bound address, which is useful with a ":0" wildcard port.
+func (s *Server) Listen(addr string) (net.Addr, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s.ln = ln
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return ln.Addr(), nil
+}
+
+// Close stops the listener and waits for in-flight connections.
+func (s *Server) Close() error {
+	var err error
+	s.closeOne.Do(func() {
+		close(s.closed)
+		if s.ln != nil {
+			err = s.ln.Close()
+		}
+	})
+	s.wg.Wait()
+	return err
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			select {
+			case <-s.closed:
+				return
+			default:
+			}
+			s.logf("casper/protocol: accept: %v", err)
+			return
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.handleConn(conn)
+		}()
+	}
+}
+
+// handleConn serves one client connection: a stream of
+// newline-delimited JSON requests, each answered in order. Framing is
+// by line, so a malformed frame costs exactly one error response and
+// the stream stays synchronized. Frames above MaxFrameBytes and idle
+// connections are dropped.
+func (s *Server) handleConn(conn net.Conn) {
+	defer conn.Close()
+	sc := bufio.NewScanner(conn)
+	sc.Buffer(make([]byte, 64*1024), MaxFrameBytes)
+	enc := json.NewEncoder(conn)
+	for {
+		select {
+		case <-s.closed:
+			return
+		default:
+		}
+		if s.IdleTimeout > 0 {
+			if err := conn.SetReadDeadline(time.Now().Add(s.IdleTimeout)); err != nil {
+				return
+			}
+		}
+		if !sc.Scan() {
+			// EOF, oversized frame, timeout, or broken connection; all
+			// end the session. Oversized frames are logged — they are
+			// misbehaving clients, not normal churn.
+			if err := sc.Err(); errors.Is(err, bufio.ErrTooLong) {
+				s.logf("casper/protocol: dropping %s: frame exceeds %d bytes",
+					conn.RemoteAddr(), MaxFrameBytes)
+			}
+			return
+		}
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue // tolerate keep-alive blank lines
+		}
+		var req Request
+		if err := json.Unmarshal(line, &req); err != nil {
+			if err := enc.Encode(errResponse("malformed request: %v", err)); err != nil {
+				return
+			}
+			continue
+		}
+		resp := s.dispatch(req)
+		if err := enc.Encode(resp); err != nil {
+			return
+		}
+	}
+}
+
+func (s *Server) dispatch(req Request) Response {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	switch req.Op {
+	case OpRegister:
+		err := s.casper.RegisterUser(
+			anonymizer.UserID(req.UserID),
+			geom.Pt(req.X, req.Y),
+			anonymizer.Profile{K: req.K, AMin: req.AMin},
+		)
+		return okOrErr(err)
+	case OpUpdate:
+		return okOrErr(s.casper.UpdateUser(anonymizer.UserID(req.UserID), geom.Pt(req.X, req.Y)))
+	case OpBatchUpdate:
+		applied := 0
+		for _, u := range req.Batch {
+			if err := s.casper.UpdateUser(anonymizer.UserID(u.UserID), geom.Pt(u.X, u.Y)); err != nil {
+				resp := errResponse("batch aborted at uid %d: %v", u.UserID, err)
+				resp.Count = float64(applied)
+				return resp
+			}
+			applied++
+		}
+		return Response{OK: true, Count: float64(applied)}
+	case OpDeregister:
+		return okOrErr(s.casper.DeregisterUser(anonymizer.UserID(req.UserID)))
+	case OpSetProfile:
+		return okOrErr(s.casper.SetProfile(
+			anonymizer.UserID(req.UserID),
+			anonymizer.Profile{K: req.K, AMin: req.AMin},
+		))
+	case OpNearestPublic:
+		ans, err := s.casper.NearestPublic(anonymizer.UserID(req.UserID))
+		if err != nil {
+			return errResponse("%v", err)
+		}
+		return nnResponse(ans)
+	case OpNearestBuddy:
+		ans, err := s.casper.NearestBuddy(anonymizer.UserID(req.UserID))
+		if err != nil {
+			return errResponse("%v", err)
+		}
+		return nnResponse(ans)
+	case OpKNearestPublic:
+		items, cost, err := s.casper.KNearestPublic(anonymizer.UserID(req.UserID), req.NN)
+		if err != nil {
+			return errResponse("%v", err)
+		}
+		return Response{OK: true, Cost: costWire(cost), Candidates: objectsWire(items)}
+	case OpRangePublic:
+		items, cost, err := s.casper.RangePublic(anonymizer.UserID(req.UserID), req.Radius)
+		if err != nil {
+			return errResponse("%v", err)
+		}
+		resp := Response{OK: true, Cost: costWire(cost)}
+		resp.Candidates = objectsWire(items)
+		return resp
+	case OpCountUsers:
+		if req.Rect == nil {
+			return errResponse("count_users requires rect")
+		}
+		policy, err := parsePolicy(req.Policy)
+		if err != nil {
+			return errResponse("%v", err)
+		}
+		n, err := s.casper.CountUsersIn(req.Rect.ToGeom(), policy)
+		if err != nil {
+			return errResponse("%v", err)
+		}
+		return Response{OK: true, Count: n}
+	case OpAddPublic:
+		err := s.casper.AddPublicObject(server.PublicObject{
+			ID:   req.PubID,
+			Pos:  geom.Pt(req.X, req.Y),
+			Name: req.Name,
+		})
+		return okOrErr(err)
+	case OpDensity:
+		n := req.NN
+		if n == 0 {
+			n = 16
+		}
+		grid, err := s.casper.UserDensityGrid(n)
+		if err != nil {
+			return errResponse("%v", err)
+		}
+		return Response{OK: true, Density: grid}
+	case OpStats:
+		return Response{OK: true, Stats: &Stats{
+			Users:      s.casper.Users(),
+			PublicObjs: s.casper.Server().PublicCount(),
+			Queries:    s.casper.Server().Queries(),
+			UpdateCost: s.casper.Anonymizer().UpdateCost(),
+		}}
+	default:
+		return errResponse("unknown op %q", req.Op)
+	}
+}
+
+func okOrErr(err error) Response {
+	if err != nil {
+		return errResponse("%v", err)
+	}
+	return Response{OK: true}
+}
+
+func nnResponse(ans core.NNAnswer) Response {
+	resp := Response{OK: true, Cost: costWire(ans.Cost)}
+	resp.Candidates = objectsWire(ans.Candidates)
+	ex := objectWire(ans.Exact)
+	resp.Exact = &ex
+	return resp
+}
+
+func costWire(b core.Breakdown) *Cost {
+	return &Cost{
+		CloakNS:    b.Cloak.Nanoseconds(),
+		QueryNS:    b.Query.Nanoseconds(),
+		TransmitNS: b.Transmit.Nanoseconds(),
+		Candidates: b.Candidates,
+	}
+}
+
+func objectsWire(items []rtree.Item) []Object {
+	out := make([]Object, len(items))
+	for i, it := range items {
+		out[i] = objectWire(it)
+	}
+	return out
+}
+
+func objectWire(it rtree.Item) Object {
+	o := Object{ID: it.ID, Rect: FromGeom(it.Rect)}
+	if name, ok := it.Data.(string); ok {
+		o.Name = name
+	}
+	return o
+}
+
+func parsePolicy(s string) (privacyqp.CountPolicy, error) {
+	switch s {
+	case "", "any-overlap":
+		return privacyqp.CountAnyOverlap, nil
+	case "center-in":
+		return privacyqp.CountCenterIn, nil
+	case "fractional":
+		return privacyqp.CountFractional, nil
+	default:
+		return 0, fmt.Errorf("unknown count policy %q", s)
+	}
+}

@@ -1,0 +1,359 @@
+// Package roadnet provides the road-network substrate for the
+// workload generator. The paper drives Brinkhoff's Network-based
+// Generator of Moving Objects with the road map of Hennepin County,
+// MN; that map is not redistributable, so SyntheticHennepin builds a
+// synthetic stand-in: a jittered street grid with arterial lines and
+// two crossing freeways, sized comparably to a county road network.
+// The experiments depend only on objects moving continuously along a
+// network with non-uniform density, which the substitute preserves
+// (see DESIGN.md §3).
+package roadnet
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"casper/internal/geom"
+)
+
+// NodeID identifies a network node (junction).
+type NodeID int32
+
+// Class is a road class with an associated travel speed.
+type Class uint8
+
+// Road classes, fastest first. Speeds follow Brinkhoff's three-class
+// setup (freeway / arterial ("main road") / street ("side road")).
+const (
+	Freeway Class = iota
+	Arterial
+	Street
+)
+
+// Speed returns the travel speed of the class in meters/second.
+func (c Class) Speed() float64 {
+	switch c {
+	case Freeway:
+		return 29.0 // ~65 mph
+	case Arterial:
+		return 13.4 // ~30 mph
+	default:
+		return 8.0 // ~18 mph residential
+	}
+}
+
+// String implements fmt.Stringer.
+func (c Class) String() string {
+	switch c {
+	case Freeway:
+		return "freeway"
+	case Arterial:
+		return "arterial"
+	default:
+		return "street"
+	}
+}
+
+// Node is a junction in the network.
+type Node struct {
+	ID  NodeID
+	Pos geom.Point
+}
+
+// Edge is a bidirectional road segment between two nodes.
+type Edge struct {
+	From, To NodeID
+	Class    Class
+	Length   float64
+}
+
+// TravelTime returns the seconds needed to traverse the edge.
+func (e Edge) TravelTime() float64 { return e.Length / e.Class.Speed() }
+
+// Graph is an undirected road network.
+type Graph struct {
+	nodes  []Node
+	edges  []Edge
+	adj    [][]int32 // node -> indices into edges
+	bounds geom.Rect
+}
+
+// NewGraph builds a graph from nodes and edges, validating references
+// and computing adjacency.
+func NewGraph(nodes []Node, edges []Edge) (*Graph, error) {
+	if len(nodes) == 0 {
+		return nil, fmt.Errorf("roadnet: no nodes")
+	}
+	g := &Graph{nodes: nodes, edges: edges}
+	g.adj = make([][]int32, len(nodes))
+	for i := range nodes {
+		if nodes[i].ID != NodeID(i) {
+			return nil, fmt.Errorf("roadnet: node %d has ID %d; IDs must be dense", i, nodes[i].ID)
+		}
+	}
+	for i, e := range edges {
+		if int(e.From) >= len(nodes) || int(e.To) >= len(nodes) || e.From < 0 || e.To < 0 {
+			return nil, fmt.Errorf("roadnet: edge %d references unknown node", i)
+		}
+		if e.From == e.To {
+			return nil, fmt.Errorf("roadnet: edge %d is a self loop", i)
+		}
+		if e.Length <= 0 {
+			return nil, fmt.Errorf("roadnet: edge %d has non-positive length", i)
+		}
+		g.adj[e.From] = append(g.adj[e.From], int32(i))
+		g.adj[e.To] = append(g.adj[e.To], int32(i))
+	}
+	g.bounds = geom.RectFromPoints(nodes[0].Pos)
+	for _, n := range nodes[1:] {
+		g.bounds = g.bounds.ExtendPoint(n.Pos)
+	}
+	return g, nil
+}
+
+// NumNodes returns the node count.
+func (g *Graph) NumNodes() int { return len(g.nodes) }
+
+// NumEdges returns the edge count.
+func (g *Graph) NumEdges() int { return len(g.edges) }
+
+// Node returns the node with the given ID.
+func (g *Graph) Node(id NodeID) Node { return g.nodes[id] }
+
+// Edge returns edge i.
+func (g *Graph) Edge(i int) Edge { return g.edges[i] }
+
+// Bounds returns the bounding rectangle of all nodes.
+func (g *Graph) Bounds() geom.Rect { return g.bounds }
+
+// Neighbors calls fn for every edge incident to n with the node on the
+// other end.
+func (g *Graph) Neighbors(n NodeID, fn func(edgeIdx int, other NodeID)) {
+	for _, ei := range g.adj[n] {
+		e := g.edges[ei]
+		other := e.From
+		if other == n {
+			other = e.To
+		}
+		fn(int(ei), other)
+	}
+}
+
+// IsConnected reports whether every node is reachable from node 0.
+func (g *Graph) IsConnected() bool {
+	if len(g.nodes) == 0 {
+		return true
+	}
+	seen := make([]bool, len(g.nodes))
+	stack := []NodeID{0}
+	seen[0] = true
+	count := 1
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		g.Neighbors(n, func(_ int, other NodeID) {
+			if !seen[other] {
+				seen[other] = true
+				count++
+				stack = append(stack, other)
+			}
+		})
+	}
+	return count == len(g.nodes)
+}
+
+// ShortestPath computes the minimum-travel-time path between two
+// nodes with Dijkstra's algorithm, returning the node sequence
+// (inclusive of both endpoints). ok is false when to is unreachable.
+func (g *Graph) ShortestPath(from, to NodeID) (path []NodeID, ok bool) {
+	if from == to {
+		return []NodeID{from}, true
+	}
+	const inf = math.MaxFloat64
+	dist := make([]float64, len(g.nodes))
+	prev := make([]NodeID, len(g.nodes))
+	done := make([]bool, len(g.nodes))
+	for i := range dist {
+		dist[i] = inf
+		prev[i] = -1
+	}
+	dist[from] = 0
+	h := &pathHeap{}
+	h.push(pathEntry{node: from, dist: 0})
+	for h.len() > 0 {
+		e := h.pop()
+		if done[e.node] {
+			continue
+		}
+		done[e.node] = true
+		if e.node == to {
+			break
+		}
+		g.Neighbors(e.node, func(ei int, other NodeID) {
+			if done[other] {
+				return
+			}
+			alt := dist[e.node] + g.edges[ei].TravelTime()
+			if alt < dist[other] {
+				dist[other] = alt
+				prev[other] = e.node
+				h.push(pathEntry{node: other, dist: alt})
+			}
+		})
+	}
+	if dist[to] == inf {
+		return nil, false
+	}
+	for n := to; n != -1; n = prev[n] {
+		path = append(path, n)
+	}
+	// Reverse into from -> to order.
+	for i, j := 0, len(path)-1; i < j; i, j = i+1, j-1 {
+		path[i], path[j] = path[j], path[i]
+	}
+	return path, true
+}
+
+// EdgeBetween returns the index of an edge connecting a and b,
+// preferring the fastest when parallel edges exist. ok is false when
+// no such edge exists.
+func (g *Graph) EdgeBetween(a, b NodeID) (int, bool) {
+	best, bestTime := -1, math.MaxFloat64
+	g.Neighbors(a, func(ei int, other NodeID) {
+		if other == b {
+			if tt := g.edges[ei].TravelTime(); tt < bestTime {
+				best, bestTime = ei, tt
+			}
+		}
+	})
+	return best, best >= 0
+}
+
+type pathEntry struct {
+	node NodeID
+	dist float64
+}
+
+type pathHeap struct{ es []pathEntry }
+
+func (h *pathHeap) len() int { return len(h.es) }
+
+func (h *pathHeap) push(e pathEntry) {
+	h.es = append(h.es, e)
+	i := len(h.es) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if h.es[p].dist <= h.es[i].dist {
+			break
+		}
+		h.es[p], h.es[i] = h.es[i], h.es[p]
+		i = p
+	}
+}
+
+func (h *pathHeap) pop() pathEntry {
+	top := h.es[0]
+	last := len(h.es) - 1
+	h.es[0] = h.es[last]
+	h.es = h.es[:last]
+	i := 0
+	for {
+		l, r, m := 2*i+1, 2*i+2, i
+		if l < len(h.es) && h.es[l].dist < h.es[m].dist {
+			m = l
+		}
+		if r < len(h.es) && h.es[r].dist < h.es[m].dist {
+			m = r
+		}
+		if m == i {
+			break
+		}
+		h.es[i], h.es[m] = h.es[m], h.es[i]
+	}
+	return top
+}
+
+// SyntheticHennepinConfig parameterizes the synthetic map.
+type SyntheticHennepinConfig struct {
+	// Extent is the square side length in meters. Hennepin County is
+	// roughly 40 km across.
+	Extent float64
+	// GridN is the number of street-grid lines per axis.
+	GridN int
+	// ArterialEvery promotes every n-th grid line to an arterial.
+	ArterialEvery int
+	// Jitter displaces each junction by up to this fraction of the
+	// grid spacing, breaking the artificial regularity.
+	Jitter float64
+}
+
+// DefaultHennepinConfig mirrors the scale of the paper's map: a 40 km
+// square with a 24x24 street grid (~576 junctions, ~1100 road
+// segments).
+func DefaultHennepinConfig() SyntheticHennepinConfig {
+	return SyntheticHennepinConfig{Extent: 40000, GridN: 24, ArterialEvery: 4, Jitter: 0.25}
+}
+
+// SyntheticHennepin builds the synthetic county road network: a
+// jittered GridN x GridN street grid, every ArterialEvery-th line an
+// arterial, plus two freeways crossing at the center (the I-394/I-35W
+// analogue). The graph is connected by construction.
+func SyntheticHennepin(seed int64, cfg SyntheticHennepinConfig) *Graph {
+	if cfg.GridN < 2 {
+		panic("roadnet: GridN must be >= 2")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	n := cfg.GridN
+	spacing := cfg.Extent / float64(n-1)
+	nodes := make([]Node, 0, n*n)
+	idAt := func(ix, iy int) NodeID { return NodeID(iy*n + ix) }
+	for iy := 0; iy < n; iy++ {
+		for ix := 0; ix < n; ix++ {
+			jx := (rng.Float64()*2 - 1) * cfg.Jitter * spacing
+			jy := (rng.Float64()*2 - 1) * cfg.Jitter * spacing
+			// Keep boundary nodes on the boundary so the extent is exact.
+			if ix == 0 || ix == n-1 {
+				jx = 0
+			}
+			if iy == 0 || iy == n-1 {
+				jy = 0
+			}
+			nodes = append(nodes, Node{
+				ID:  idAt(ix, iy),
+				Pos: geom.Pt(float64(ix)*spacing+jx, float64(iy)*spacing+jy),
+			})
+		}
+	}
+	classFor := func(line int) Class {
+		// The two center lines carry the freeways; every
+		// ArterialEvery-th line is an arterial; the rest are streets.
+		if line == n/2 {
+			return Freeway
+		}
+		if cfg.ArterialEvery > 0 && line%cfg.ArterialEvery == 0 {
+			return Arterial
+		}
+		return Street
+	}
+	var edges []Edge
+	addEdge := func(a, b NodeID, class Class) {
+		length := nodes[a].Pos.Dist(nodes[b].Pos)
+		edges = append(edges, Edge{From: a, To: b, Class: class, Length: length})
+	}
+	for iy := 0; iy < n; iy++ {
+		for ix := 0; ix < n; ix++ {
+			if ix+1 < n {
+				addEdge(idAt(ix, iy), idAt(ix+1, iy), classFor(iy))
+			}
+			if iy+1 < n {
+				addEdge(idAt(ix, iy), idAt(ix, iy+1), classFor(ix))
+			}
+		}
+	}
+	g, err := NewGraph(nodes, edges)
+	if err != nil {
+		panic(fmt.Sprintf("roadnet: synthetic map construction failed: %v", err))
+	}
+	return g
+}

@@ -1,0 +1,227 @@
+package roadnet
+
+import (
+	"math"
+	"testing"
+
+	"casper/internal/geom"
+)
+
+// lineGraph builds a simple path network 0-1-2-...-n-1 with unit
+// spacing and the given class.
+func lineGraph(t *testing.T, n int, class Class) *Graph {
+	t.Helper()
+	nodes := make([]Node, n)
+	for i := range nodes {
+		nodes[i] = Node{ID: NodeID(i), Pos: geom.Pt(float64(i)*100, 0)}
+	}
+	edges := make([]Edge, 0, n-1)
+	for i := 0; i+1 < n; i++ {
+		edges = append(edges, Edge{From: NodeID(i), To: NodeID(i + 1), Class: class, Length: 100})
+	}
+	g, err := NewGraph(nodes, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestClassSpeedsOrdered(t *testing.T) {
+	if !(Freeway.Speed() > Arterial.Speed() && Arterial.Speed() > Street.Speed()) {
+		t.Fatalf("speeds not ordered: %v %v %v", Freeway.Speed(), Arterial.Speed(), Street.Speed())
+	}
+	for _, c := range []Class{Freeway, Arterial, Street} {
+		if c.String() == "" {
+			t.Fatal("empty class name")
+		}
+	}
+}
+
+func TestEdgeTravelTime(t *testing.T) {
+	e := Edge{Class: Street, Length: 80}
+	if got := e.TravelTime(); got != 10 {
+		t.Fatalf("TravelTime = %v, want 10", got)
+	}
+}
+
+func TestNewGraphValidation(t *testing.T) {
+	n0 := Node{ID: 0, Pos: geom.Pt(0, 0)}
+	n1 := Node{ID: 1, Pos: geom.Pt(1, 0)}
+	cases := []struct {
+		name  string
+		nodes []Node
+		edges []Edge
+	}{
+		{"no nodes", nil, nil},
+		{"sparse IDs", []Node{{ID: 5}}, nil},
+		{"bad edge ref", []Node{n0, n1}, []Edge{{From: 0, To: 7, Length: 1}}},
+		{"self loop", []Node{n0, n1}, []Edge{{From: 0, To: 0, Length: 1}}},
+		{"zero length", []Node{n0, n1}, []Edge{{From: 0, To: 1, Length: 0}}},
+	}
+	for _, c := range cases {
+		if _, err := NewGraph(c.nodes, c.edges); err == nil {
+			t.Errorf("%s: no error", c.name)
+		}
+	}
+}
+
+func TestNeighborsAndEdgeBetween(t *testing.T) {
+	g := lineGraph(t, 3, Street)
+	var others []NodeID
+	g.Neighbors(1, func(_ int, o NodeID) { others = append(others, o) })
+	if len(others) != 2 {
+		t.Fatalf("node 1 neighbors = %v", others)
+	}
+	if _, ok := g.EdgeBetween(0, 1); !ok {
+		t.Fatal("EdgeBetween(0,1) missing")
+	}
+	if _, ok := g.EdgeBetween(0, 2); ok {
+		t.Fatal("EdgeBetween(0,2) should not exist")
+	}
+}
+
+func TestEdgeBetweenPrefersFastest(t *testing.T) {
+	nodes := []Node{{ID: 0, Pos: geom.Pt(0, 0)}, {ID: 1, Pos: geom.Pt(100, 0)}}
+	edges := []Edge{
+		{From: 0, To: 1, Class: Street, Length: 100},
+		{From: 0, To: 1, Class: Freeway, Length: 100},
+	}
+	g, err := NewGraph(nodes, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ei, ok := g.EdgeBetween(0, 1)
+	if !ok || g.Edge(ei).Class != Freeway {
+		t.Fatalf("EdgeBetween picked %v", g.Edge(ei).Class)
+	}
+}
+
+func TestShortestPathLine(t *testing.T) {
+	g := lineGraph(t, 5, Street)
+	path, ok := g.ShortestPath(0, 4)
+	if !ok {
+		t.Fatal("no path")
+	}
+	want := []NodeID{0, 1, 2, 3, 4}
+	if len(path) != len(want) {
+		t.Fatalf("path = %v", path)
+	}
+	for i := range want {
+		if path[i] != want[i] {
+			t.Fatalf("path = %v, want %v", path, want)
+		}
+	}
+	if p, ok := g.ShortestPath(2, 2); !ok || len(p) != 1 || p[0] != 2 {
+		t.Fatalf("trivial path = %v, %v", p, ok)
+	}
+}
+
+func TestShortestPathPrefersFastRoad(t *testing.T) {
+	// Triangle: 0-1 direct street (100m, 12.5s), 0-2-1 via freeway
+	// (300m total, ~10.3s). The freeway detour must win.
+	nodes := []Node{
+		{ID: 0, Pos: geom.Pt(0, 0)},
+		{ID: 1, Pos: geom.Pt(100, 0)},
+		{ID: 2, Pos: geom.Pt(50, 130)},
+	}
+	edges := []Edge{
+		{From: 0, To: 1, Class: Street, Length: 100},
+		{From: 0, To: 2, Class: Freeway, Length: 150},
+		{From: 2, To: 1, Class: Freeway, Length: 150},
+	}
+	g, err := NewGraph(nodes, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path, ok := g.ShortestPath(0, 1)
+	if !ok {
+		t.Fatal("no path")
+	}
+	if len(path) != 3 || path[1] != 2 {
+		t.Fatalf("path = %v, want detour via 2", path)
+	}
+}
+
+func TestShortestPathUnreachable(t *testing.T) {
+	nodes := []Node{
+		{ID: 0, Pos: geom.Pt(0, 0)},
+		{ID: 1, Pos: geom.Pt(1, 0)},
+		{ID: 2, Pos: geom.Pt(2, 0)},
+	}
+	edges := []Edge{{From: 0, To: 1, Class: Street, Length: 1}}
+	g, err := NewGraph(nodes, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := g.ShortestPath(0, 2); ok {
+		t.Fatal("found path to disconnected node")
+	}
+	if g.IsConnected() {
+		t.Fatal("disconnected graph reported connected")
+	}
+}
+
+func TestSyntheticHennepinShape(t *testing.T) {
+	cfg := DefaultHennepinConfig()
+	g := SyntheticHennepin(1, cfg)
+	if got, want := g.NumNodes(), cfg.GridN*cfg.GridN; got != want {
+		t.Fatalf("nodes = %d, want %d", got, want)
+	}
+	wantEdges := 2 * cfg.GridN * (cfg.GridN - 1)
+	if got := g.NumEdges(); got != wantEdges {
+		t.Fatalf("edges = %d, want %d", got, wantEdges)
+	}
+	if !g.IsConnected() {
+		t.Fatal("synthetic map not connected")
+	}
+	b := g.Bounds()
+	if math.Abs(b.Width()-cfg.Extent) > 1 || math.Abs(b.Height()-cfg.Extent) > 1 {
+		t.Fatalf("bounds = %v, want ~%v square", b, cfg.Extent)
+	}
+	// All three road classes must be present.
+	seen := map[Class]bool{}
+	for i := 0; i < g.NumEdges(); i++ {
+		seen[g.Edge(i).Class] = true
+	}
+	for _, c := range []Class{Freeway, Arterial, Street} {
+		if !seen[c] {
+			t.Fatalf("class %v missing from synthetic map", c)
+		}
+	}
+}
+
+func TestSyntheticHennepinDeterministic(t *testing.T) {
+	cfg := DefaultHennepinConfig()
+	a := SyntheticHennepin(7, cfg)
+	b := SyntheticHennepin(7, cfg)
+	if a.NumNodes() != b.NumNodes() {
+		t.Fatal("node counts differ")
+	}
+	for i := 0; i < a.NumNodes(); i++ {
+		if a.Node(NodeID(i)).Pos != b.Node(NodeID(i)).Pos {
+			t.Fatalf("node %d differs between same-seed maps", i)
+		}
+	}
+	c := SyntheticHennepin(8, cfg)
+	differs := false
+	for i := 0; i < a.NumNodes(); i++ {
+		if a.Node(NodeID(i)).Pos != c.Node(NodeID(i)).Pos {
+			differs = true
+			break
+		}
+	}
+	if !differs {
+		t.Fatal("different seeds produced identical maps")
+	}
+}
+
+func TestSyntheticHennepinAllPairsSampleReachable(t *testing.T) {
+	g := SyntheticHennepin(3, SyntheticHennepinConfig{Extent: 1000, GridN: 6, ArterialEvery: 3, Jitter: 0.2})
+	for from := 0; from < g.NumNodes(); from += 7 {
+		for to := 0; to < g.NumNodes(); to += 11 {
+			if _, ok := g.ShortestPath(NodeID(from), NodeID(to)); !ok {
+				t.Fatalf("no path %d -> %d", from, to)
+			}
+		}
+	}
+}

@@ -1,0 +1,4 @@
+package rtree
+
+// CheckInvariants exposes structural validation to the tests.
+func (t *Tree) CheckInvariants() error { return t.checkInvariants() }

@@ -1,0 +1,802 @@
+// Package rtree implements an R-tree spatial index over axis-aligned
+// rectangles (Guttman's quadratic-split variant with an STR bulk
+// loader).
+//
+// The privacy-aware query processor of the Casper paper explicitly
+// leaves the choice of spatial index open ("it can be employed using
+// R-tree or any other methods", Sec. 5.1.1); this package provides that
+// traditional location-based server substrate. It supports the two
+// query primitives Algorithm 2 needs:
+//
+//   - range search (Search / SearchFunc) for the candidate-list step, and
+//   - best-first k-nearest-neighbor search (Nearest / NearestK) for the
+//     filter step, under either the usual min-distance metric (public
+//     point data) or the min-max metric (private data represented by
+//     cloaked rectangles, Sec. 5.2.1, where a target's distance from a
+//     vertex is measured to its furthest corner).
+//
+// The tree is not safe for concurrent mutation; readers may run
+// concurrently with each other. Callers that interleave writes and
+// reads must serialize externally (internal/server does so).
+package rtree
+
+import (
+	"fmt"
+	"sort"
+
+	"casper/internal/geom"
+)
+
+// Default node capacity. 32 entries keeps internal nodes within one or
+// two cache lines of child pointers while staying shallow for the
+// 10K-50K object populations used in the paper's experiments.
+const (
+	defaultMaxEntries = 32
+)
+
+// Item is a spatial object stored in the tree: a rectangle (a point is
+// a degenerate rectangle), a caller-assigned identifier, and an
+// optional payload.
+type Item struct {
+	Rect geom.Rect
+	ID   int64
+	Data any
+}
+
+// Metric selects the distance function used by nearest-neighbor
+// searches.
+type Metric int
+
+const (
+	// MinDist ranks an item by the minimum distance from the query
+	// point to the item's rectangle (zero if the point is inside).
+	// This is the standard metric for public point data.
+	MinDist Metric = iota
+	// MaxDist ranks an item by the distance from the query point to
+	// the furthest corner of the item's rectangle. Casper uses this
+	// pessimistic metric when targets are private cloaked regions:
+	// the target is assumed to be at its furthest corner (Sec. 5.2.1).
+	MaxDist
+)
+
+// DistTo evaluates the metric for an item rectangle.
+func (m Metric) DistTo(q geom.Point, r geom.Rect) float64 {
+	if m == MaxDist {
+		return q.MaxDistRect(r)
+	}
+	return q.MinDistRect(r)
+}
+
+// Tree is an R-tree. The zero value is not usable; call New.
+type Tree struct {
+	root       *node
+	size       int
+	maxEntries int
+	minEntries int
+}
+
+type node struct {
+	mbr      geom.Rect
+	leaf     bool
+	items    []Item  // leaf only
+	children []*node // internal only
+}
+
+// New returns an empty tree with the default node capacity.
+func New() *Tree { return NewWithCapacity(defaultMaxEntries) }
+
+// NewWithCapacity returns an empty tree whose nodes hold at most
+// maxEntries entries (minimum fill is 40%). It panics if maxEntries < 4.
+func NewWithCapacity(maxEntries int) *Tree {
+	if maxEntries < 4 {
+		panic(fmt.Sprintf("rtree: capacity %d too small (need >= 4)", maxEntries))
+	}
+	return &Tree{
+		root:       &node{leaf: true},
+		maxEntries: maxEntries,
+		minEntries: maxEntries * 2 / 5,
+	}
+}
+
+// Len returns the number of items in the tree.
+func (t *Tree) Len() int { return t.size }
+
+// Bounds returns the minimum bounding rectangle of all items and false
+// when the tree is empty.
+func (t *Tree) Bounds() (geom.Rect, bool) {
+	if t.size == 0 {
+		return geom.Rect{}, false
+	}
+	return t.root.mbr, true
+}
+
+// Insert adds an item. Duplicate IDs are allowed (the tree is a
+// multiset); Delete removes by (ID, Rect) match.
+func (t *Tree) Insert(it Item) {
+	if !it.Rect.IsValid() {
+		panic(fmt.Sprintf("rtree: inserting invalid rect %v", it.Rect))
+	}
+	leaf := t.chooseLeaf(t.root, it.Rect)
+	leaf.items = append(leaf.items, it)
+	leaf.mbr = leaf.mbr.Union(it.Rect)
+	if len(leaf.items) == 1 {
+		leaf.mbr = it.Rect
+	}
+	t.size++
+	t.splitUpward(leaf)
+}
+
+// chooseLeaf descends to the leaf whose MBR needs least enlargement to
+// absorb r, breaking ties by smaller area (Guttman's ChooseLeaf).
+func (t *Tree) chooseLeaf(n *node, r geom.Rect) *node {
+	path := []*node{}
+	for !n.leaf {
+		path = append(path, n)
+		best := n.children[0]
+		bestEnl, bestArea := enlargement(best.mbr, r), best.mbr.Area()
+		for _, c := range n.children[1:] {
+			enl := enlargement(c.mbr, r)
+			area := c.mbr.Area()
+			if enl < bestEnl || (enl == bestEnl && area < bestArea) {
+				best, bestEnl, bestArea = c, enl, area
+			}
+		}
+		n = best
+	}
+	// Grow MBRs along the path eagerly so splits see fresh bounds.
+	for _, p := range path {
+		p.mbr = p.mbr.Union(r)
+	}
+	return n
+}
+
+func enlargement(mbr, r geom.Rect) float64 {
+	return mbr.Union(r).Area() - mbr.Area()
+}
+
+// splitUpward splits n if overfull and propagates splits to the root.
+func (t *Tree) splitUpward(n *node) {
+	if n.count() <= t.maxEntries {
+		return
+	}
+	// Find the path from root to n so we can attach split siblings.
+	var path []*node
+	if !findPath(t.root, n, &path) && n != t.root {
+		panic("rtree: node not reachable from root")
+	}
+	for n.count() > t.maxEntries {
+		sib := t.splitNode(n)
+		if n == t.root {
+			newRoot := &node{
+				leaf:     false,
+				children: []*node{n, sib},
+			}
+			newRoot.mbr = n.mbr.Union(sib.mbr)
+			t.root = newRoot
+			return
+		}
+		parent := path[len(path)-1]
+		path = path[:len(path)-1]
+		parent.children = append(parent.children, sib)
+		parent.mbr = parent.mbr.Union(sib.mbr)
+		n = parent
+	}
+}
+
+func findPath(cur, target *node, path *[]*node) bool {
+	if cur == target {
+		return true
+	}
+	if cur.leaf {
+		return false
+	}
+	*path = append(*path, cur)
+	for _, c := range cur.children {
+		if findPath(c, target, path) {
+			return true
+		}
+	}
+	*path = (*path)[:len(*path)-1]
+	return false
+}
+
+// count returns the entry count of n (items for leaves, children for
+// internal nodes).
+func (n *node) count() int {
+	if n.leaf {
+		return len(n.items)
+	}
+	return len(n.children)
+}
+
+func (n *node) rectAt(i int) geom.Rect {
+	if n.leaf {
+		return n.items[i].Rect
+	}
+	return n.children[i].mbr
+}
+
+// splitNode performs Guttman's quadratic split, mutating n to hold one
+// group and returning a new sibling holding the other.
+func (t *Tree) splitNode(n *node) *node {
+	cnt := n.count()
+	// Pick seeds: the pair wasting the most area.
+	seedA, seedB := 0, 1
+	worst := -1.0
+	for i := 0; i < cnt; i++ {
+		for j := i + 1; j < cnt; j++ {
+			ri, rj := n.rectAt(i), n.rectAt(j)
+			waste := ri.Union(rj).Area() - ri.Area() - rj.Area()
+			if waste > worst {
+				worst, seedA, seedB = waste, i, j
+			}
+		}
+	}
+	groupA := []int{seedA}
+	groupB := []int{seedB}
+	mbrA, mbrB := n.rectAt(seedA), n.rectAt(seedB)
+	assigned := make([]bool, cnt)
+	assigned[seedA], assigned[seedB] = true, true
+	remaining := cnt - 2
+
+	for remaining > 0 {
+		// Force-assign when one group must take everything left to
+		// reach minimum fill.
+		if len(groupA)+remaining == t.minEntries {
+			for i := 0; i < cnt; i++ {
+				if !assigned[i] {
+					assigned[i] = true
+					groupA = append(groupA, i)
+					mbrA = mbrA.Union(n.rectAt(i))
+				}
+			}
+			remaining = 0
+			break
+		}
+		if len(groupB)+remaining == t.minEntries {
+			for i := 0; i < cnt; i++ {
+				if !assigned[i] {
+					assigned[i] = true
+					groupB = append(groupB, i)
+					mbrB = mbrB.Union(n.rectAt(i))
+				}
+			}
+			remaining = 0
+			break
+		}
+		// PickNext: entry with max preference for one group.
+		bestIdx, bestDiff := -1, -1.0
+		var bestToA bool
+		for i := 0; i < cnt; i++ {
+			if assigned[i] {
+				continue
+			}
+			r := n.rectAt(i)
+			dA := enlargement(mbrA, r)
+			dB := enlargement(mbrB, r)
+			diff := dA - dB
+			if diff < 0 {
+				diff = -diff
+			}
+			if diff > bestDiff {
+				bestDiff, bestIdx = diff, i
+				bestToA = dA < dB ||
+					(dA == dB && mbrA.Area() < mbrB.Area()) ||
+					(dA == dB && mbrA.Area() == mbrB.Area() && len(groupA) <= len(groupB))
+			}
+		}
+		assigned[bestIdx] = true
+		if bestToA {
+			groupA = append(groupA, bestIdx)
+			mbrA = mbrA.Union(n.rectAt(bestIdx))
+		} else {
+			groupB = append(groupB, bestIdx)
+			mbrB = mbrB.Union(n.rectAt(bestIdx))
+		}
+		remaining--
+	}
+
+	sib := &node{leaf: n.leaf}
+	if n.leaf {
+		oldItems := n.items
+		n.items = make([]Item, 0, len(groupA))
+		for _, i := range groupA {
+			n.items = append(n.items, oldItems[i])
+		}
+		sib.items = make([]Item, 0, len(groupB))
+		for _, i := range groupB {
+			sib.items = append(sib.items, oldItems[i])
+		}
+	} else {
+		oldChildren := n.children
+		n.children = make([]*node, 0, len(groupA))
+		for _, i := range groupA {
+			n.children = append(n.children, oldChildren[i])
+		}
+		sib.children = make([]*node, 0, len(groupB))
+		for _, i := range groupB {
+			sib.children = append(sib.children, oldChildren[i])
+		}
+	}
+	n.mbr, sib.mbr = mbrA, mbrB
+	return sib
+}
+
+func recomputeMBR(n *node) geom.Rect {
+	if n.count() == 0 {
+		return geom.Rect{}
+	}
+	mbr := n.rectAt(0)
+	for i := 1; i < n.count(); i++ {
+		mbr = mbr.Union(n.rectAt(i))
+	}
+	return mbr
+}
+
+// adjustMBRs recomputes all MBRs bottom-up. Insert already grows MBRs
+// on the way down; this pass tightens after splits. It is O(n) in the
+// number of nodes, which is acceptable at the tree sizes Casper uses;
+// bulk loading avoids it entirely.
+func (t *Tree) adjustMBRs() {
+	var walk func(n *node) geom.Rect
+	walk = func(n *node) geom.Rect {
+		if n.leaf {
+			n.mbr = recomputeMBR(n)
+			return n.mbr
+		}
+		mbr := walk(n.children[0])
+		for _, c := range n.children[1:] {
+			mbr = mbr.Union(walk(c))
+		}
+		n.mbr = mbr
+		return mbr
+	}
+	if t.root.count() > 0 {
+		walk(t.root)
+	} else {
+		t.root.mbr = geom.Rect{}
+	}
+}
+
+// Delete removes one item matching id whose stored rectangle equals r.
+// It returns false when no such item exists. Orphaned entries from
+// underfull nodes are reinserted (Guttman's CondenseTree).
+func (t *Tree) Delete(id int64, r geom.Rect) bool {
+	leaf, idx := t.findLeaf(t.root, id, r)
+	if leaf == nil {
+		return false
+	}
+	leaf.items = append(leaf.items[:idx], leaf.items[idx+1:]...)
+	t.size--
+	t.condense(leaf)
+	return true
+}
+
+func (t *Tree) findLeaf(n *node, id int64, r geom.Rect) (*node, int) {
+	if !n.mbr.Intersects(r) && n.count() > 0 {
+		return nil, -1
+	}
+	if n.leaf {
+		for i, it := range n.items {
+			if it.ID == id && it.Rect == r {
+				return n, i
+			}
+		}
+		return nil, -1
+	}
+	for _, c := range n.children {
+		if leaf, i := t.findLeaf(c, id, r); leaf != nil {
+			return leaf, i
+		}
+	}
+	return nil, -1
+}
+
+// condense removes underfull nodes on the path to the just-modified
+// leaf, collecting their surviving entries for reinsertion, then
+// shrinks the root if it has a single child.
+func (t *Tree) condense(leaf *node) {
+	var path []*node
+	findPath(t.root, leaf, &path)
+
+	var orphans []Item
+	n := leaf
+	for len(path) > 0 {
+		parent := path[len(path)-1]
+		path = path[:len(path)-1]
+		if n.count() < t.minEntries {
+			// Remove n from parent, orphan its items.
+			for i, c := range parent.children {
+				if c == n {
+					parent.children = append(parent.children[:i], parent.children[i+1:]...)
+					break
+				}
+			}
+			collectItems(n, &orphans)
+		} else {
+			n.mbr = recomputeMBR(n)
+		}
+		n = parent
+	}
+	t.root.mbr = recomputeMBR(t.root)
+	// Shrink the root while it is an internal node with one child.
+	for !t.root.leaf && len(t.root.children) == 1 {
+		t.root = t.root.children[0]
+	}
+	if !t.root.leaf && len(t.root.children) == 0 {
+		t.root = &node{leaf: true}
+	}
+	// Reinsert orphans (size was already decremented for the deleted
+	// item only; orphans are still counted, so compensate).
+	t.size -= len(orphans)
+	for _, it := range orphans {
+		t.Insert(it)
+	}
+	t.adjustMBRs()
+}
+
+func collectItems(n *node, out *[]Item) {
+	if n.leaf {
+		*out = append(*out, n.items...)
+		return
+	}
+	for _, c := range n.children {
+		collectItems(c, out)
+	}
+}
+
+// Search returns all items whose rectangles intersect q. Order is
+// unspecified.
+func (t *Tree) Search(q geom.Rect) []Item {
+	var out []Item
+	t.SearchFunc(q, func(it Item) bool {
+		out = append(out, it)
+		return true
+	})
+	return out
+}
+
+// SearchFunc streams all items intersecting q to fn; returning false
+// from fn stops the search early.
+func (t *Tree) SearchFunc(q geom.Rect, fn func(Item) bool) {
+	if t.size == 0 {
+		return
+	}
+	searchNode(t.root, q, fn)
+}
+
+func searchNode(n *node, q geom.Rect, fn func(Item) bool) bool {
+	if !n.mbr.Intersects(q) {
+		return true
+	}
+	if n.leaf {
+		for _, it := range n.items {
+			if it.Rect.Intersects(q) {
+				if !fn(it) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	for _, c := range n.children {
+		if !searchNode(c, q, fn) {
+			return false
+		}
+	}
+	return true
+}
+
+// Count returns the number of items intersecting q without
+// materializing them.
+func (t *Tree) Count(q geom.Rect) int {
+	n := 0
+	t.SearchFunc(q, func(Item) bool { n++; return true })
+	return n
+}
+
+// Neighbor is a nearest-neighbor result: the item and its distance
+// under the chosen metric.
+type Neighbor struct {
+	Item Item
+	Dist float64
+}
+
+// Nearest returns the single nearest item to q under metric m, and
+// false when the tree is empty.
+func (t *Tree) Nearest(q geom.Point, m Metric) (Neighbor, bool) {
+	ns := t.NearestK(q, 1, m)
+	if len(ns) == 0 {
+		return Neighbor{}, false
+	}
+	return ns[0], true
+}
+
+// NearestK returns the k items nearest to q under metric m in
+// ascending distance order (fewer if the tree holds fewer). It runs a
+// best-first search over the tree: node MBRs are ranked by min-dist,
+// which lower-bounds both metrics (for MaxDist, a degenerate rectangle
+// at the nearest point of the MBR attains min-dist), so the search is
+// admissible and terminates as soon as k items are closer than the
+// best unexplored node.
+func (t *Tree) NearestK(q geom.Point, k int, m Metric) []Neighbor {
+	if k <= 0 || t.size == 0 {
+		return nil
+	}
+	pq := &nnHeap{}
+	pq.push(nnEntry{dist: q.MinDistRect(t.root.mbr), node: t.root})
+	var out []Neighbor
+	for pq.Len() > 0 {
+		e := pq.pop()
+		if len(out) == k && e.dist > out[len(out)-1].Dist {
+			break
+		}
+		if e.node == nil {
+			// A concrete item surfaced: its metric distance is exact.
+			out = insertNeighbor(out, Neighbor{Item: e.item, Dist: e.dist}, k)
+			continue
+		}
+		n := e.node
+		if n.leaf {
+			for _, it := range n.items {
+				pq.push(nnEntry{dist: m.DistTo(q, it.Rect), item: it})
+			}
+		} else {
+			for _, c := range n.children {
+				pq.push(nnEntry{dist: q.MinDistRect(c.mbr), node: c})
+			}
+		}
+	}
+	return out
+}
+
+// insertNeighbor inserts nb into the sorted slice keeping at most k.
+func insertNeighbor(out []Neighbor, nb Neighbor, k int) []Neighbor {
+	i := sort.Search(len(out), func(i int) bool { return out[i].Dist > nb.Dist })
+	out = append(out, Neighbor{})
+	copy(out[i+1:], out[i:])
+	out[i] = nb
+	if len(out) > k {
+		out = out[:k]
+	}
+	return out
+}
+
+// All returns every item in the tree in unspecified order.
+func (t *Tree) All() []Item {
+	var out []Item
+	collectItems(t.root, &out)
+	return out
+}
+
+// BulkLoad builds a tree from items using Sort-Tile-Recursive packing,
+// which produces a tighter tree than repeated insertion and costs
+// O(n log n). The input slice is not retained but is reordered.
+func BulkLoad(items []Item) *Tree {
+	return BulkLoadWithCapacity(items, defaultMaxEntries)
+}
+
+// BulkLoadWithCapacity is BulkLoad with an explicit node capacity.
+func BulkLoadWithCapacity(items []Item, maxEntries int) *Tree {
+	t := NewWithCapacity(maxEntries)
+	if len(items) == 0 {
+		return t
+	}
+	for _, it := range items {
+		if !it.Rect.IsValid() {
+			panic(fmt.Sprintf("rtree: bulk loading invalid rect %v", it.Rect))
+		}
+	}
+	leaves := strPackLeaves(items, maxEntries)
+	t.size = len(items)
+	level := leaves
+	for len(level) > 1 {
+		level = strPackNodes(level, maxEntries)
+	}
+	t.root = level[0]
+	return t
+}
+
+func strPackLeaves(items []Item, cap_ int) []*node {
+	n := len(items)
+	numLeaves := (n + cap_ - 1) / cap_
+	numStrips := intSqrtCeil(numLeaves)
+	sort.Slice(items, func(i, j int) bool {
+		return items[i].Rect.Center().X < items[j].Rect.Center().X
+	})
+	perStrip := (n + numStrips - 1) / numStrips
+	var leaves []*node
+	for s := 0; s < n; s += perStrip {
+		e := min(s+perStrip, n)
+		strip := items[s:e]
+		sort.Slice(strip, func(i, j int) bool {
+			return strip[i].Rect.Center().Y < strip[j].Rect.Center().Y
+		})
+		for i := 0; i < len(strip); i += cap_ {
+			j := min(i+cap_, len(strip))
+			leaf := &node{leaf: true, items: append([]Item(nil), strip[i:j]...)}
+			leaf.mbr = recomputeMBR(leaf)
+			leaves = append(leaves, leaf)
+		}
+	}
+	return leaves
+}
+
+func strPackNodes(nodes []*node, cap_ int) []*node {
+	n := len(nodes)
+	numParents := (n + cap_ - 1) / cap_
+	numStrips := intSqrtCeil(numParents)
+	sort.Slice(nodes, func(i, j int) bool {
+		return nodes[i].mbr.Center().X < nodes[j].mbr.Center().X
+	})
+	perStrip := (n + numStrips - 1) / numStrips
+	var parents []*node
+	for s := 0; s < n; s += perStrip {
+		e := min(s+perStrip, n)
+		strip := nodes[s:e]
+		sort.Slice(strip, func(i, j int) bool {
+			return strip[i].mbr.Center().Y < strip[j].mbr.Center().Y
+		})
+		for i := 0; i < len(strip); i += cap_ {
+			j := min(i+cap_, len(strip))
+			p := &node{children: append([]*node(nil), strip[i:j]...)}
+			p.mbr = recomputeMBR(p)
+			parents = append(parents, p)
+		}
+	}
+	return parents
+}
+
+func intSqrtCeil(n int) int {
+	s := 1
+	for s*s < n {
+		s++
+	}
+	return s
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// Stats describes the shape of the tree; useful in tests and for
+// tuning.
+type Stats struct {
+	Height     int
+	Nodes      int
+	Leaves     int
+	Items      int
+	AvgLeafOcc float64
+}
+
+// Stats computes tree-shape statistics.
+func (t *Tree) Stats() Stats {
+	var s Stats
+	var walk func(n *node, depth int)
+	walk = func(n *node, depth int) {
+		s.Nodes++
+		if depth > s.Height {
+			s.Height = depth
+		}
+		if n.leaf {
+			s.Leaves++
+			s.Items += len(n.items)
+			return
+		}
+		for _, c := range n.children {
+			walk(c, depth+1)
+		}
+	}
+	walk(t.root, 1)
+	if s.Leaves > 0 {
+		s.AvgLeafOcc = float64(s.Items) / float64(s.Leaves)
+	}
+	return s
+}
+
+// checkInvariants validates structural invariants; it is exported to
+// the package tests via export_test.go.
+func (t *Tree) checkInvariants() error {
+	itemCount := 0
+	var walk func(n *node, isRoot bool, depth int) (int, error)
+	walk = func(n *node, isRoot bool, depth int) (int, error) {
+		if n.count() == 0 && !isRoot {
+			return 0, fmt.Errorf("empty non-root node at depth %d", depth)
+		}
+		if !isRoot && n.count() < t.minEntries {
+			return 0, fmt.Errorf("underfull node (%d < %d) at depth %d", n.count(), t.minEntries, depth)
+		}
+		if n.count() > t.maxEntries {
+			return 0, fmt.Errorf("overfull node (%d > %d) at depth %d", n.count(), t.maxEntries, depth)
+		}
+		if n.leaf {
+			for _, it := range n.items {
+				if !n.mbr.ContainsRect(it.Rect) {
+					return 0, fmt.Errorf("leaf MBR %v misses item %v", n.mbr, it.Rect)
+				}
+			}
+			itemCount += len(n.items)
+			return depth, nil
+		}
+		if len(n.items) != 0 {
+			return 0, fmt.Errorf("internal node holds items")
+		}
+		leafDepth := -1
+		for _, c := range n.children {
+			if !n.mbr.ContainsRect(c.mbr) {
+				return 0, fmt.Errorf("node MBR %v misses child %v", n.mbr, c.mbr)
+			}
+			d, err := walk(c, false, depth+1)
+			if err != nil {
+				return 0, err
+			}
+			if leafDepth == -1 {
+				leafDepth = d
+			} else if leafDepth != d {
+				return 0, fmt.Errorf("unbalanced: leaves at depths %d and %d", leafDepth, d)
+			}
+		}
+		return leafDepth, nil
+	}
+	if _, err := walk(t.root, true, 1); err != nil {
+		return err
+	}
+	if itemCount != t.size {
+		return fmt.Errorf("size %d != counted items %d", t.size, itemCount)
+	}
+	return nil
+}
+
+// nnHeap is a binary min-heap over nnEntry, hand-rolled to avoid the
+// interface boxing of container/heap on this hot path.
+type nnEntry struct {
+	dist float64
+	node *node
+	item Item
+}
+
+type nnHeap struct {
+	es []nnEntry
+}
+
+func (h *nnHeap) Len() int { return len(h.es) }
+
+func (h *nnHeap) push(e nnEntry) {
+	h.es = append(h.es, e)
+	i := len(h.es) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if h.es[parent].dist <= h.es[i].dist {
+			break
+		}
+		h.es[parent], h.es[i] = h.es[i], h.es[parent]
+		i = parent
+	}
+}
+
+func (h *nnHeap) pop() nnEntry {
+	top := h.es[0]
+	last := len(h.es) - 1
+	h.es[0] = h.es[last]
+	h.es = h.es[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < len(h.es) && h.es[l].dist < h.es[smallest].dist {
+			smallest = l
+		}
+		if r < len(h.es) && h.es[r].dist < h.es[smallest].dist {
+			smallest = r
+		}
+		if smallest == i {
+			break
+		}
+		h.es[i], h.es[smallest] = h.es[smallest], h.es[i]
+		i = smallest
+	}
+	return top
+}

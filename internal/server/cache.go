@@ -1,0 +1,82 @@
+package server
+
+import (
+	"sync"
+
+	"casper/internal/geom"
+	"casper/internal/privacyqp"
+)
+
+// queryCache memoizes candidate lists for private queries over the
+// PUBLIC table. It exploits a structural property of Casper: cloaked
+// regions are grid-aligned (one pyramid cell or a sibling pair), so
+// different users — and the same user across small movements — issue
+// literally identical cloaks, and the public table changes rarely.
+// Entries are validated against a table version stamped at fill time;
+// any public-table mutation invalidates the whole cache in O(1) by
+// bumping the version.
+//
+// The private table is deliberately not cached: every location update
+// mutates it, so entries would be dead on arrival.
+type queryCache struct {
+	mu      sync.Mutex
+	entries map[cacheKey]cacheEntry
+	version int64 // public-table version the entries were computed at
+	maxSize int
+
+	hits   int64
+	misses int64
+}
+
+type cacheKey struct {
+	region  geom.Rect
+	filters int
+	k       int // 1 for PrivateNN; >1 for PrivateKNN
+}
+
+type cacheEntry struct {
+	res     privacyqp.Result
+	version int64
+}
+
+func newQueryCache(maxSize int) *queryCache {
+	return &queryCache{
+		entries: make(map[cacheKey]cacheEntry),
+		maxSize: maxSize,
+	}
+}
+
+// get returns a cached result valid at the given table version.
+func (c *queryCache) get(key cacheKey, version int64) (privacyqp.Result, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.entries[key]
+	if !ok || e.version != version {
+		c.misses++
+		return privacyqp.Result{}, false
+	}
+	c.hits++
+	return e.res, true
+}
+
+// put stores a result computed at the given table version. When full,
+// a pseudo-random victim (map iteration order) is evicted; given that
+// the working set is the set of live grid cells, churn is rare.
+func (c *queryCache) put(key cacheKey, res privacyqp.Result, version int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(c.entries) >= c.maxSize {
+		for k := range c.entries {
+			delete(c.entries, k)
+			break
+		}
+	}
+	c.entries[key] = cacheEntry{res: res, version: version}
+}
+
+// stats returns (hits, misses).
+func (c *queryCache) stats() (int64, int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}

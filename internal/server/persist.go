@@ -1,0 +1,187 @@
+package server
+
+import (
+	"fmt"
+	"os"
+
+	"casper/internal/geom"
+	"casper/internal/wal"
+)
+
+// Persistent wraps a Server with a write-ahead log so the public table
+// and the stored cloaked regions survive restarts. Mutations are
+// logged before being applied; queries go straight through. The log
+// holds only what the server itself may see — pseudonyms and cloaked
+// rectangles, never exact user locations — so persistence does not
+// widen the privacy boundary.
+type Persistent struct {
+	*Server
+	log *wal.Log
+}
+
+// OpenPersistent recovers a server from the WAL at path (creating an
+// empty log when none exists) and returns it ready for appends.
+func OpenPersistent(path string) (*Persistent, error) {
+	srv := New()
+	n, err := wal.Replay(path, func(r wal.Record) error { return apply(srv, r) })
+	if err != nil {
+		return nil, fmt.Errorf("server: recover: %w", err)
+	}
+	var log *wal.Log
+	if n == 0 {
+		// Fresh or unusable file: start a clean log.
+		log, err = wal.Create(path)
+	} else {
+		log, err = wal.OpenAppend(path)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return &Persistent{Server: srv, log: log}, nil
+}
+
+// apply replays one WAL record into a server. Replayed mutations are
+// idempotent-enough for a prefix log: upserts overwrite, removes of
+// missing objects are ignored.
+func apply(s *Server, r wal.Record) error {
+	switch r.Type {
+	case wal.PublicAdd:
+		err := s.AddPublic(PublicObject{ID: r.ID, Pos: geom.Pt(r.X0, r.Y0), Name: r.Name})
+		if err != nil {
+			// A duplicate add in the log means the object already
+			// exists; treat as refresh.
+			_ = s.RemovePublic(r.ID)
+			return s.AddPublic(PublicObject{ID: r.ID, Pos: geom.Pt(r.X0, r.Y0), Name: r.Name})
+		}
+		return nil
+	case wal.PublicRemove:
+		_ = s.RemovePublic(r.ID)
+		return nil
+	case wal.PrivateUpsert:
+		return s.UpsertPrivate(PrivateObject{ID: r.ID, Region: geom.R(r.X0, r.Y0, r.X1, r.Y1)})
+	case wal.PrivateRemove:
+		_ = s.RemovePrivate(r.ID)
+		return nil
+	default:
+		return fmt.Errorf("server: unknown WAL record %v", r.Type)
+	}
+}
+
+// AddPublic logs then applies.
+func (p *Persistent) AddPublic(o PublicObject) error {
+	if err := p.log.Append(wal.Record{
+		Type: wal.PublicAdd, ID: o.ID, X0: o.Pos.X, Y0: o.Pos.Y, Name: o.Name,
+	}); err != nil {
+		return err
+	}
+	return p.Server.AddPublic(o)
+}
+
+// RemovePublic logs then applies.
+func (p *Persistent) RemovePublic(id int64) error {
+	if err := p.log.Append(wal.Record{Type: wal.PublicRemove, ID: id}); err != nil {
+		return err
+	}
+	return p.Server.RemovePublic(id)
+}
+
+// UpsertPrivate logs then applies.
+func (p *Persistent) UpsertPrivate(o PrivateObject) error {
+	if err := p.log.Append(wal.Record{
+		Type: wal.PrivateUpsert, ID: o.ID,
+		X0: o.Region.Min.X, Y0: o.Region.Min.Y,
+		X1: o.Region.Max.X, Y1: o.Region.Max.Y,
+	}); err != nil {
+		return err
+	}
+	return p.Server.UpsertPrivate(o)
+}
+
+// RemovePrivate logs then applies.
+func (p *Persistent) RemovePrivate(id int64) error {
+	if err := p.log.Append(wal.Record{Type: wal.PrivateRemove, ID: id}); err != nil {
+		return err
+	}
+	return p.Server.RemovePrivate(id)
+}
+
+// LoadPublic replaces the public table, logging the replacement as a
+// removal-free sequence of adds into a compacted log (the bulk load is
+// a bootstrap operation; compaction keeps the log equal to the state).
+func (p *Persistent) LoadPublic(objs []PublicObject) error {
+	p.Server.LoadPublic(objs)
+	return p.Compact()
+}
+
+// Sync makes all appended records durable.
+func (p *Persistent) Sync() error { return p.log.Sync() }
+
+// Compact rewrites the log so it contains exactly the current state:
+// one PublicAdd per public object and one PrivateUpsert per cloaked
+// region. The snapshot is written to a temporary file, synced, and
+// atomically renamed over the old log, so a crash at any point leaves
+// either the full old log or the full snapshot — never a mix.
+func (p *Persistent) Compact() error {
+	path := p.log.Path()
+	if err := p.log.Close(); err != nil {
+		return err
+	}
+	tmpPath := path + ".compact"
+	tmp, err := wal.Create(tmpPath)
+	if err != nil {
+		return err
+	}
+	p.mu.RLock()
+	pubs := make([]PublicObject, 0, len(p.pubIdx))
+	for _, o := range p.pubIdx {
+		pubs = append(pubs, o)
+	}
+	privs := make([]PrivateObject, 0, len(p.privIdx))
+	for _, o := range p.privIdx {
+		privs = append(privs, o)
+	}
+	p.mu.RUnlock()
+	for _, o := range pubs {
+		if err := tmp.Append(wal.Record{
+			Type: wal.PublicAdd, ID: o.ID, X0: o.Pos.X, Y0: o.Pos.Y, Name: o.Name,
+		}); err != nil {
+			tmp.Close()
+			return err
+		}
+	}
+	for _, o := range privs {
+		if err := tmp.Append(wal.Record{
+			Type: wal.PrivateUpsert, ID: o.ID,
+			X0: o.Region.Min.X, Y0: o.Region.Min.Y,
+			X1: o.Region.Max.X, Y1: o.Region.Max.Y,
+		}); err != nil {
+			tmp.Close()
+			return err
+		}
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmpPath, path); err != nil {
+		return fmt.Errorf("server: compact rename: %w", err)
+	}
+	fresh, err := wal.OpenAppend(path)
+	if err != nil {
+		return err
+	}
+	p.log = fresh
+	return nil
+}
+
+// Close syncs and closes the log.
+func (p *Persistent) Close() error {
+	if err := p.log.Sync(); err != nil {
+		p.log.Close()
+		return err
+	}
+	return p.log.Close()
+}

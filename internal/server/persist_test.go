@@ -1,0 +1,203 @@
+package server
+
+import (
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"casper/internal/geom"
+	"casper/internal/privacyqp"
+)
+
+func tmpWAL(t *testing.T) string {
+	t.Helper()
+	return filepath.Join(t.TempDir(), "server.wal")
+}
+
+func TestPersistentSurvivesRestart(t *testing.T) {
+	path := tmpWAL(t)
+	p, err := OpenPersistent(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.AddPublic(PublicObject{ID: 1, Pos: geom.Pt(10, 20), Name: "cafe"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.AddPublic(PublicObject{ID: 2, Pos: geom.Pt(30, 40), Name: "gas"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.UpsertPrivate(PrivateObject{ID: 100, Region: geom.R(0, 0, 50, 50)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.UpsertPrivate(PrivateObject{ID: 101, Region: geom.R(60, 60, 90, 90)}); err != nil {
+		t.Fatal(err)
+	}
+	// Mutations after the initial ones.
+	if err := p.RemovePublic(2); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.UpsertPrivate(PrivateObject{ID: 100, Region: geom.R(200, 200, 260, 260)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.RemovePrivate(101); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Restart.
+	q, err := OpenPersistent(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer q.Close()
+	if q.PublicCount() != 1 || q.PrivateCount() != 1 {
+		t.Fatalf("recovered public=%d private=%d", q.PublicCount(), q.PrivateCount())
+	}
+	o, ok := q.GetPublic(1)
+	if !ok || o.Name != "cafe" || o.Pos != geom.Pt(10, 20) {
+		t.Fatalf("recovered public = %+v, %v", o, ok)
+	}
+	pr, ok := q.GetPrivate(100)
+	if !ok || pr.Region != geom.R(200, 200, 260, 260) {
+		t.Fatalf("recovered private = %+v, %v", pr, ok)
+	}
+	if _, ok := q.GetPrivate(101); ok {
+		t.Fatal("removed private object resurrected")
+	}
+	// Queries work on the recovered state.
+	res, err := q.NNPublic(geom.R(0, 0, 100, 100), privacyqp.DefaultOptions())
+	if err != nil || len(res.Candidates) != 1 {
+		t.Fatalf("query on recovered server: %v, %d candidates", err, len(res.Candidates))
+	}
+}
+
+func TestPersistentCrashMidWrite(t *testing.T) {
+	path := tmpWAL(t)
+	p, err := OpenPersistent(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 200; i++ {
+		x, y := rng.Float64()*900, rng.Float64()*900
+		if err := p.UpsertPrivate(PrivateObject{ID: int64(i), Region: geom.R(x, y, x+10, y+10)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := p.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	// Crash: no Close. Torn bytes at the tail.
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Write([]byte{0x44, 0x00, 0x00})
+	f.Close()
+
+	q, err := OpenPersistent(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer q.Close()
+	if q.PrivateCount() != 200 {
+		t.Fatalf("recovered %d objects, want 200", q.PrivateCount())
+	}
+	// The recovered log accepts appends and they survive another
+	// restart.
+	if err := q.UpsertPrivate(PrivateObject{ID: 999, Region: geom.R(1, 1, 2, 2)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := q.Close(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := OpenPersistent(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if r.PrivateCount() != 201 {
+		t.Fatalf("after second restart: %d", r.PrivateCount())
+	}
+}
+
+func TestPersistentCompactShrinksLog(t *testing.T) {
+	path := tmpWAL(t)
+	p, err := OpenPersistent(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Many updates to the same few objects bloat the log.
+	rng := rand.New(rand.NewSource(2))
+	for round := 0; round < 1000; round++ {
+		id := int64(rng.Intn(10))
+		x, y := rng.Float64()*900, rng.Float64()*900
+		if err := p.UpsertPrivate(PrivateObject{ID: id, Region: geom.R(x, y, x+5, y+5)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := p.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	before, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	after, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.Size() >= before.Size()/10 {
+		t.Fatalf("compact barely helped: %d -> %d bytes", before.Size(), after.Size())
+	}
+	// State intact and log still appendable.
+	if p.PrivateCount() != 10 {
+		t.Fatalf("state after compact: %d", p.PrivateCount())
+	}
+	if err := p.UpsertPrivate(PrivateObject{ID: 500, Region: geom.R(1, 1, 2, 2)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+	q, err := OpenPersistent(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer q.Close()
+	if q.PrivateCount() != 11 {
+		t.Fatalf("after compact+restart: %d", q.PrivateCount())
+	}
+}
+
+func TestPersistentLoadPublicCompacts(t *testing.T) {
+	path := tmpWAL(t)
+	p, err := OpenPersistent(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	objs := make([]PublicObject, 50)
+	for i := range objs {
+		objs[i] = PublicObject{ID: int64(i), Pos: geom.Pt(float64(i), float64(i)), Name: "poi"}
+	}
+	if err := p.LoadPublic(objs); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+	q, err := OpenPersistent(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer q.Close()
+	if q.PublicCount() != 50 {
+		t.Fatalf("recovered %d public objects", q.PublicCount())
+	}
+}

@@ -1,0 +1,325 @@
+// Package server implements the privacy-aware location-based database
+// server of the Casper architecture (Fig. 1 of the paper): the
+// component that stores public objects (exact points — gas stations,
+// hospitals, police cars) and private objects (cloaked rectangles
+// received from the location anonymizer, keyed by pseudonym), and
+// answers the three novel query types through the embedded
+// privacy-aware query processor:
+//
+//   - private queries over public data (Sec. 5.1),
+//   - public queries over private data (Sec. 5),
+//   - private queries over private data (Sec. 5.2).
+//
+// The server never sees exact user locations or user identities; the
+// anonymizer forwards only (pseudonym, cloaked region) pairs.
+//
+// All methods are safe for concurrent use.
+package server
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"casper/internal/geom"
+	"casper/internal/privacyqp"
+	"casper/internal/rtree"
+)
+
+// PublicObject is an exact-location object in the public table.
+type PublicObject struct {
+	ID   int64
+	Pos  geom.Point
+	Name string
+}
+
+// PrivateObject is a cloaked object in the private table. The ID is a
+// pseudonym assigned by the anonymizer; the server cannot link it to a
+// real user.
+type PrivateObject struct {
+	ID     int64
+	Region geom.Rect
+}
+
+// Errors returned by the server.
+var (
+	ErrUnknownObject   = errors.New("server: unknown object")
+	ErrDuplicateObject = errors.New("server: object already exists")
+)
+
+// Server is the location-based database server.
+type Server struct {
+	mu      sync.RWMutex
+	public  *rtree.Tree
+	private *rtree.Tree
+	pubIdx  map[int64]PublicObject
+	privIdx map[int64]PrivateObject
+
+	// queries counts processed private queries (diagnostics).
+	queries int64
+
+	// cache memoizes public-table candidate lists; pubVersion
+	// invalidates it wholesale on public-table mutations.
+	cache      *queryCache
+	pubVersion int64
+}
+
+// New returns an empty server.
+func New() *Server {
+	return &Server{
+		public:  rtree.New(),
+		private: rtree.New(),
+		pubIdx:  make(map[int64]PublicObject),
+		privIdx: make(map[int64]PrivateObject),
+		cache:   newQueryCache(4096),
+	}
+}
+
+// LoadPublic bulk-loads the public table, replacing its contents.
+// Use at startup; incremental changes go through AddPublic.
+func (s *Server) LoadPublic(objs []PublicObject) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	items := make([]rtree.Item, len(objs))
+	s.pubIdx = make(map[int64]PublicObject, len(objs))
+	for i, o := range objs {
+		items[i] = rtree.Item{Rect: geom.Rect{Min: o.Pos, Max: o.Pos}, ID: o.ID, Data: o.Name}
+		s.pubIdx[o.ID] = o
+	}
+	s.public = rtree.BulkLoad(items)
+	s.pubVersion++
+}
+
+// AddPublic inserts one public object.
+func (s *Server) AddPublic(o PublicObject) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.pubIdx[o.ID]; ok {
+		return fmt.Errorf("%w: public %d", ErrDuplicateObject, o.ID)
+	}
+	s.pubIdx[o.ID] = o
+	s.public.Insert(rtree.Item{Rect: geom.Rect{Min: o.Pos, Max: o.Pos}, ID: o.ID, Data: o.Name})
+	s.pubVersion++
+	return nil
+}
+
+// RemovePublic deletes a public object.
+func (s *Server) RemovePublic(id int64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	o, ok := s.pubIdx[id]
+	if !ok {
+		return fmt.Errorf("%w: public %d", ErrUnknownObject, id)
+	}
+	delete(s.pubIdx, id)
+	s.public.Delete(id, geom.Rect{Min: o.Pos, Max: o.Pos})
+	s.pubVersion++
+	return nil
+}
+
+// UpsertPrivate stores or refreshes the cloaked region of a private
+// object. This is the server-side effect of every location update a
+// mobile user sends through the anonymizer.
+func (s *Server) UpsertPrivate(o PrivateObject) error {
+	if !o.Region.IsValid() {
+		return fmt.Errorf("server: invalid cloaked region %v", o.Region)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if old, ok := s.privIdx[o.ID]; ok {
+		s.private.Delete(o.ID, old.Region)
+	}
+	s.privIdx[o.ID] = o
+	s.private.Insert(rtree.Item{Rect: o.Region, ID: o.ID})
+	return nil
+}
+
+// RemovePrivate deletes a private object (user quit).
+func (s *Server) RemovePrivate(id int64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	o, ok := s.privIdx[id]
+	if !ok {
+		return fmt.Errorf("%w: private %d", ErrUnknownObject, id)
+	}
+	delete(s.privIdx, id)
+	s.private.Delete(id, o.Region)
+	return nil
+}
+
+// PublicCount and PrivateCount return table sizes.
+func (s *Server) PublicCount() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.public.Len()
+}
+
+// PrivateCount returns the number of stored private objects.
+func (s *Server) PrivateCount() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.private.Len()
+}
+
+// Queries returns the number of private queries processed.
+func (s *Server) Queries() int64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.queries
+}
+
+// NNPublic answers a private nearest-neighbor query over the public
+// table: only the cloaked region of the asker is known. The result's
+// candidate list is inclusive and minimal (Theorems 1-2).
+// Cached results share their candidate slices across callers; treat
+// them as read-only.
+func (s *Server) NNPublic(cloak geom.Rect, opt privacyqp.Options) (privacyqp.Result, error) {
+	s.mu.Lock()
+	s.queries++
+	version := s.pubVersion
+	s.mu.Unlock()
+	key := cacheKey{region: cloak, filters: opt.Filters, k: 1}
+	if res, ok := s.cache.get(key, version); ok {
+		return res, nil
+	}
+	s.mu.RLock()
+	res, err := privacyqp.PrivateNN(s.public, cloak, privacyqp.PublicData, opt)
+	s.mu.RUnlock()
+	if err == nil {
+		s.cache.put(key, res, version)
+	}
+	return res, err
+}
+
+// NNPrivate answers a private nearest-neighbor query over the private
+// table (e.g. "nearest buddy"). excludeID removes the asker's own
+// stored cloak from the candidate list; pass a negative value to keep
+// everything.
+func (s *Server) NNPrivate(cloak geom.Rect, excludeID int64, opt privacyqp.Options) (privacyqp.Result, error) {
+	s.mu.Lock()
+	s.queries++
+	s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	res, err := privacyqp.PrivateNN(s.private, cloak, privacyqp.PrivateData, opt)
+	if err != nil {
+		return res, err
+	}
+	if excludeID >= 0 {
+		out := res.Candidates[:0]
+		for _, c := range res.Candidates {
+			if c.ID != excludeID {
+				out = append(out, c)
+			}
+		}
+		res.Candidates = out
+	}
+	return res, nil
+}
+
+// KNNPublic answers a private k-nearest-neighbor query over the
+// public table: the candidate list contains the k nearest targets for
+// every possible user position in the cloak.
+func (s *Server) KNNPublic(cloak geom.Rect, k int, opt privacyqp.Options) (privacyqp.Result, error) {
+	s.mu.Lock()
+	s.queries++
+	version := s.pubVersion
+	s.mu.Unlock()
+	key := cacheKey{region: cloak, filters: opt.Filters, k: k}
+	if res, ok := s.cache.get(key, version); ok {
+		return res, nil
+	}
+	s.mu.RLock()
+	res, err := privacyqp.PrivateKNN(s.public, cloak, k, privacyqp.PublicData, opt)
+	s.mu.RUnlock()
+	if err == nil {
+		s.cache.put(key, res, version)
+	}
+	return res, err
+}
+
+// KNNPrivate answers a private k-nearest-neighbor query over the
+// private table, excluding the asker's own cloak when excludeID >= 0.
+// k is validated against the table size net of the exclusion.
+func (s *Server) KNNPrivate(cloak geom.Rect, k int, excludeID int64, opt privacyqp.Options) (privacyqp.Result, error) {
+	s.mu.Lock()
+	s.queries++
+	s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	res, err := privacyqp.PrivateKNN(s.private, cloak, k, privacyqp.PrivateData, opt)
+	if err != nil {
+		return res, err
+	}
+	if excludeID >= 0 {
+		out := res.Candidates[:0]
+		for _, c := range res.Candidates {
+			if c.ID != excludeID {
+				out = append(out, c)
+			}
+		}
+		res.Candidates = out
+	}
+	return res, nil
+}
+
+// RangePublic answers a private range query over the public table.
+func (s *Server) RangePublic(cloak geom.Rect, radius float64) (privacyqp.Result, error) {
+	s.mu.Lock()
+	s.queries++
+	s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return privacyqp.PrivateRange(s.public, cloak, radius, privacyqp.PublicData)
+}
+
+// CountPrivate answers a public range query over the private table:
+// how many mobile users are in region r, under the given policy.
+func (s *Server) CountPrivate(r geom.Rect, policy privacyqp.CountPolicy) (float64, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return privacyqp.PublicRangeCount(s.private, r, policy)
+}
+
+// DensityPrivate computes the n x n expected-count density grid of the
+// private table over the given universe (see privacyqp.DensityGrid).
+func (s *Server) DensityPrivate(universe geom.Rect, n int) ([][]float64, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return privacyqp.DensityGrid(s.private, universe, n)
+}
+
+// ListPrivateIn lists the cloaked objects overlapping region r by at
+// least minOverlap of their area.
+func (s *Server) ListPrivateIn(r geom.Rect, minOverlap float64) ([]rtree.Item, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return privacyqp.PublicRangeObjects(s.private, r, minOverlap)
+}
+
+// CacheStats returns the public-query cache's (hits, misses).
+func (s *Server) CacheStats() (int64, int64) { return s.cache.stats() }
+
+// PublicItems snapshots the public table as index items (used to seed
+// the continuous monitor).
+func (s *Server) PublicItems() []rtree.Item {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.public.All()
+}
+
+// GetPublic looks up a public object by ID.
+func (s *Server) GetPublic(id int64) (PublicObject, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	o, ok := s.pubIdx[id]
+	return o, ok
+}
+
+// GetPrivate looks up a private object by pseudonym.
+func (s *Server) GetPrivate(id int64) (PrivateObject, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	o, ok := s.privIdx[id]
+	return o, ok
+}

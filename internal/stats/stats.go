@@ -1,0 +1,130 @@
+// Package stats provides the small set of summary statistics the
+// experiment harness needs: streaming mean/variance (Welford),
+// order statistics (median, arbitrary quantiles), and a robust
+// batch-median timer helper that keeps GC pauses and scheduler noise
+// out of the per-operation timings reported in the tables.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+)
+
+// Summary accumulates observations in a single pass (Welford's
+// algorithm) while retaining them for order statistics.
+type Summary struct {
+	values []float64
+	mean   float64
+	m2     float64
+}
+
+// Add records one observation.
+func (s *Summary) Add(v float64) {
+	s.values = append(s.values, v)
+	n := float64(len(s.values))
+	d := v - s.mean
+	s.mean += d / n
+	s.m2 += d * (v - s.mean)
+}
+
+// N returns the number of observations.
+func (s *Summary) N() int { return len(s.values) }
+
+// Mean returns the arithmetic mean (0 for no observations).
+func (s *Summary) Mean() float64 {
+	if len(s.values) == 0 {
+		return 0
+	}
+	return s.mean
+}
+
+// Variance returns the sample variance (0 for fewer than two
+// observations).
+func (s *Summary) Variance() float64 {
+	if len(s.values) < 2 {
+		return 0
+	}
+	return s.m2 / float64(len(s.values)-1)
+}
+
+// StdDev returns the sample standard deviation.
+func (s *Summary) StdDev() float64 { return math.Sqrt(s.Variance()) }
+
+// Quantile returns the q-th quantile (q in [0,1]) with linear
+// interpolation between order statistics. It panics on q outside
+// [0,1]; it returns 0 with no observations.
+func (s *Summary) Quantile(q float64) float64 {
+	if q < 0 || q > 1 {
+		panic(fmt.Sprintf("stats: quantile %v out of [0,1]", q))
+	}
+	n := len(s.values)
+	if n == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), s.values...)
+	sort.Float64s(sorted)
+	if n == 1 {
+		return sorted[0]
+	}
+	pos := q * float64(n-1)
+	lo := int(pos)
+	if lo >= n-1 {
+		return sorted[n-1]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[lo+1]*frac
+}
+
+// Median returns the 50th percentile.
+func (s *Summary) Median() float64 { return s.Quantile(0.5) }
+
+// Min and Max return the extremes (0 with no observations).
+func (s *Summary) Min() float64 {
+	if len(s.values) == 0 {
+		return 0
+	}
+	m := s.values[0]
+	for _, v := range s.values[1:] {
+		if v < m {
+			m = v
+		}
+	}
+	return m
+}
+
+// Max returns the largest observation.
+func (s *Summary) Max() float64 {
+	if len(s.values) == 0 {
+		return 0
+	}
+	m := s.values[0]
+	for _, v := range s.values[1:] {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// MedianBatchTime measures fn's per-operation time robustly: the total
+// work (batches x batchSize calls) is split into batches, each batch
+// is timed as a unit, and the median per-op time across batches is
+// returned. One GC pause or scheduler hiccup can only poison the
+// batches it lands in, and the median discards them — unlike a single
+// all-inclusive mean.
+func MedianBatchTime(batches, batchSize int, fn func()) time.Duration {
+	if batches < 1 || batchSize < 1 {
+		panic(fmt.Sprintf("stats: bad batch shape %dx%d", batches, batchSize))
+	}
+	var s Summary
+	for b := 0; b < batches; b++ {
+		start := time.Now()
+		for i := 0; i < batchSize; i++ {
+			fn()
+		}
+		s.Add(float64(time.Since(start).Nanoseconds()) / float64(batchSize))
+	}
+	return time.Duration(s.Median())
+}

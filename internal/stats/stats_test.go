@@ -1,0 +1,125 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+func TestEmptySummary(t *testing.T) {
+	var s Summary
+	if s.N() != 0 || s.Mean() != 0 || s.Variance() != 0 || s.Median() != 0 ||
+		s.Min() != 0 || s.Max() != 0 {
+		t.Fatal("empty summary not all-zero")
+	}
+}
+
+func TestMeanVariance(t *testing.T) {
+	var s Summary
+	for _, v := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		s.Add(v)
+	}
+	if s.N() != 8 {
+		t.Fatalf("N = %d", s.N())
+	}
+	if math.Abs(s.Mean()-5) > 1e-12 {
+		t.Fatalf("Mean = %v", s.Mean())
+	}
+	// Sample variance of that classic set is 32/7.
+	if math.Abs(s.Variance()-32.0/7) > 1e-12 {
+		t.Fatalf("Variance = %v", s.Variance())
+	}
+	if math.Abs(s.StdDev()-math.Sqrt(32.0/7)) > 1e-12 {
+		t.Fatalf("StdDev = %v", s.StdDev())
+	}
+}
+
+func TestQuantiles(t *testing.T) {
+	var s Summary
+	for i := 1; i <= 5; i++ {
+		s.Add(float64(i))
+	}
+	if s.Median() != 3 {
+		t.Fatalf("Median = %v", s.Median())
+	}
+	if s.Quantile(0) != 1 || s.Quantile(1) != 5 {
+		t.Fatalf("extremes = %v, %v", s.Quantile(0), s.Quantile(1))
+	}
+	if got := s.Quantile(0.25); got != 2 {
+		t.Fatalf("Q1 = %v", got)
+	}
+	// Interpolation between order statistics.
+	var e Summary
+	e.Add(1)
+	e.Add(2)
+	if got := e.Quantile(0.5); got != 1.5 {
+		t.Fatalf("interpolated median = %v", got)
+	}
+	if e.Min() != 1 || e.Max() != 2 {
+		t.Fatal("min/max broken")
+	}
+}
+
+func TestQuantilePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	var s Summary
+	s.Add(1)
+	s.Quantile(1.5)
+}
+
+func TestWelfordMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	var s Summary
+	var vals []float64
+	for i := 0; i < 5000; i++ {
+		v := rng.NormFloat64()*3 + 10
+		s.Add(v)
+		vals = append(vals, v)
+	}
+	mean := 0.0
+	for _, v := range vals {
+		mean += v
+	}
+	mean /= float64(len(vals))
+	varN := 0.0
+	for _, v := range vals {
+		varN += (v - mean) * (v - mean)
+	}
+	varN /= float64(len(vals) - 1)
+	if math.Abs(s.Mean()-mean) > 1e-9 || math.Abs(s.Variance()-varN) > 1e-6 {
+		t.Fatalf("welford drift: mean %v vs %v, var %v vs %v", s.Mean(), mean, s.Variance(), varN)
+	}
+}
+
+func TestMedianBatchTimeRobustToOutliers(t *testing.T) {
+	calls := 0
+	d := MedianBatchTime(9, 10, func() {
+		calls++
+		// Inject a large stall in exactly one batch.
+		if calls == 35 { // batch 4
+			time.Sleep(20 * time.Millisecond)
+		}
+	})
+	if calls != 90 {
+		t.Fatalf("calls = %d", calls)
+	}
+	// The stall contributes 2ms/op to one batch; the median across 9
+	// batches must not reflect it.
+	if d > 2*time.Millisecond {
+		t.Fatalf("median batch time polluted by outlier: %v", d)
+	}
+}
+
+func TestMedianBatchTimeValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	MedianBatchTime(0, 1, func() {})
+}
