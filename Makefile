@@ -1,0 +1,24 @@
+GO ?= go
+
+.PHONY: all build vet test race check bench
+
+all: check
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# check is the CI gate: everything must build, vet clean, and pass the
+# full suite under the race detector (the framework is concurrent).
+check: build vet race
+
+bench:
+	$(GO) test -bench=. -benchmem

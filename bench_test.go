@@ -16,8 +16,10 @@ import (
 	"fmt"
 	"math/rand"
 	"path/filepath"
+	"sync/atomic"
 	"testing"
 
+	"casper"
 	"casper/internal/anonymizer"
 	"casper/internal/baselines"
 	"casper/internal/continuous"
@@ -587,4 +589,100 @@ func BenchmarkContinuousMonitorUpdate(b *testing.B) {
 		}
 	}
 	b.ReportMetric(float64(events)/float64(b.N), "events/op")
+}
+
+// --- Concurrency ------------------------------------------------------
+//
+// The remaining benchmarks are not paper figures: they measure the
+// concurrent query path introduced by the reader/writer locking model
+// (DESIGN.md, "Concurrency model"). Compare BenchmarkSerialNN against
+// BenchmarkParallelNN at GOMAXPROCS >= 4 to see the speedup.
+
+const concurrencyUsers = 1024
+
+// concurrencyWorld builds one Casper instance sized so queries do real
+// pyramid + R-tree work: a mid-size population over 1000 targets.
+func concurrencyWorld(b *testing.B) *casper.Casper {
+	b.Helper()
+	cfg := casper.DefaultConfig()
+	cfg.Universe = casper.R(0, 0, 10000, 10000)
+	cfg.PyramidLevels = 8
+	c := casper.MustNew(cfg)
+	c.LoadPublicObjects(casper.UniformTargets(cfg.Universe, 1000, 3))
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < concurrencyUsers; i++ {
+		pos := geom.Pt(rng.Float64()*10000, rng.Float64()*10000)
+		maxK := 8
+		if i+1 < maxK {
+			maxK = i + 1
+		}
+		if err := c.RegisterUser(anonymizer.UserID(i), pos, anonymizer.Profile{K: 1 + rng.Intn(maxK)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return c
+}
+
+// BenchmarkSerialNN is the single-goroutine baseline for
+// BenchmarkParallelNN: same world, same query mix, no parallelism.
+func BenchmarkSerialNN(b *testing.B) {
+	c := concurrencyWorld(b)
+	defer c.Close()
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.NearestPublic(anonymizer.UserID(i % concurrencyUsers)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkParallelNN runs the private NN pipeline from GOMAXPROCS
+// goroutines against one shared Casper instance.
+func BenchmarkParallelNN(b *testing.B) {
+	c := concurrencyWorld(b)
+	defer c.Close()
+	var lane int64
+	b.ResetTimer()
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		// Stride the lanes apart so goroutines touch different users.
+		i := atomic.AddInt64(&lane, 1) * 7919
+		for pb.Next() {
+			i++
+			if _, err := c.NearestPublic(anonymizer.UserID(i % concurrencyUsers)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkParallelMixed interleaves location updates (writers, which
+// re-cloak and hit the anonymizer's write lock) with NN queries
+// (readers), one update per eight operations.
+func BenchmarkParallelMixed(b *testing.B) {
+	c := concurrencyWorld(b)
+	defer c.Close()
+	var lane int64
+	b.ResetTimer()
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		seed := atomic.AddInt64(&lane, 1)
+		rng := rand.New(rand.NewSource(seed))
+		i := seed * 7919
+		for pb.Next() {
+			i++
+			uid := anonymizer.UserID(i % concurrencyUsers)
+			if i%8 == 0 {
+				pos := geom.Pt(rng.Float64()*10000, rng.Float64()*10000)
+				if err := c.UpdateUser(uid, pos); err != nil {
+					b.Fatal(err)
+				}
+				continue
+			}
+			if _, err := c.NearestPublic(uid); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }

@@ -12,7 +12,7 @@
 //
 // # Quick start
 //
-//	c := casper.New(casper.DefaultConfig())
+//	c := casper.MustNew(casper.DefaultConfig())
 //	c.LoadPublicObjects([]casper.PublicObject{
 //		{ID: 1, Pos: casper.Pt(120, 80), Name: "gas station"},
 //	})
@@ -20,6 +20,26 @@
 //	ans, _ := c.NearestPublic(42)
 //	fmt.Println(ans.Exact.Data) // "gas station" — found without the
 //	                            // server ever seeing (100, 100)
+//
+// # Concurrency
+//
+// A Casper instance is safe for concurrent use. Queries
+// (NearestPublic, NearestBuddy, KNearestPublic, RangePublic,
+// CountUsersIn, UserDensityGrid) run in parallel with each other;
+// mutations (RegisterUser, UpdateUser, SetProfile, DeregisterUser,
+// public-table edits) serialize only against operations touching the
+// same internal structure. The protocol server exploits this: requests
+// from different client connections are processed concurrently. See
+// the "Concurrency model" section of DESIGN.md for the locking
+// architecture.
+//
+// # Errors
+//
+// Failures carry exported sentinel errors — ErrNotRegistered,
+// ErrAlreadyRegistered, ErrMonitorDisabled, ErrEmptyCandidates,
+// ErrNoBuddies, ErrUnsatisfiable — which errors.Is recognizes both
+// in-process and through a ProtocolClient round trip (the wire
+// protocol transports a stable error code alongside the message).
 //
 // The package re-exports the framework types from the internal
 // implementation packages; see DESIGN.md for the architecture map and
@@ -139,12 +159,35 @@ const (
 	PrivateData = privacyqp.PrivateData
 )
 
-// New builds an in-memory Casper instance (Config.WALPath is ignored;
-// use Open for durability).
-func New(cfg Config) *Casper { return core.New(cfg) }
+// Sentinel errors, re-exported from the framework core and anonymizer.
+// Test with errors.Is; they survive a ProtocolClient round trip.
+var (
+	// ErrAlreadyRegistered reports RegisterUser of an existing ID.
+	ErrAlreadyRegistered = core.ErrAlreadyRegistered
+	// ErrNotRegistered reports an operation on an unknown user ID.
+	ErrNotRegistered = core.ErrNotRegistered
+	// ErrMonitorDisabled reports Watch* before EnableContinuous.
+	ErrMonitorDisabled = core.ErrMonitorDisabled
+	// ErrEmptyCandidates reports a private query with no candidates.
+	ErrEmptyCandidates = core.ErrEmptyCandidates
+	// ErrNoBuddies reports a buddy query with no other users.
+	ErrNoBuddies = core.ErrNoBuddies
+	// ErrUnsatisfiable reports a privacy profile no region can satisfy.
+	ErrUnsatisfiable = anonymizer.ErrUnsatisfiable
+)
+
+// New builds a Casper instance, recovering the database server from
+// Config.WALPath when that is set. Close it to flush the log.
+func New(cfg Config) (*Casper, error) { return core.New(cfg) }
+
+// MustNew is New for configurations that cannot fail (no WALPath);
+// it panics on error. Convenient for examples and tests.
+func MustNew(cfg Config) *Casper { return core.MustNew(cfg) }
 
 // Open builds a Casper instance, recovering the database server from
-// Config.WALPath when set. Close it to flush the log.
+// Config.WALPath when set.
+//
+// Deprecated: Open is now identical to New. Call New.
 func Open(cfg Config) (*Casper, error) { return core.Open(cfg) }
 
 // DefaultConfig mirrors the paper's experimental setup: a
@@ -164,6 +207,9 @@ type (
 	ProtocolClient = protocol.Client
 	// ProtocolRect is the wire form of a rectangle.
 	ProtocolRect = protocol.Rect
+	// WireError is an application error received over the protocol;
+	// errors.Is sees through it to the sentinel it transports.
+	WireError = protocol.WireError
 )
 
 // NewProtocolServer wraps a framework instance for network serving.

@@ -12,7 +12,7 @@ func TestFacadeQuickstart(t *testing.T) {
 	cfg := casper.DefaultConfig()
 	cfg.Universe = casper.R(0, 0, 1000, 1000)
 	cfg.PyramidLevels = 6
-	c := casper.New(cfg)
+	c := casper.MustNew(cfg)
 
 	c.LoadPublicObjects([]casper.PublicObject{
 		{ID: 1, Pos: casper.Pt(120, 80), Name: "gas station A"},
@@ -61,7 +61,7 @@ func TestFacadeWorkloadHelpers(t *testing.T) {
 func TestFacadeEndToEndWithGenerator(t *testing.T) {
 	cfg := casper.DefaultConfig()
 	cfg.PyramidLevels = 8
-	c := casper.New(cfg)
+	c := casper.MustNew(cfg)
 	c.LoadPublicObjects(casper.UniformTargets(cfg.Universe, 1000, 4))
 
 	net := casper.SyntheticHennepin(5)
@@ -113,7 +113,7 @@ func TestFacadeGeoProjection(t *testing.T) {
 	cfg := casper.DefaultConfig()
 	cfg.Universe = box
 	cfg.PyramidLevels = 7
-	c := casper.New(cfg)
+	c := casper.MustNew(cfg)
 	c.LoadPublicObjects([]casper.PublicObject{
 		{ID: 1, Pos: proj.ToLocal(44.9740, -93.2277), Name: "US Bank Stadium"},
 	})
@@ -133,7 +133,7 @@ func TestFacadeContinuous(t *testing.T) {
 	cfg := casper.DefaultConfig()
 	cfg.Universe = casper.R(0, 0, 4096, 4096)
 	cfg.PyramidLevels = 6
-	c := casper.New(cfg)
+	c := casper.MustNew(cfg)
 	for i := 0; i < 50; i++ {
 		p := casper.Pt(float64(i%10)*400+10, float64(i/10)*400+10)
 		if err := c.RegisterUser(casper.UserID(i), p, casper.Profile{K: 1}); err != nil {
@@ -162,7 +162,7 @@ func TestFacadeKNearest(t *testing.T) {
 	cfg := casper.DefaultConfig()
 	cfg.Universe = casper.R(0, 0, 1000, 1000)
 	cfg.PyramidLevels = 5
-	c := casper.New(cfg)
+	c := casper.MustNew(cfg)
 	c.LoadPublicObjects(casper.UniformTargets(cfg.Universe, 100, 1))
 	if err := c.RegisterUser(1, casper.Pt(500, 500), casper.Profile{K: 1}); err != nil {
 		t.Fatal(err)

@@ -15,6 +15,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -66,7 +67,7 @@ func main() {
 	} else {
 		cfg := casper.DefaultConfig()
 		cfg.Universe = casper.R(0, 0, *extent, *extent)
-		c := casper.New(cfg)
+		c := casper.MustNew(cfg)
 		c.LoadPublicObjects(casper.UniformTargets(cfg.Universe, *targets, *seed))
 		d = &inprocDriver{c: c}
 	}
@@ -148,12 +149,16 @@ func (d *inprocDriver) query(uid int64) (int, error) {
 type tcpDriver struct{ cl *protocol.Client }
 
 func (d *tcpDriver) register(uid int64, x, y float64, k int) error {
-	return d.cl.Register(uid, x, y, k, 0)
+	return d.cl.Register(context.Background(), uid, x, y, k, 0)
 }
-func (d *tcpDriver) update(uid int64, x, y float64) error { return d.cl.Update(uid, x, y) }
-func (d *tcpDriver) deregister(uid int64) error           { return d.cl.Deregister(uid) }
+func (d *tcpDriver) update(uid int64, x, y float64) error {
+	return d.cl.Update(context.Background(), uid, x, y)
+}
+func (d *tcpDriver) deregister(uid int64) error {
+	return d.cl.Deregister(context.Background(), uid)
+}
 func (d *tcpDriver) query(uid int64) (int, error) {
-	res, err := d.cl.NearestPublic(uid)
+	res, err := d.cl.NearestPublic(context.Background(), uid)
 	if err != nil {
 		return 0, err
 	}

@@ -21,10 +21,12 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"strconv"
+	"time"
 
 	"casper"
 	"casper/internal/protocol"
@@ -32,12 +34,20 @@ import (
 
 func main() {
 	addr := flag.String("addr", "127.0.0.1:7467", "casperd address")
+	timeout := flag.Duration("timeout", 10*time.Second, "per-command deadline (0 disables)")
 	flag.Usage = usage
 	flag.Parse()
 	args := flag.Args()
 	if len(args) == 0 {
 		usage()
 		os.Exit(2)
+	}
+
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
 	}
 
 	cl, err := casper.DialProtocol(*addr)
@@ -47,12 +57,12 @@ func main() {
 	defer cl.Close()
 
 	cmd, args := args[0], args[1:]
-	if err := run(cl, cmd, args); err != nil {
+	if err := run(ctx, cl, cmd, args); err != nil {
 		fatal("%s: %v", cmd, err)
 	}
 }
 
-func run(cl *casper.ProtocolClient, cmd string, args []string) error {
+func run(ctx context.Context, cl *casper.ProtocolClient, cmd string, args []string) error {
 	switch cmd {
 	case "register":
 		uid, x, y := argInt(args, 0), argF(args, 1), argF(args, 2)
@@ -61,17 +71,17 @@ func run(cl *casper.ProtocolClient, cmd string, args []string) error {
 		if len(args) > 4 {
 			amin = argF(args, 4)
 		}
-		if err := cl.Register(uid, x, y, k, amin); err != nil {
+		if err := cl.Register(ctx, uid, x, y, k, amin); err != nil {
 			return err
 		}
 		fmt.Printf("registered user %d (k=%d, Amin=%g)\n", uid, k, amin)
 	case "update":
-		if err := cl.Update(argInt(args, 0), argF(args, 1), argF(args, 2)); err != nil {
+		if err := cl.Update(ctx, argInt(args, 0), argF(args, 1), argF(args, 2)); err != nil {
 			return err
 		}
 		fmt.Println("ok")
 	case "deregister":
-		if err := cl.Deregister(argInt(args, 0)); err != nil {
+		if err := cl.Deregister(ctx, argInt(args, 0)); err != nil {
 			return err
 		}
 		fmt.Println("ok")
@@ -80,18 +90,18 @@ func run(cl *casper.ProtocolClient, cmd string, args []string) error {
 		if len(args) > 2 {
 			amin = argF(args, 2)
 		}
-		if err := cl.SetProfile(argInt(args, 0), int(argInt(args, 1)), amin); err != nil {
+		if err := cl.SetProfile(ctx, argInt(args, 0), int(argInt(args, 1)), amin); err != nil {
 			return err
 		}
 		fmt.Println("ok")
 	case "nn":
-		res, err := cl.NearestPublic(argInt(args, 0))
+		res, err := cl.NearestPublic(ctx, argInt(args, 0))
 		if err != nil {
 			return err
 		}
 		printNN(res)
 	case "knn":
-		items, cost, err := cl.KNearestPublic(argInt(args, 0), int(argInt(args, 1)))
+		items, cost, err := cl.KNearestPublic(ctx, argInt(args, 0), int(argInt(args, 1)))
 		if err != nil {
 			return err
 		}
@@ -100,13 +110,13 @@ func run(cl *casper.ProtocolClient, cmd string, args []string) error {
 			fmt.Printf("  %d. #%d %s at (%.1f, %.1f)\n", i+1, it.ID, it.Name, it.Rect.MinX, it.Rect.MinY)
 		}
 	case "buddy":
-		res, err := cl.NearestBuddy(argInt(args, 0))
+		res, err := cl.NearestBuddy(ctx, argInt(args, 0))
 		if err != nil {
 			return err
 		}
 		printNN(res)
 	case "range":
-		items, cost, err := cl.RangePublic(argInt(args, 0), argF(args, 1))
+		items, cost, err := cl.RangePublic(ctx, argInt(args, 0), argF(args, 1))
 		if err != nil {
 			return err
 		}
@@ -123,13 +133,13 @@ func run(cl *casper.ProtocolClient, cmd string, args []string) error {
 		if len(args) > 4 {
 			policy = args[4]
 		}
-		n, err := cl.CountUsers(r, policy)
+		n, err := cl.CountUsers(ctx, r, policy)
 		if err != nil {
 			return err
 		}
 		fmt.Printf("%.2f users\n", n)
 	case "add-public":
-		if err := cl.AddPublic(argInt(args, 0), argF(args, 1), argF(args, 2), argStr(args, 3)); err != nil {
+		if err := cl.AddPublic(ctx, argInt(args, 0), argF(args, 1), argF(args, 2), argStr(args, 3)); err != nil {
 			return err
 		}
 		fmt.Println("ok")
@@ -138,7 +148,7 @@ func run(cl *casper.ProtocolClient, cmd string, args []string) error {
 		if len(args) > 0 {
 			n = int(argInt(args, 0))
 		}
-		grid, err := cl.Density(n)
+		grid, err := cl.Density(ctx, n)
 		if err != nil {
 			return err
 		}
@@ -165,7 +175,7 @@ func run(cl *casper.ProtocolClient, cmd string, args []string) error {
 		}
 		fmt.Printf("(expected users per cell, max %.1f)\n", maxV)
 	case "stats":
-		st, err := cl.Stats()
+		st, err := cl.Stats(ctx)
 		if err != nil {
 			return err
 		}

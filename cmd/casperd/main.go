@@ -61,7 +61,7 @@ func main() {
 	}
 
 	cfg.WALPath = *walPath
-	c, err := casper.Open(cfg)
+	c, err := casper.New(cfg)
 	if err != nil {
 		log.Fatalf("open: %v", err)
 	}

@@ -13,7 +13,7 @@ func Example() {
 	cfg := casper.DefaultConfig()
 	cfg.Universe = casper.R(0, 0, 1000, 1000)
 	cfg.PyramidLevels = 5
-	c := casper.New(cfg)
+	c := casper.MustNew(cfg)
 
 	c.LoadPublicObjects([]casper.PublicObject{
 		{ID: 1, Pos: casper.Pt(120, 80), Name: "gas station A"},
@@ -39,7 +39,7 @@ func Example_countUsers() {
 	cfg := casper.DefaultConfig()
 	cfg.Universe = casper.R(0, 0, 1000, 1000)
 	cfg.PyramidLevels = 5
-	c := casper.New(cfg)
+	c := casper.MustNew(cfg)
 
 	positions := []casper.Point{
 		casper.Pt(100, 100), casper.Pt(120, 130), casper.Pt(160, 90),
@@ -65,7 +65,7 @@ func Example_profile() {
 	cfg := casper.DefaultConfig()
 	cfg.Universe = casper.R(0, 0, 1024, 1024)
 	cfg.PyramidLevels = 6
-	c := casper.New(cfg)
+	c := casper.MustNew(cfg)
 	for i := 0; i < 64; i++ {
 		p := casper.Pt(float64(i%8)*128+3, float64(i/8)*128+3)
 		if err := c.RegisterUser(casper.UserID(i), p, casper.Profile{K: 1}); err != nil {

@@ -28,7 +28,7 @@ func main() {
 	cfg := casper.DefaultConfig()
 	cfg.Universe = casper.R(0, 0, 20000, 20000)
 	cfg.PyramidLevels = 8
-	c := casper.New(cfg)
+	c := casper.MustNew(cfg)
 
 	// A buddy network: everyone is both a potential asker and a
 	// potential answer, all with individual privacy profiles.

@@ -26,7 +26,7 @@ const fleetSize = 800
 func main() {
 	rng := rand.New(rand.NewSource(41))
 	cfg := casper.DefaultConfig()
-	c := casper.New(cfg)
+	c := casper.MustNew(cfg)
 
 	net := casper.SyntheticHennepin(19)
 	gen := casper.NewMovingObjects(net, fleetSize, 23)

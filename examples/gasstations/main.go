@@ -29,7 +29,7 @@ const (
 func main() {
 	rng := rand.New(rand.NewSource(7))
 	cfg := casper.DefaultConfig() // 40 km x 40 km, 9-level pyramid
-	c := casper.New(cfg)
+	c := casper.MustNew(cfg)
 
 	// 2000 gas stations, uniformly spread (the paper's target layout).
 	c.LoadPublicObjects(casper.UniformTargets(cfg.Universe, numStations, 11))

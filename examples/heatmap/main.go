@@ -28,7 +28,7 @@ const (
 func main() {
 	rng := rand.New(rand.NewSource(51))
 	cfg := casper.DefaultConfig()
-	c := casper.New(cfg)
+	c := casper.MustNew(cfg)
 
 	net := casper.SyntheticHennepin(29)
 	gen := casper.NewMovingObjects(net, numCars, 31)

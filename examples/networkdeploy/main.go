@@ -13,19 +13,26 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"time"
 
 	"casper"
 )
 
 func main() {
+	// Every RPC below shares one deadline; a wedged server fails the
+	// example instead of hanging it.
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
 	// Server side: build the deployment and listen on an OS-chosen
 	// loopback port.
 	cfg := casper.DefaultConfig()
 	cfg.Universe = casper.R(0, 0, 10000, 10000)
 	cfg.PyramidLevels = 7
-	core := casper.New(cfg)
+	core := casper.MustNew(cfg)
 	core.LoadPublicObjects(casper.UniformTargets(cfg.Universe, 500, 3))
 
 	srv := casper.NewProtocolServer(core)
@@ -49,14 +56,14 @@ func main() {
 	positions := [][2]float64{{1200, 3400}, {1500, 3600}, {1900, 3100}}
 	for i, cl := range phones {
 		uid := int64(i + 1)
-		if err := cl.Register(uid, positions[i][0], positions[i][1], i+1, 0); err != nil {
+		if err := cl.Register(ctx, uid, positions[i][0], positions[i][1], i+1, 0); err != nil {
 			log.Fatalf("register %d: %v", uid, err)
 		}
 		fmt.Printf("phone %d registered (k=%d) — exact position went ONLY to the anonymizer\n", uid, i+1)
 	}
 
 	// Phone 3 asks for the nearest point of interest.
-	res, err := phones[2].NearestPublic(3)
+	res, err := phones[2].NearestPublic(ctx, 3)
 	if err != nil {
 		log.Fatalf("nn: %v", err)
 	}
@@ -66,7 +73,7 @@ func main() {
 		res.Exact.ID, res.Exact.Rect.MinX, res.Exact.Rect.MinY)
 
 	// Phone 1 looks for the nearest buddy; the answer is a cloak.
-	buddy, err := phones[0].NearestBuddy(1)
+	buddy, err := phones[0].NearestBuddy(ctx, 1)
 	if err != nil {
 		log.Fatalf("buddy: %v", err)
 	}
@@ -81,11 +88,11 @@ func main() {
 		log.Fatalf("dial admin: %v", err)
 	}
 	defer admin.Close()
-	n, err := admin.CountUsers(casper.ProtocolRect{MinX: 0, MinY: 0, MaxX: 5000, MaxY: 5000}, "fractional")
+	n, err := admin.CountUsers(ctx, casper.ProtocolRect{MinX: 0, MinY: 0, MaxX: 5000, MaxY: 5000}, "fractional")
 	if err != nil {
 		log.Fatalf("count: %v", err)
 	}
-	st, err := admin.Stats()
+	st, err := admin.Stats(ctx)
 	if err != nil {
 		log.Fatalf("stats: %v", err)
 	}

@@ -23,7 +23,7 @@ func main() {
 	cfg := casper.DefaultConfig()
 	cfg.Universe = casper.R(0, 0, 10000, 10000)
 	cfg.PyramidLevels = 7
-	c := casper.New(cfg)
+	c := casper.MustNew(cfg)
 
 	// Public data: gas stations. These go straight to the server —
 	// nothing about them is private.

@@ -27,7 +27,7 @@ const numCars = 3000
 func main() {
 	rng := rand.New(rand.NewSource(31))
 	cfg := casper.DefaultConfig()
-	c := casper.New(cfg)
+	c := casper.MustNew(cfg)
 
 	net := casper.SyntheticHennepin(9)
 	gen := casper.NewMovingObjects(net, numCars, 10)

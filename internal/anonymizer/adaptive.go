@@ -2,6 +2,7 @@ package anonymizer
 
 import (
 	"fmt"
+	"sync"
 
 	"casper/internal/geom"
 	"casper/internal/pyramid"
@@ -22,8 +23,13 @@ import (
 // maintained ancestors and their siblings — exists as a node, because
 // splits always create all four children of a cell.
 //
-// Adaptive is not safe for concurrent use.
+// Adaptive is safe for concurrent use: cloaking and other read-only
+// operations proceed in parallel under a read lock, while mutations
+// (register, deregister, update, profile changes — including the
+// split/merge maintenance they trigger) serialize behind the write
+// lock.
 type Adaptive struct {
+	mu      sync.RWMutex
 	grid    pyramid.Grid
 	root    *aNode
 	users   map[UserID]*aEntry
@@ -87,6 +93,8 @@ func (a *Adaptive) Register(uid UserID, p geom.Point, prof Profile) error {
 	if err := prof.Validate(); err != nil {
 		return err
 	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
 	if _, ok := a.users[uid]; ok {
 		return fmt.Errorf("%w: %d", ErrDuplicateUser, uid)
 	}
@@ -104,6 +112,8 @@ func (a *Adaptive) Register(uid UserID, p geom.Point, prof Profile) error {
 
 // Deregister implements Anonymizer.
 func (a *Adaptive) Deregister(uid UserID) error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
 	e, ok := a.users[uid]
 	if !ok {
 		return fmt.Errorf("%w: %d", ErrUnknownUser, uid)
@@ -121,6 +131,8 @@ func (a *Adaptive) Deregister(uid UserID) error {
 
 // Update implements Anonymizer.
 func (a *Adaptive) Update(uid UserID, p geom.Point) error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
 	e, ok := a.users[uid]
 	if !ok {
 		return fmt.Errorf("%w: %d", ErrUnknownUser, uid)
@@ -164,6 +176,8 @@ func (a *Adaptive) SetProfile(uid UserID, prof Profile) error {
 	if err := prof.Validate(); err != nil {
 		return err
 	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
 	e, ok := a.users[uid]
 	if !ok {
 		return fmt.Errorf("%w: %d", ErrUnknownUser, uid)
@@ -176,6 +190,8 @@ func (a *Adaptive) SetProfile(uid UserID, prof Profile) error {
 
 // Cloak implements Anonymizer.
 func (a *Adaptive) Cloak(uid UserID) (CloakedRegion, error) {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
 	e, ok := a.users[uid]
 	if !ok {
 		return CloakedRegion{}, fmt.Errorf("%w: %d", ErrUnknownUser, uid)
@@ -185,6 +201,8 @@ func (a *Adaptive) Cloak(uid UserID) (CloakedRegion, error) {
 
 // CloakAt implements Anonymizer.
 func (a *Adaptive) CloakAt(p geom.Point, prof Profile) (CloakedRegion, error) {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
 	return a.cloakFromNode(a.locate(p), prof, CloakOpts{})
 }
 
@@ -242,20 +260,34 @@ func (a *Adaptive) cloakFromNode(n *aNode, prof Profile, opts CloakOpts) (Cloake
 }
 
 // Users implements Anonymizer.
-func (a *Adaptive) Users() int { return len(a.users) }
+func (a *Adaptive) Users() int {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	return len(a.users)
+}
 
 // Grid implements Anonymizer.
 func (a *Adaptive) Grid() pyramid.Grid { return a.grid }
 
 // UpdateCost implements Anonymizer.
-func (a *Adaptive) UpdateCost() int64 { return a.updates }
+func (a *Adaptive) UpdateCost() int64 {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	return a.updates
+}
 
 // ResetUpdateCost implements Anonymizer.
-func (a *Adaptive) ResetUpdateCost() { a.updates = 0 }
+func (a *Adaptive) ResetUpdateCost() {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.updates = 0
+}
 
 // MaintainedCells returns the number of maintained cells (nodes); an
 // efficiency diagnostic contrasted with the complete pyramid's 4^H.
 func (a *Adaptive) MaintainedCells() int {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
 	n := 0
 	var walk func(*aNode)
 	walk = func(nd *aNode) {
@@ -273,6 +305,7 @@ func (a *Adaptive) MaintainedCells() int {
 // cellCount implements cellCounter over the incomplete pyramid. For
 // maintained cells the stored counter is exact; for cells below a
 // maintained leaf the leaf's users are partitioned by position.
+// Callers hold a.mu (at least for reading).
 func (a *Adaptive) cellCount(c pyramid.CellID) int {
 	n := a.root
 	for {
@@ -392,6 +425,8 @@ func (a *Adaptive) maybeMerge(parent *aNode) {
 // counts aggregate correctly, users sit in leaves whose cells contain
 // them, and the user index agrees with the tree.
 func (a *Adaptive) CheckConsistency() error {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
 	seen := map[UserID]bool{}
 	var walk func(n *aNode) (int, error)
 	walk = func(n *aNode) (int, error) {
@@ -452,6 +487,8 @@ func (a *Adaptive) CheckConsistency() error {
 
 // Profile returns the stored profile of a user.
 func (a *Adaptive) Profile(uid UserID) (Profile, error) {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
 	e, ok := a.users[uid]
 	if !ok {
 		return Profile{}, fmt.Errorf("%w: %d", ErrUnknownUser, uid)
@@ -461,6 +498,8 @@ func (a *Adaptive) Profile(uid UserID) (Profile, error) {
 
 // Position returns the stored exact position of a user.
 func (a *Adaptive) Position(uid UserID) (geom.Point, error) {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
 	e, ok := a.users[uid]
 	if !ok {
 		return geom.Point{}, fmt.Errorf("%w: %d", ErrUnknownUser, uid)

@@ -22,6 +22,11 @@
 // grid-aligned and data-independent, so every point of a region is
 // equally likely), efficiency, and flexibility (per-user profiles,
 // changeable at any time).
+//
+// Both implementations are safe for concurrent use: cloaking (a pure
+// read of the pyramid) runs in parallel under a read lock, while
+// registrations, location updates, and profile changes take the write
+// lock.
 package anonymizer
 
 import (
@@ -145,12 +150,16 @@ type CloakOpts struct {
 // CloakAtOpt cloaks an arbitrary point under a profile with explicit
 // ablation options (Basic anonymizer).
 func (b *Basic) CloakAtOpt(p geom.Point, prof Profile, opts CloakOpts) (CloakedRegion, error) {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
 	return bottomUpCloakOpt(b, b.grid, b.grid.LeafAt(p), prof, opts)
 }
 
 // CloakAtOpt cloaks an arbitrary point under a profile with explicit
 // ablation options (Adaptive anonymizer).
 func (a *Adaptive) CloakAtOpt(p geom.Point, prof Profile, opts CloakOpts) (CloakedRegion, error) {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
 	return a.cloakFromNode(a.locate(p), prof, opts)
 }
 

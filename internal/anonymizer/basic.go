@@ -2,6 +2,7 @@ package anonymizer
 
 import (
 	"fmt"
+	"sync"
 
 	"casper/internal/geom"
 	"casper/internal/pyramid"
@@ -14,8 +15,12 @@ import (
 // and new leaf cells to their lowest common ancestor; cloaking runs
 // Algorithm 1 starting from the user's lowest-level cell.
 //
-// Basic is not safe for concurrent use; the protocol layer serializes.
+// Basic is safe for concurrent use: cloaking and other read-only
+// operations proceed in parallel under a read lock, while mutations
+// (register, deregister, update, profile changes) serialize behind the
+// write lock.
 type Basic struct {
+	mu    sync.RWMutex
 	grid  pyramid.Grid
 	pyr   *pyramid.Complete
 	users map[UserID]*basicEntry
@@ -44,6 +49,8 @@ func (b *Basic) Register(uid UserID, p geom.Point, prof Profile) error {
 	if err := prof.Validate(); err != nil {
 		return err
 	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
 	if _, ok := b.users[uid]; ok {
 		return fmt.Errorf("%w: %d", ErrDuplicateUser, uid)
 	}
@@ -54,6 +61,8 @@ func (b *Basic) Register(uid UserID, p geom.Point, prof Profile) error {
 
 // Deregister implements Anonymizer.
 func (b *Basic) Deregister(uid UserID) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
 	e, ok := b.users[uid]
 	if !ok {
 		return fmt.Errorf("%w: %d", ErrUnknownUser, uid)
@@ -65,6 +74,8 @@ func (b *Basic) Deregister(uid UserID) error {
 
 // Update implements Anonymizer.
 func (b *Basic) Update(uid UserID, p geom.Point) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
 	e, ok := b.users[uid]
 	if !ok {
 		return fmt.Errorf("%w: %d", ErrUnknownUser, uid)
@@ -80,6 +91,8 @@ func (b *Basic) SetProfile(uid UserID, prof Profile) error {
 	if err := prof.Validate(); err != nil {
 		return err
 	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
 	e, ok := b.users[uid]
 	if !ok {
 		return fmt.Errorf("%w: %d", ErrUnknownUser, uid)
@@ -90,6 +103,8 @@ func (b *Basic) SetProfile(uid UserID, prof Profile) error {
 
 // Cloak implements Anonymizer.
 func (b *Basic) Cloak(uid UserID) (CloakedRegion, error) {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
 	e, ok := b.users[uid]
 	if !ok {
 		return CloakedRegion{}, fmt.Errorf("%w: %d", ErrUnknownUser, uid)
@@ -99,24 +114,40 @@ func (b *Basic) Cloak(uid UserID) (CloakedRegion, error) {
 
 // CloakAt implements Anonymizer.
 func (b *Basic) CloakAt(p geom.Point, prof Profile) (CloakedRegion, error) {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
 	return bottomUpCloak(b, b.grid, b.grid.LeafAt(p), prof)
 }
 
 // Users implements Anonymizer.
-func (b *Basic) Users() int { return len(b.users) }
+func (b *Basic) Users() int {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	return len(b.users)
+}
 
 // Grid implements Anonymizer.
 func (b *Basic) Grid() pyramid.Grid { return b.grid }
 
 // UpdateCost implements Anonymizer.
-func (b *Basic) UpdateCost() int64 { return b.pyr.Updates() }
+func (b *Basic) UpdateCost() int64 {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	return b.pyr.Updates()
+}
 
 // ResetUpdateCost implements Anonymizer.
-func (b *Basic) ResetUpdateCost() { b.pyr.ResetUpdates() }
+func (b *Basic) ResetUpdateCost() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.pyr.ResetUpdates()
+}
 
 // Profile returns the stored profile of a user (for tests and the
 // protocol layer).
 func (b *Basic) Profile(uid UserID) (Profile, error) {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
 	e, ok := b.users[uid]
 	if !ok {
 		return Profile{}, fmt.Errorf("%w: %d", ErrUnknownUser, uid)
@@ -127,6 +158,8 @@ func (b *Basic) Profile(uid UserID) (Profile, error) {
 // Position returns the stored exact position of a user. Only the
 // anonymizer (the trusted party) may see this.
 func (b *Basic) Position(uid UserID) (geom.Point, error) {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
 	e, ok := b.users[uid]
 	if !ok {
 		return geom.Point{}, fmt.Errorf("%w: %d", ErrUnknownUser, uid)
@@ -134,11 +167,14 @@ func (b *Basic) Position(uid UserID) (geom.Point, error) {
 	return e.pos, nil
 }
 
-// cellCount implements cellCounter via the complete pyramid.
+// cellCount implements cellCounter via the complete pyramid. Callers
+// hold b.mu (at least for reading).
 func (b *Basic) cellCount(c pyramid.CellID) int { return b.pyr.Count(c) }
 
 // CheckConsistency verifies internal invariants (tests only).
 func (b *Basic) CheckConsistency() error {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
 	if err := b.pyr.CheckConsistency(); err != nil {
 		return err
 	}

@@ -75,6 +75,15 @@ type Monitor struct {
 
 	notify func(Event)
 
+	// events, when non-nil, carries notifications to a dedicated
+	// delivery goroutine instead of invoking notify inline (NewAsync).
+	events chan Event
+	// done closes when the delivery goroutine has drained and exited.
+	done chan struct{}
+	// closed records that an async monitor was Closed; later events
+	// are dropped.
+	closed bool
+
 	updates     int64
 	evaluations int64
 }
@@ -123,6 +132,48 @@ func New(notify func(Event)) *Monitor {
 		radQueries:   make(map[QueryID]*radiusQuery),
 		nextID:       1,
 		notify:       notify,
+	}
+}
+
+// NewAsync builds a monitor whose notifications are delivered off the
+// update hot path: events are queued (up to buffer entries, minimum 1)
+// and notify runs on a dedicated goroutine, so data updates only block
+// when the subscriber falls buffer events behind. As with New, notify
+// must not call back into the Monitor (a re-entrant callback that
+// blocks can deadlock emitters once the buffer fills). Call Close to
+// stop the delivery goroutine; events emitted after Close are dropped.
+func NewAsync(notify func(Event), buffer int) *Monitor {
+	m := New(notify)
+	if buffer < 1 {
+		buffer = 1
+	}
+	m.events = make(chan Event, buffer)
+	m.done = make(chan struct{})
+	go func(ch <-chan Event) {
+		defer close(m.done)
+		for e := range ch {
+			if notify != nil {
+				notify(e)
+			}
+		}
+	}(m.events)
+	return m
+}
+
+// Close stops the asynchronous delivery goroutine after it drains the
+// queued events, then returns. It is a no-op for monitors built with
+// New, and idempotent.
+func (m *Monitor) Close() {
+	m.mu.Lock()
+	ch := m.events
+	m.events = nil
+	if ch != nil {
+		m.closed = true
+	}
+	m.mu.Unlock()
+	if ch != nil {
+		close(ch)
+		<-m.done
 	}
 }
 
@@ -517,7 +568,18 @@ func (m *Monitor) reevalNN(id QueryID, q *nnQuery) {
 	}
 }
 
+// emit dispatches an event: inline for New monitors, queued for
+// NewAsync ones. Called with m.mu held; a queued send may block for
+// backpressure, which is safe because the delivery goroutine never
+// touches m.mu.
 func (m *Monitor) emit(e Event) {
+	if m.closed {
+		return
+	}
+	if m.events != nil {
+		m.events <- e
+		return
+	}
 	if m.notify != nil {
 		m.notify(e)
 	}

@@ -1,0 +1,147 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"casper/internal/anonymizer"
+	"casper/internal/geom"
+	"casper/internal/privacyqp"
+)
+
+// TestRegisterRollbackOnUnsatisfiable checks that a registration whose
+// initial cloak fails leaves no ghost user behind: the same uid can
+// retry with a feasible profile instead of hitting ErrAlreadyRegistered.
+func TestRegisterRollbackOnUnsatisfiable(t *testing.T) {
+	c := MustNew(smallConfig(AdaptiveAnonymizer))
+	defer c.Close()
+	populate(t, c, 3, 5, 1)
+	err := c.RegisterUser(50, geom.Pt(10, 10), anonymizer.Profile{K: 100})
+	if !errors.Is(err, anonymizer.ErrUnsatisfiable) {
+		t.Fatalf("register = %v, want ErrUnsatisfiable", err)
+	}
+	if got := c.Users(); got != 3 {
+		t.Fatalf("Users() = %d after failed register, want 3", got)
+	}
+	if err := c.RegisterUser(50, geom.Pt(10, 10), anonymizer.Profile{K: 2}); err != nil {
+		t.Fatalf("retry register: %v", err)
+	}
+}
+
+// TestConcurrentMixedWorkload hammers one Casper instance with parallel
+// registrations, location updates, queries, deregistrations and
+// administrator counts. It exists to be run under -race: any missing
+// lock in the framework, anonymizer, server or WAL path shows up here.
+func TestConcurrentMixedWorkload(t *testing.T) {
+	for _, kind := range []AnonymizerKind{BasicAnonymizer, AdaptiveAnonymizer} {
+		kind := kind
+		t.Run(fmt.Sprintf("kind=%d", kind), func(t *testing.T) {
+			t.Parallel()
+			c := MustNew(smallConfig(kind))
+			defer c.Close()
+			const base = 64
+			populate(t, c, base, 40, 7)
+			u := c.Config().Universe
+
+			var wg sync.WaitGroup
+			errs := make(chan error, 64)
+			report := func(op string, err error) {
+				// Empty-answer sentinels are legitimate outcomes of a
+				// query race, not failures.
+				if err == nil || errors.Is(err, ErrEmptyCandidates) || errors.Is(err, ErrNoBuddies) {
+					return
+				}
+				select {
+				case errs <- fmt.Errorf("%s: %w", op, err):
+				default:
+				}
+			}
+
+			// Updaters move the base population around.
+			for g := 0; g < 4; g++ {
+				wg.Add(1)
+				go func(seed int64) {
+					defer wg.Done()
+					rng := rand.New(rand.NewSource(seed))
+					for i := 0; i < 150; i++ {
+						uid := anonymizer.UserID(rng.Intn(base))
+						p := geom.Pt(rng.Float64()*u.Width(), rng.Float64()*u.Height())
+						report("update", c.UpdateUser(uid, p))
+					}
+				}(int64(g))
+			}
+
+			// Churners register fresh users and deregister them again.
+			for g := 0; g < 2; g++ {
+				wg.Add(1)
+				go func(g int) {
+					defer wg.Done()
+					rng := rand.New(rand.NewSource(int64(100 + g)))
+					for i := 0; i < 40; i++ {
+						uid := anonymizer.UserID(1000 + g*1000 + i)
+						p := geom.Pt(rng.Float64()*u.Width(), rng.Float64()*u.Height())
+						report("register", c.RegisterUser(uid, p, anonymizer.Profile{K: 1 + rng.Intn(5)}))
+						report("setprofile", c.SetProfile(uid, anonymizer.Profile{K: 1 + rng.Intn(8)}))
+						report("deregister", c.DeregisterUser(uid))
+					}
+				}(g)
+			}
+
+			// Queriers run the private query mix against base users.
+			for g := 0; g < 4; g++ {
+				wg.Add(1)
+				go func(seed int64) {
+					defer wg.Done()
+					rng := rand.New(rand.NewSource(seed))
+					for i := 0; i < 80; i++ {
+						uid := anonymizer.UserID(rng.Intn(base))
+						switch i % 4 {
+						case 0:
+							_, err := c.NearestPublic(uid)
+							report("nn", err)
+						case 1:
+							_, _, err := c.KNearestPublic(uid, 1+rng.Intn(4))
+							report("knn", err)
+						case 2:
+							_, _, err := c.RangePublic(uid, 200+rng.Float64()*400)
+							report("range", err)
+						default:
+							_, err := c.NearestBuddy(uid)
+							report("buddy", err)
+						}
+					}
+				}(int64(200 + g))
+			}
+
+			// One administrator counts and maps density throughout.
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				half := geom.R(0, 0, u.Width()/2, u.Height()/2)
+				for i := 0; i < 60; i++ {
+					_, err := c.CountUsersIn(half, privacyqp.CountFractional)
+					report("count", err)
+					_, err = c.UserDensityGrid(8)
+					report("density", err)
+				}
+			}()
+
+			wg.Wait()
+			close(errs)
+			for err := range errs {
+				t.Errorf("concurrent workload: %v", err)
+			}
+
+			// All churned users left again; the base population survives.
+			if got := c.Users(); got != base {
+				t.Fatalf("Users() = %d after churn, want %d", got, base)
+			}
+			if _, err := c.NearestPublic(0); err != nil {
+				t.Fatalf("post-stress NN: %v", err)
+			}
+		})
+	}
+}

@@ -14,8 +14,10 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
+	"sync"
 	"time"
 
 	"casper/internal/anonymizer"
@@ -25,6 +27,52 @@ import (
 	"casper/internal/rtree"
 	"casper/internal/server"
 )
+
+// Sentinel errors returned by the framework API. They are stable: wrap
+// them freely, and test with errors.Is — the protocol layer maps each
+// to a wire error code so the same errors.Is checks work through a
+// ProtocolClient round trip.
+var (
+	// ErrAlreadyRegistered reports a RegisterUser for an ID that is
+	// already registered.
+	ErrAlreadyRegistered = errors.New("core: user already registered")
+	// ErrNotRegistered reports an operation on a user ID the
+	// anonymizer does not know.
+	ErrNotRegistered = errors.New("core: user not registered")
+	// ErrMonitorDisabled reports a continuous-query operation before
+	// EnableContinuous.
+	ErrMonitorDisabled = errors.New("core: continuous monitoring not enabled")
+	// ErrEmptyCandidates reports a private query whose candidate list
+	// came back empty (e.g. no public objects loaded).
+	ErrEmptyCandidates = errors.New("core: empty candidate list")
+	// ErrNoBuddies reports a buddy query with no other users to answer
+	// it.
+	ErrNoBuddies = errors.New("core: no other users to answer the buddy query")
+)
+
+// userErr translates the anonymizer's identity errors into the core
+// API's sentinel errors, keeping the underlying detail in the chain.
+func userErr(err error) error {
+	switch {
+	case err == nil:
+		return nil
+	case errors.Is(err, anonymizer.ErrUnknownUser):
+		return fmt.Errorf("%w: %v", ErrNotRegistered, err)
+	case errors.Is(err, anonymizer.ErrDuplicateUser):
+		return fmt.Errorf("%w: %v", ErrAlreadyRegistered, err)
+	}
+	return err
+}
+
+// srvErr translates server-side query failures into the core API's
+// sentinel errors: a database with no target objects is an empty
+// candidate list as far as callers are concerned.
+func srvErr(err error) error {
+	if errors.Is(err, privacyqp.ErrNoTargets) {
+		return fmt.Errorf("%w: %v", ErrEmptyCandidates, err)
+	}
+	return err
+}
 
 // AnonymizerKind selects the anonymizer implementation.
 type AnonymizerKind int
@@ -119,12 +167,27 @@ func (b Breakdown) Total() time.Duration { return b.Cloak + b.Query + b.Transmit
 // exact locations, let the server see only cloaked regions, and refine
 // candidate lists client-side.
 //
-// Casper is not safe for concurrent use; the protocol layer
-// serializes requests.
+// Casper is safe for concurrent use. Queries (NearestPublic,
+// NearestBuddy, KNearestPublic, RangePublic, CountUsersIn,
+// UserDensityGrid) run in parallel with each other: the anonymizer's
+// pyramid, the server's R-trees and candidate cache, and the
+// framework's own pseudonym table each sit behind their own
+// reader/writer lock, so cloaking and query answering do not contend.
+// Mutations (RegisterUser, UpdateUser, SetProfile, DeregisterUser, the
+// public-table editors, and Watch registration) take the relevant
+// write locks and serialize only against operations touching the same
+// structure. Concurrent updates to the same user are applied in some
+// serial order; the cloak stored at the server is always one that was
+// valid at some instant.
 type Casper struct {
-	anon   anonymizer.Anonymizer
-	srv    *server.Server
-	cfg    Config
+	anon anonymizer.Anonymizer
+	srv  *server.Server
+	cfg  Config
+
+	// mu guards the framework's own state: the pseudonym table, the
+	// pseudonym RNG, the continuous monitor pointer, and the per-user
+	// watch lists.
+	mu     sync.RWMutex
 	pseudo map[anonymizer.UserID]int64 // uid -> server pseudonym
 	rng    *rand.Rand
 
@@ -139,21 +202,13 @@ type Casper struct {
 	persist *server.Persistent
 }
 
-// New builds a Casper instance from the configuration. A WALPath in
-// the configuration is ignored here (New cannot surface I/O errors);
-// use Open for durable deployments.
-func New(cfg Config) *Casper {
-	cfg.WALPath = ""
-	c, _ := Open(cfg)
-	return c
-}
-
-// Open builds a Casper instance, recovering the database server from
-// cfg.WALPath when set. Note that only the server side is durable:
-// users re-register with the anonymizer after a restart (their exact
+// New builds a Casper instance from the configuration, recovering the
+// database server from cfg.WALPath when that is set (see internal/wal
+// for the durability story). Only the server side is durable: users
+// re-register with the anonymizer after a restart (their exact
 // positions were never persisted anywhere — that is the point), and
 // their recovered cloaks serve public queries meanwhile.
-func Open(cfg Config) (*Casper, error) {
+func New(cfg Config) (*Casper, error) {
 	var anon anonymizer.Anonymizer
 	switch cfg.Anonymizer {
 	case AdaptiveAnonymizer:
@@ -180,8 +235,34 @@ func Open(cfg Config) (*Casper, error) {
 	return c, nil
 }
 
-// Close flushes and closes the WAL when persistence is configured.
+// MustNew is New for configurations that cannot fail — in-memory
+// deployments with no WALPath — and panics otherwise. It keeps
+// examples and tests terse.
+func MustNew(cfg Config) *Casper {
+	c, err := New(cfg)
+	if err != nil {
+		panic(fmt.Sprintf("core: MustNew: %v", err))
+	}
+	return c
+}
+
+// Open builds a Casper instance, recovering the database server from
+// cfg.WALPath when set.
+//
+// Deprecated: Open is now identical to New, which respects
+// Config.WALPath itself. Call New.
+func Open(cfg Config) (*Casper, error) { return New(cfg) }
+
+// Close shuts down the continuous monitor (when enabled) and flushes
+// and closes the WAL (when persistence is configured).
 func (c *Casper) Close() error {
+	c.mu.Lock()
+	mon := c.monitor
+	c.monitor = nil
+	c.mu.Unlock()
+	if mon != nil {
+		mon.Close()
+	}
 	if c.persist != nil {
 		return c.persist.Close()
 	}
@@ -208,8 +289,8 @@ func (c *Casper) LoadPublicObjects(objs []server.PublicObject) {
 	} else {
 		c.srv.LoadPublic(objs)
 	}
-	if c.monitor != nil {
-		c.monitor.SetPublic(publicItems(objs))
+	if mon := c.Monitor(); mon != nil {
+		mon.SetPublic(publicItems(objs))
 	}
 }
 
@@ -233,8 +314,8 @@ func (c *Casper) AddPublicObject(o server.PublicObject) error {
 	if err != nil {
 		return err
 	}
-	if c.monitor != nil {
-		c.monitor.AddPublic(rtree.Item{Rect: geom.Rect{Min: o.Pos, Max: o.Pos}, ID: o.ID, Data: o.Name})
+	if mon := c.Monitor(); mon != nil {
+		mon.AddPublic(rtree.Item{Rect: geom.Rect{Min: o.Pos, Max: o.Pos}, ID: o.ID, Data: o.Name})
 	}
 	return nil
 }
@@ -255,8 +336,8 @@ func (c *Casper) RemovePublicObject(id int64) error {
 	if err != nil {
 		return err
 	}
-	if c.monitor != nil {
-		c.monitor.RemovePublic(id, geom.Rect{Min: o.Pos, Max: o.Pos})
+	if mon := c.Monitor(); mon != nil {
+		mon.RemovePublic(id, geom.Rect{Min: o.Pos, Max: o.Pos})
 	}
 	return nil
 }
@@ -265,18 +346,36 @@ func (c *Casper) RemovePublicObject(id int64) error {
 // framework: from now on every cloaked-region update that reaches the
 // server also reaches the monitor (still pseudonymous — the monitor is
 // part of the server side and never sees identities or exact
-// positions). notify receives change events; see package continuous.
-// Calling it again returns the existing monitor.
+// positions). notify receives change events; it is invoked
+// synchronously on the updating goroutine and must not call back into
+// the Casper instance or the Monitor (use EnableContinuousBuffered
+// for off-hot-path delivery). Calling it again returns the existing
+// monitor.
 func (c *Casper) EnableContinuous(notify func(continuous.Event)) *continuous.Monitor {
+	return c.enableContinuous(func() *continuous.Monitor { return continuous.New(notify) })
+}
+
+// EnableContinuousBuffered is EnableContinuous with event delivery
+// taken off the update hot path: events are queued (up to buffer
+// entries) and notify runs on a dedicated goroutine, so location
+// updates never block on a slow subscriber until the buffer fills.
+// Close the Casper (or the Monitor) to stop delivery.
+func (c *Casper) EnableContinuousBuffered(notify func(continuous.Event), buffer int) *continuous.Monitor {
+	return c.enableContinuous(func() *continuous.Monitor { return continuous.NewAsync(notify, buffer) })
+}
+
+func (c *Casper) enableContinuous(build func() *continuous.Monitor) *continuous.Monitor {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	if c.monitor != nil {
 		return c.monitor
 	}
-	c.monitor = continuous.New(notify)
+	c.monitor = build()
 	c.watches = make(map[anonymizer.UserID][]continuous.QueryID)
 	c.rangeWatches = make(map[anonymizer.UserID][]continuous.QueryID)
 	// Seed with current state.
 	c.monitor.SetPublic(c.srv.PublicItems())
-	for _, uid := range c.registeredUsers() {
+	for uid := range c.pseudo {
 		if cr, err := c.anon.Cloak(uid); err == nil {
 			_ = c.monitor.UpsertPrivate(c.pseudo[uid], cr.Region)
 		}
@@ -285,7 +384,11 @@ func (c *Casper) EnableContinuous(notify func(continuous.Event)) *continuous.Mon
 }
 
 // Monitor returns the attached continuous monitor, nil when disabled.
-func (c *Casper) Monitor() *continuous.Monitor { return c.monitor }
+func (c *Casper) Monitor() *continuous.Monitor {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.monitor
+}
 
 // WatchNearest registers a continuous nearest-neighbor query for a
 // registered user: the monitor keeps the candidate list current as the
@@ -293,12 +396,14 @@ func (c *Casper) Monitor() *continuous.Monitor { return c.monitor }
 // or other users' cloaks (the asker's own cloak is excluded
 // automatically). EnableContinuous must have been called.
 func (c *Casper) WatchNearest(uid anonymizer.UserID, kind privacyqp.DataKind) (continuous.QueryID, []rtree.Item, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	if c.monitor == nil {
-		return 0, nil, fmt.Errorf("core: continuous monitoring not enabled")
+		return 0, nil, ErrMonitorDisabled
 	}
 	cr, err := c.anon.Cloak(uid)
 	if err != nil {
-		return 0, nil, err
+		return 0, nil, userErr(err)
 	}
 	exclude := int64(-1)
 	if kind == privacyqp.PrivateData {
@@ -317,12 +422,14 @@ func (c *Casper) WatchNearest(uid anonymizer.UserID, kind privacyqp.DataKind) (c
 // user's cloak and the data change. EnableContinuous must have been
 // called.
 func (c *Casper) WatchRange(uid anonymizer.UserID, radius float64, kind privacyqp.DataKind) (continuous.QueryID, []rtree.Item, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	if c.monitor == nil {
-		return 0, nil, fmt.Errorf("core: continuous monitoring not enabled")
+		return 0, nil, ErrMonitorDisabled
 	}
 	cr, err := c.anon.Cloak(uid)
 	if err != nil {
-		return 0, nil, err
+		return 0, nil, userErr(err)
 	}
 	exclude := int64(-1)
 	if kind == privacyqp.PrivateData {
@@ -336,24 +443,17 @@ func (c *Casper) WatchRange(uid anonymizer.UserID, radius float64, kind privacyq
 	return qid, cands, nil
 }
 
-// registeredUsers lists user IDs known to the pseudonym table.
-func (c *Casper) registeredUsers() []anonymizer.UserID {
-	out := make([]anonymizer.UserID, 0, len(c.pseudo))
-	for uid := range c.pseudo {
-		out = append(out, uid)
-	}
-	return out
-}
-
 // RegisterUser registers a mobile user: the anonymizer learns the
 // exact position and profile, assigns a pseudonym, and pushes only the
 // cloaked region to the server.
 func (c *Casper) RegisterUser(uid anonymizer.UserID, pos geom.Point, prof anonymizer.Profile) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	if _, ok := c.pseudo[uid]; ok {
-		return fmt.Errorf("core: user %d already registered", uid)
+		return fmt.Errorf("%w: user %d", ErrAlreadyRegistered, uid)
 	}
 	if err := c.anon.Register(uid, pos, prof); err != nil {
-		return err
+		return userErr(err)
 	}
 	// Pseudonyms are random, so the server cannot infer registration
 	// order or identity. Skip pseudonyms already stored at the server:
@@ -367,14 +467,22 @@ func (c *Casper) RegisterUser(uid anonymizer.UserID, pos geom.Point, prof anonym
 		pid = c.rng.Int63()
 	}
 	c.pseudo[uid] = pid
-	return c.pushCloak(uid)
+	if err := c.pushCloakLocked(uid); err != nil {
+		// Roll back so a failed registration leaves no ghost user; the
+		// caller can fix the profile and retry without hitting
+		// ErrAlreadyRegistered.
+		delete(c.pseudo, uid)
+		_ = c.anon.Deregister(uid)
+		return err
+	}
+	return nil
 }
 
 // UpdateUser processes a location update and refreshes the user's
 // cloaked region at the server.
 func (c *Casper) UpdateUser(uid anonymizer.UserID, pos geom.Point) error {
 	if err := c.anon.Update(uid, pos); err != nil {
-		return err
+		return userErr(err)
 	}
 	return c.pushCloak(uid)
 }
@@ -382,7 +490,7 @@ func (c *Casper) UpdateUser(uid anonymizer.UserID, pos geom.Point) error {
 // SetProfile changes a user's privacy profile and re-cloaks.
 func (c *Casper) SetProfile(uid anonymizer.UserID, prof anonymizer.Profile) error {
 	if err := c.anon.SetProfile(uid, prof); err != nil {
-		return err
+		return userErr(err)
 	}
 	return c.pushCloak(uid)
 }
@@ -390,8 +498,10 @@ func (c *Casper) SetProfile(uid anonymizer.UserID, prof anonymizer.Profile) erro
 // DeregisterUser removes a user from both components, tearing down
 // any continuous queries they registered.
 func (c *Casper) DeregisterUser(uid anonymizer.UserID) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	if err := c.anon.Deregister(uid); err != nil {
-		return err
+		return userErr(err)
 	}
 	pid := c.pseudo[uid]
 	delete(c.pseudo, uid)
@@ -417,11 +527,24 @@ func (c *Casper) DeregisterUser(uid anonymizer.UserID) error {
 // pseudonym. An unsatisfiable profile leaves the previous region in
 // place and reports the error.
 func (c *Casper) pushCloak(uid anonymizer.UserID) error {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.pushCloakLocked(uid)
+}
+
+// pushCloakLocked is pushCloak with c.mu already held (read or write).
+func (c *Casper) pushCloakLocked(uid anonymizer.UserID) error {
+	pid, ok := c.pseudo[uid]
+	if !ok {
+		// The user was deregistered between the anonymizer update and
+		// this push (concurrent update/deregister); nothing to store.
+		return fmt.Errorf("%w: user %d", ErrNotRegistered, uid)
+	}
 	cr, err := c.anon.Cloak(uid)
 	if err != nil {
-		return err
+		return userErr(err)
 	}
-	obj := server.PrivateObject{ID: c.pseudo[uid], Region: cr.Region}
+	obj := server.PrivateObject{ID: pid, Region: cr.Region}
 	var upsertErr error
 	if c.persist != nil {
 		upsertErr = c.persist.UpsertPrivate(obj)
@@ -432,7 +555,7 @@ func (c *Casper) pushCloak(uid anonymizer.UserID) error {
 		return upsertErr
 	}
 	if c.monitor != nil {
-		if err := c.monitor.UpsertPrivate(c.pseudo[uid], cr.Region); err != nil {
+		if err := c.monitor.UpsertPrivate(pid, cr.Region); err != nil {
 			return err
 		}
 		for _, qid := range c.watches[uid] {
@@ -472,12 +595,12 @@ func (c *Casper) NearestPublic(uid anonymizer.UserID) (NNAnswer, error) {
 	t0 := time.Now()
 	cr, err := c.anon.Cloak(uid)
 	if err != nil {
-		return NNAnswer{}, err
+		return NNAnswer{}, userErr(err)
 	}
 	t1 := time.Now()
 	res, err := c.srv.NNPublic(cr.Region, c.cfg.Query)
 	if err != nil {
-		return NNAnswer{}, err
+		return NNAnswer{}, srvErr(err)
 	}
 	t2 := time.Now()
 	ans := NNAnswer{
@@ -492,7 +615,7 @@ func (c *Casper) NearestPublic(uid anonymizer.UserID) (NNAnswer, error) {
 	}
 	exact, ok := privacyqp.RefineNN(pos, res.Candidates, privacyqp.PublicData)
 	if !ok {
-		return ans, fmt.Errorf("core: empty candidate list")
+		return ans, ErrEmptyCandidates
 	}
 	ans.Exact = exact
 	return ans, nil
@@ -506,13 +629,16 @@ func (c *Casper) NearestBuddy(uid anonymizer.UserID) (NNAnswer, error) {
 	if err != nil {
 		return NNAnswer{}, err
 	}
+	c.mu.RLock()
+	pid := c.pseudo[uid]
+	c.mu.RUnlock()
 	t0 := time.Now()
 	cr, err := c.anon.Cloak(uid)
 	if err != nil {
-		return NNAnswer{}, err
+		return NNAnswer{}, userErr(err)
 	}
 	t1 := time.Now()
-	res, err := c.srv.NNPrivate(cr.Region, c.pseudo[uid], c.cfg.Query)
+	res, err := c.srv.NNPrivate(cr.Region, pid, c.cfg.Query)
 	if err != nil {
 		return NNAnswer{}, err
 	}
@@ -529,7 +655,7 @@ func (c *Casper) NearestBuddy(uid anonymizer.UserID) (NNAnswer, error) {
 	}
 	exact, ok := privacyqp.RefineNN(pos, res.Candidates, privacyqp.PrivateData)
 	if !ok {
-		return ans, fmt.Errorf("core: no other users to answer the buddy query")
+		return ans, ErrNoBuddies
 	}
 	ans.Exact = exact
 	return ans, nil
@@ -546,12 +672,12 @@ func (c *Casper) KNearestPublic(uid anonymizer.UserID, k int) ([]rtree.Item, Bre
 	t0 := time.Now()
 	cr, err := c.anon.Cloak(uid)
 	if err != nil {
-		return nil, Breakdown{}, err
+		return nil, Breakdown{}, userErr(err)
 	}
 	t1 := time.Now()
 	res, err := c.srv.KNNPublic(cr.Region, k, c.cfg.Query)
 	if err != nil {
-		return nil, Breakdown{}, err
+		return nil, Breakdown{}, srvErr(err)
 	}
 	t2 := time.Now()
 	bd := Breakdown{
@@ -573,12 +699,12 @@ func (c *Casper) RangePublic(uid anonymizer.UserID, radius float64) ([]rtree.Ite
 	t0 := time.Now()
 	cr, err := c.anon.Cloak(uid)
 	if err != nil {
-		return nil, Breakdown{}, err
+		return nil, Breakdown{}, userErr(err)
 	}
 	t1 := time.Now()
 	res, err := c.srv.RangePublic(cr.Region, radius)
 	if err != nil {
-		return nil, Breakdown{}, err
+		return nil, Breakdown{}, srvErr(err)
 	}
 	t2 := time.Now()
 	bd := Breakdown{
@@ -615,7 +741,8 @@ func (c *Casper) userPos(uid anonymizer.UserID) (geom.Point, error) {
 	if !ok {
 		return geom.Point{}, fmt.Errorf("core: anonymizer does not expose positions")
 	}
-	return p.Position(uid)
+	pos, err := p.Position(uid)
+	return pos, userErr(err)
 }
 
 // Users returns the number of registered users.

@@ -1,6 +1,7 @@
 package protocol
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"net"
@@ -10,17 +11,38 @@ import (
 
 // Client is a mobile-user (or administrator) connection to a Casper
 // protocol server. It is safe for concurrent use; requests are
-// serialized over the single connection.
+// serialized over the single connection (the protocol has no request
+// IDs, so one round trip must finish before the next starts).
+//
+// Every RPC takes a context: its deadline bounds the whole round trip
+// via connection deadlines, and cancellation aborts in-flight I/O.
+// Because the stream then holds an abandoned request or half-read
+// response, a cancelled or failed round trip poisons the connection —
+// later calls fail fast with the original error. Dial a fresh client
+// to continue.
 type Client struct {
 	mu   sync.Mutex
 	conn net.Conn
 	enc  *json.Encoder
 	dec  *json.Decoder
+	// err, once set, marks the stream unusable (see roundTrip).
+	err error
 }
 
 // Dial connects to a Casper protocol server.
 func Dial(addr string) (*Client, error) {
 	return DialTimeout(addr, 5*time.Second)
+}
+
+// DialContext connects under a context (deadline and cancellation
+// bound the dial itself).
+func DialContext(ctx context.Context, addr string) (*Client, error) {
+	var d net.Dialer
+	conn, err := d.DialContext(ctx, "tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("protocol: dial %s: %w", addr, err)
+	}
+	return newClient(conn), nil
 }
 
 // DialTimeout connects with an explicit timeout.
@@ -29,60 +51,115 @@ func DialTimeout(addr string, timeout time.Duration) (*Client, error) {
 	if err != nil {
 		return nil, fmt.Errorf("protocol: dial %s: %w", addr, err)
 	}
+	return newClient(conn), nil
+}
+
+func newClient(conn net.Conn) *Client {
 	return &Client{
 		conn: conn,
 		enc:  json.NewEncoder(conn),
 		dec:  json.NewDecoder(conn),
-	}, nil
+	}
 }
 
 // Close closes the connection.
 func (c *Client) Close() error { return c.conn.Close() }
 
-// roundTrip sends one request and reads one response.
-func (c *Client) roundTrip(req Request) (Response, error) {
+// roundTrip sends one request and reads one response, honoring the
+// context's deadline and cancellation through connection deadlines.
+func (c *Client) roundTrip(ctx context.Context, req Request) (Response, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if c.err != nil {
+		return Response{}, fmt.Errorf("protocol: connection unusable after earlier failure: %w", c.err)
+	}
+	if err := ctx.Err(); err != nil {
+		return Response{}, err
+	}
+	if deadline, ok := ctx.Deadline(); ok {
+		_ = c.conn.SetDeadline(deadline)
+	} else {
+		_ = c.conn.SetDeadline(time.Time{})
+	}
+	// Cancellation support: a watcher forces in-flight I/O to fail by
+	// moving the deadline into the past. stopped prevents a late
+	// cancellation from clobbering the deadline of a later round trip.
+	if ctx.Done() != nil {
+		watchDone := make(chan struct{})
+		var stopMu sync.Mutex
+		stopped := false
+		go func() {
+			select {
+			case <-ctx.Done():
+				stopMu.Lock()
+				if !stopped {
+					_ = c.conn.SetDeadline(time.Unix(1, 0))
+				}
+				stopMu.Unlock()
+			case <-watchDone:
+			}
+		}()
+		defer func() {
+			stopMu.Lock()
+			stopped = true
+			stopMu.Unlock()
+			close(watchDone)
+		}()
+	}
+	fail := func(stage string, err error) (Response, error) {
+		// Prefer the context's verdict; an I/O timeout can race the
+		// context noticing its own expired deadline, so check the
+		// deadline directly too.
+		if ctxErr := ctx.Err(); ctxErr != nil {
+			err = ctxErr
+		} else if deadline, ok := ctx.Deadline(); ok && !time.Now().Before(deadline) {
+			err = context.DeadlineExceeded
+		}
+		c.err = fmt.Errorf("%s %s: %w", req.Op, stage, err)
+		return Response{}, fmt.Errorf("protocol: %s: %w", stage, err)
+	}
 	if err := c.enc.Encode(req); err != nil {
-		return Response{}, fmt.Errorf("protocol: send: %w", err)
+		return fail("send", err)
 	}
 	var resp Response
 	if err := c.dec.Decode(&resp); err != nil {
-		return Response{}, fmt.Errorf("protocol: recv: %w", err)
+		return fail("recv", err)
 	}
 	return resp, nil
 }
 
-// call is roundTrip plus application-level error unwrapping.
-func (c *Client) call(req Request) (Response, error) {
-	resp, err := c.roundTrip(req)
+// call is roundTrip plus application-level error mapping: a non-OK
+// response becomes a *WireError whose Unwrap exposes the sentinel
+// named by the response's wire code.
+func (c *Client) call(ctx context.Context, req Request) (Response, error) {
+	resp, err := c.roundTrip(ctx, req)
 	if err != nil {
 		return resp, err
 	}
 	if !resp.OK {
-		return resp, fmt.Errorf("protocol: %s: %s", req.Op, resp.Error)
+		return resp, &WireError{Op: req.Op, Code: resp.Code, Message: resp.Error}
 	}
 	return resp, nil
 }
 
 // Register registers a mobile user with an exact position and privacy
 // profile (k, Amin). Only the anonymizer endpoint ever sees x, y.
-func (c *Client) Register(uid int64, x, y float64, k int, amin float64) error {
-	_, err := c.call(Request{Op: OpRegister, UserID: uid, X: x, Y: y, K: k, AMin: amin})
+func (c *Client) Register(ctx context.Context, uid int64, x, y float64, k int, amin float64) error {
+	_, err := c.call(ctx, Request{Op: OpRegister, UserID: uid, X: x, Y: y, K: k, AMin: amin})
 	return err
 }
 
 // Update sends a location update.
-func (c *Client) Update(uid int64, x, y float64) error {
-	_, err := c.call(Request{Op: OpUpdate, UserID: uid, X: x, Y: y})
+func (c *Client) Update(ctx context.Context, uid int64, x, y float64) error {
+	_, err := c.call(ctx, Request{Op: OpUpdate, UserID: uid, X: x, Y: y})
 	return err
 }
 
 // BatchUpdate sends many location updates in one frame and returns
 // how many were applied; on error, updates before the failing one have
 // already been applied.
-func (c *Client) BatchUpdate(updates []BatchUpdate) (int, error) {
-	resp, err := c.call(Request{Op: OpBatchUpdate, Batch: updates})
+func (c *Client) BatchUpdate(ctx context.Context, updates []BatchUpdate) (int, error) {
+	resp, err := c.call(ctx, Request{Op: OpBatchUpdate, Batch: updates})
 	if err != nil {
 		return int(resp.Count), err
 	}
@@ -90,14 +167,14 @@ func (c *Client) BatchUpdate(updates []BatchUpdate) (int, error) {
 }
 
 // Deregister removes the user.
-func (c *Client) Deregister(uid int64) error {
-	_, err := c.call(Request{Op: OpDeregister, UserID: uid})
+func (c *Client) Deregister(ctx context.Context, uid int64) error {
+	_, err := c.call(ctx, Request{Op: OpDeregister, UserID: uid})
 	return err
 }
 
 // SetProfile changes the user's privacy profile.
-func (c *Client) SetProfile(uid int64, k int, amin float64) error {
-	_, err := c.call(Request{Op: OpSetProfile, UserID: uid, K: k, AMin: amin})
+func (c *Client) SetProfile(ctx context.Context, uid int64, k int, amin float64) error {
+	_, err := c.call(ctx, Request{Op: OpSetProfile, UserID: uid, K: k, AMin: amin})
 	return err
 }
 
@@ -109,14 +186,14 @@ type NNResult struct {
 }
 
 // NearestPublic asks "what is my nearest public object?".
-func (c *Client) NearestPublic(uid int64) (NNResult, error) {
-	resp, err := c.call(Request{Op: OpNearestPublic, UserID: uid})
+func (c *Client) NearestPublic(ctx context.Context, uid int64) (NNResult, error) {
+	resp, err := c.call(ctx, Request{Op: OpNearestPublic, UserID: uid})
 	return nnResult(resp, err)
 }
 
 // NearestBuddy asks "where is my nearest (cloaked) buddy?".
-func (c *Client) NearestBuddy(uid int64) (NNResult, error) {
-	resp, err := c.call(Request{Op: OpNearestBuddy, UserID: uid})
+func (c *Client) NearestBuddy(ctx context.Context, uid int64) (NNResult, error) {
+	resp, err := c.call(ctx, Request{Op: OpNearestBuddy, UserID: uid})
 	return nnResult(resp, err)
 }
 
@@ -136,8 +213,8 @@ func nnResult(resp Response, err error) (NNResult, error) {
 
 // KNearestPublic asks for the user's k nearest public objects,
 // refined exactly and returned in ascending distance order.
-func (c *Client) KNearestPublic(uid int64, k int) ([]Object, Cost, error) {
-	resp, err := c.call(Request{Op: OpKNearestPublic, UserID: uid, NN: k})
+func (c *Client) KNearestPublic(ctx context.Context, uid int64, k int) ([]Object, Cost, error) {
+	resp, err := c.call(ctx, Request{Op: OpKNearestPublic, UserID: uid, NN: k})
 	if err != nil {
 		return nil, Cost{}, err
 	}
@@ -149,8 +226,8 @@ func (c *Client) KNearestPublic(uid int64, k int) ([]Object, Cost, error) {
 }
 
 // RangePublic asks for all public objects within radius of the user.
-func (c *Client) RangePublic(uid int64, radius float64) ([]Object, Cost, error) {
-	resp, err := c.call(Request{Op: OpRangePublic, UserID: uid, Radius: radius})
+func (c *Client) RangePublic(ctx context.Context, uid int64, radius float64) ([]Object, Cost, error) {
+	resp, err := c.call(ctx, Request{Op: OpRangePublic, UserID: uid, Radius: radius})
 	if err != nil {
 		return nil, Cost{}, err
 	}
@@ -164,8 +241,8 @@ func (c *Client) RangePublic(uid int64, radius float64) ([]Object, Cost, error) 
 // CountUsers is the administrator query: how many users in the region,
 // under policy "any-overlap", "center-in" or "fractional" ("" means
 // any-overlap).
-func (c *Client) CountUsers(r Rect, policy string) (float64, error) {
-	resp, err := c.call(Request{Op: OpCountUsers, Rect: &r, Policy: policy})
+func (c *Client) CountUsers(ctx context.Context, r Rect, policy string) (float64, error) {
+	resp, err := c.call(ctx, Request{Op: OpCountUsers, Rect: &r, Policy: policy})
 	if err != nil {
 		return 0, err
 	}
@@ -173,16 +250,16 @@ func (c *Client) CountUsers(r Rect, policy string) (float64, error) {
 }
 
 // AddPublic registers a public object (no anonymity).
-func (c *Client) AddPublic(id int64, x, y float64, name string) error {
-	_, err := c.call(Request{Op: OpAddPublic, PubID: id, X: x, Y: y, Name: name})
+func (c *Client) AddPublic(ctx context.Context, id int64, x, y float64, name string) error {
+	_, err := c.call(ctx, Request{Op: OpAddPublic, PubID: id, X: x, Y: y, Name: name})
 	return err
 }
 
 // Density fetches the administrator's n x n expected-count density
 // map of the registered population ([0] is the bottom row; n=0 means
 // the server default of 16).
-func (c *Client) Density(n int) ([][]float64, error) {
-	resp, err := c.call(Request{Op: OpDensity, NN: n})
+func (c *Client) Density(ctx context.Context, n int) ([][]float64, error) {
+	resp, err := c.call(ctx, Request{Op: OpDensity, NN: n})
 	if err != nil {
 		return nil, err
 	}
@@ -190,8 +267,8 @@ func (c *Client) Density(n int) ([][]float64, error) {
 }
 
 // Stats fetches deployment statistics.
-func (c *Client) Stats() (Stats, error) {
-	resp, err := c.call(Request{Op: OpStats})
+func (c *Client) Stats(ctx context.Context) (Stats, error) {
+	resp, err := c.call(ctx, Request{Op: OpStats})
 	if err != nil {
 		return Stats{}, err
 	}
@@ -202,4 +279,6 @@ func (c *Client) Stats() (Stats, error) {
 }
 
 // Raw sends an arbitrary request (testing and debugging).
-func (c *Client) Raw(req Request) (Response, error) { return c.roundTrip(req) }
+func (c *Client) Raw(ctx context.Context, req Request) (Response, error) {
+	return c.roundTrip(ctx, req)
+}

@@ -1,0 +1,225 @@
+package protocol
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"casper/internal/anonymizer"
+	"casper/internal/core"
+	"casper/internal/geom"
+	"casper/internal/server"
+)
+
+// TestWireCodeMapping checks the sentinel <-> code table both ways for
+// every entry: building an error frame with errFrom and decoding it as
+// a WireError must land back on the same sentinel under errors.Is.
+func TestWireCodeMapping(t *testing.T) {
+	for _, w := range wireCodes {
+		wrapped := fmt.Errorf("somewhere deep: %w", w.sentinel)
+		resp := errFrom(wrapped)
+		if resp.OK || resp.Code != w.code {
+			t.Errorf("errFrom(%v): code = %q, want %q", w.sentinel, resp.Code, w.code)
+		}
+		var err error = &WireError{Op: "test", Code: resp.Code, Message: resp.Error}
+		if !errors.Is(err, w.sentinel) {
+			t.Errorf("code %q does not unwrap to %v", w.code, w.sentinel)
+		}
+	}
+	// Unknown and empty codes still yield a usable error, just without
+	// a sentinel behind it.
+	var unknown error = &WireError{Op: "x", Code: "from_the_future", Message: "boom"}
+	if errors.Is(unknown, core.ErrNotRegistered) {
+		t.Fatal("unknown code matched a sentinel")
+	}
+	if !strings.Contains(unknown.Error(), "boom") {
+		t.Fatalf("message lost: %q", unknown.Error())
+	}
+	if errFrom(errors.New("plain")).Code != "" {
+		t.Fatal("plain error got a wire code")
+	}
+}
+
+// TestSentinelsSurviveWire drives each reachable application error
+// through a real TCP round trip and asserts errors.Is still holds on
+// the client side, exactly as it would in-process.
+func TestSentinelsSurviveWire(t *testing.T) {
+	// A dedicated world with NO public objects so empty_candidates is
+	// reachable, and a single registered user so no_buddies is too.
+	cfg := core.DefaultConfig()
+	cfg.Universe = geom.R(0, 0, 4096, 4096)
+	cfg.PyramidLevels = 7
+	c := core.MustNew(cfg)
+	srv := NewServer(c)
+	srv.SetLogf(func(string, ...any) {})
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	cl, err := Dial(addr.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	if err := cl.Register(ctx, 1, 100, 100, 1, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.AddPublic(ctx, 5, 50, 50, "poi"); err != nil {
+		t.Fatal(err)
+	}
+
+	cases := []struct {
+		name     string
+		call     func() error
+		sentinel error
+		code     string
+	}{
+		{"not_registered", func() error { return cl.Update(ctx, 99, 1, 1) },
+			core.ErrNotRegistered, CodeNotRegistered},
+		{"already_registered", func() error { return cl.Register(ctx, 1, 100, 100, 1, 0) },
+			core.ErrAlreadyRegistered, CodeAlreadyRegistered},
+		{"no_buddies", func() error { _, err := cl.NearestBuddy(ctx, 1); return err },
+			core.ErrNoBuddies, CodeNoBuddies},
+		{"duplicate_object", func() error { return cl.AddPublic(ctx, 5, 60, 60, "again") },
+			server.ErrDuplicateObject, CodeDuplicateObject},
+		// Last: the rejected profile sticks to the user, so queries
+		// after this point would cloak with k=500 and fail.
+		{"unsatisfiable", func() error { return cl.SetProfile(ctx, 1, 500, 0) },
+			anonymizer.ErrUnsatisfiable, CodeUnsatisfiable},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.call()
+			if err == nil {
+				t.Fatal("expected an error over the wire")
+			}
+			if !errors.Is(err, tc.sentinel) {
+				t.Fatalf("errors.Is(%v, %v) = false", err, tc.sentinel)
+			}
+			var we *WireError
+			if !errors.As(err, &we) {
+				t.Fatalf("error %v is not a *WireError", err)
+			}
+			if we.Code != tc.code {
+				t.Fatalf("code = %q, want %q", we.Code, tc.code)
+			}
+		})
+	}
+
+	// empty_candidates needs a user but no POI near enough to matter —
+	// remove the only POI via a fresh server-less check is impossible
+	// over the wire, so use a second world without public objects.
+	t.Run("empty_candidates", func(t *testing.T) {
+		c2 := core.MustNew(cfg)
+		srv2 := NewServer(c2)
+		srv2.SetLogf(func(string, ...any) {})
+		addr2, err := srv2.Listen("127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer srv2.Close()
+		cl2, err := Dial(addr2.String())
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer cl2.Close()
+		if err := cl2.Register(ctx, 1, 100, 100, 1, 0); err != nil {
+			t.Fatal(err)
+		}
+		_, err = cl2.NearestPublic(ctx, 1)
+		if !errors.Is(err, core.ErrEmptyCandidates) {
+			t.Fatalf("NearestPublic = %v, want ErrEmptyCandidates", err)
+		}
+	})
+}
+
+// TestContextDeadlineAndPoisoning checks that a context deadline aborts
+// an in-flight round trip and that the failed stream then fails fast.
+func TestContextDeadlineAndPoisoning(t *testing.T) {
+	// A listener that accepts and then never responds.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			// Drain but never answer.
+			go func(c net.Conn) {
+				buf := make([]byte, 4096)
+				for {
+					if _, err := c.Read(buf); err != nil {
+						c.Close()
+						return
+					}
+				}
+			}(conn)
+		}
+	}()
+
+	cl, err := Dial(ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	dctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	if err := cl.Register(dctx, 1, 1, 1, 1, 0); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("Register = %v, want DeadlineExceeded", err)
+	}
+	if elapsed := time.Since(start); elapsed > 3*time.Second {
+		t.Fatalf("deadline ignored: call took %v", elapsed)
+	}
+	// The stream is now desynced; later calls must fail immediately
+	// even with a generous context.
+	if err := cl.Update(context.Background(), 1, 2, 2); err == nil ||
+		!strings.Contains(err.Error(), "unusable") {
+		t.Fatalf("poisoned connection accepted a call: %v", err)
+	}
+}
+
+// TestPreCanceledContext checks that an already-canceled context fails
+// before any bytes hit the wire and does NOT poison the connection.
+func TestPreCanceledContext(t *testing.T) {
+	addr := startServer(t)
+	cl, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	canceled, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := cl.Register(canceled, 1, 1, 1, 1, 0); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Register = %v, want Canceled", err)
+	}
+	// The connection never carried the aborted request, so it works.
+	if err := cl.Register(ctx, 1, 1, 1, 1, 0); err != nil {
+		t.Fatalf("connection unusable after pre-canceled call: %v", err)
+	}
+}
+
+// TestWireErrorJSONShape pins the over-the-wire representation: code
+// travels in the "code" field next to "error".
+func TestWireErrorJSONShape(t *testing.T) {
+	resp := errFrom(fmt.Errorf("ctx: %w", core.ErrNotRegistered))
+	b, err := json.Marshal(resp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(b), `"code":"not_registered"`) {
+		t.Fatalf("frame = %s", b)
+	}
+}

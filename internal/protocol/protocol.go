@@ -120,8 +120,11 @@ type Stats struct {
 
 // Response is one server frame.
 type Response struct {
-	OK         bool     `json:"ok"`
-	Error      string   `json:"error,omitempty"`
+	OK    bool   `json:"ok"`
+	Error string `json:"error,omitempty"`
+	// Code is the stable wire error code for application errors ("" for
+	// transport-level problems like malformed frames); see errors.go.
+	Code       string   `json:"code,omitempty"`
 	Exact      *Object  `json:"exact,omitempty"`
 	Candidates []Object `json:"candidates,omitempty"`
 	Count      float64  `json:"count,omitempty"`

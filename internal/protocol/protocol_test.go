@@ -2,6 +2,7 @@ package protocol
 
 import (
 	"bufio"
+	"context"
 	"fmt"
 	"math/rand"
 	"net"
@@ -15,6 +16,10 @@ import (
 	"casper/internal/server"
 )
 
+// ctx is the do-not-care context for RPCs whose deadline is irrelevant
+// to the test at hand.
+var ctx = context.Background()
+
 // startServer spins up a protocol server over a small Casper world and
 // returns its address plus a cleanup-registered close.
 func startServer(t *testing.T) string {
@@ -22,7 +27,7 @@ func startServer(t *testing.T) string {
 	cfg := core.DefaultConfig()
 	cfg.Universe = geom.R(0, 0, 4096, 4096)
 	cfg.PyramidLevels = 7
-	c := core.New(cfg)
+	c := core.MustNew(cfg)
 	// Preload public objects.
 	rng := rand.New(rand.NewSource(1))
 	objs := make([]server.PublicObject, 200)
@@ -60,13 +65,13 @@ func TestRegisterQueryFlow(t *testing.T) {
 	}
 	defer cl.Close()
 
-	if err := cl.Register(1, 100, 100, 1, 0); err != nil {
+	if err := cl.Register(ctx, 1, 100, 100, 1, 0); err != nil {
 		t.Fatal(err)
 	}
-	if err := cl.Register(2, 120, 110, 2, 0); err != nil {
+	if err := cl.Register(ctx, 2, 120, 110, 2, 0); err != nil {
 		t.Fatal(err)
 	}
-	res, err := cl.NearestPublic(1)
+	res, err := cl.NearestPublic(ctx, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -81,7 +86,7 @@ func TestRegisterQueryFlow(t *testing.T) {
 	}
 
 	// Buddy query: user 1's nearest buddy is user 2's cloak.
-	buddy, err := cl.NearestBuddy(1)
+	buddy, err := cl.NearestBuddy(ctx, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -90,7 +95,7 @@ func TestRegisterQueryFlow(t *testing.T) {
 	}
 
 	// Range query.
-	items, _, err := cl.RangePublic(1, 800)
+	items, _, err := cl.RangePublic(ctx, 1, 800)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -102,7 +107,7 @@ func TestRegisterQueryFlow(t *testing.T) {
 	}
 
 	// Admin count.
-	n, err := cl.CountUsers(Rect{MinX: 0, MinY: 0, MaxX: 4096, MaxY: 4096}, "any-overlap")
+	n, err := cl.CountUsers(ctx, Rect{MinX: 0, MinY: 0, MaxX: 4096, MaxY: 4096}, "any-overlap")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -111,7 +116,7 @@ func TestRegisterQueryFlow(t *testing.T) {
 	}
 
 	// Stats.
-	st, err := cl.Stats()
+	st, err := cl.Stats(ctx)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -127,23 +132,23 @@ func TestUpdateMovesUser(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer cl.Close()
-	if err := cl.Register(1, 10, 10, 1, 0); err != nil {
+	if err := cl.Register(ctx, 1, 10, 10, 1, 0); err != nil {
 		t.Fatal(err)
 	}
-	if err := cl.Update(1, 4000, 4000); err != nil {
+	if err := cl.Update(ctx, 1, 4000, 4000); err != nil {
 		t.Fatal(err)
 	}
-	n, err := cl.CountUsers(Rect{MinX: 3500, MinY: 3500, MaxX: 4096, MaxY: 4096}, "")
+	n, err := cl.CountUsers(ctx, Rect{MinX: 3500, MinY: 3500, MaxX: 4096, MaxY: 4096}, "")
 	if err != nil {
 		t.Fatal(err)
 	}
 	if n != 1 {
 		t.Fatalf("user did not move: count = %v", n)
 	}
-	if err := cl.Deregister(1); err != nil {
+	if err := cl.Deregister(ctx, 1); err != nil {
 		t.Fatal(err)
 	}
-	if err := cl.Update(1, 1, 1); err == nil {
+	if err := cl.Update(ctx, 1, 1, 1); err == nil {
 		t.Fatal("update after deregister should fail")
 	}
 }
@@ -153,14 +158,14 @@ func TestSetProfileOverWire(t *testing.T) {
 	cl, _ := Dial(addr)
 	defer cl.Close()
 	for i := int64(0); i < 30; i++ {
-		if err := cl.Register(i, float64(i*50), float64(i*37), 1, 0); err != nil {
+		if err := cl.Register(ctx, i, float64(i*50), float64(i*37), 1, 0); err != nil {
 			t.Fatal(err)
 		}
 	}
-	if err := cl.SetProfile(0, 20, 0); err != nil {
+	if err := cl.SetProfile(ctx, 0, 20, 0); err != nil {
 		t.Fatal(err)
 	}
-	res, err := cl.NearestPublic(0)
+	res, err := cl.NearestPublic(ctx, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -173,16 +178,16 @@ func TestApplicationErrors(t *testing.T) {
 	addr := startServer(t)
 	cl, _ := Dial(addr)
 	defer cl.Close()
-	if err := cl.Update(99, 1, 1); err == nil {
+	if err := cl.Update(ctx, 99, 1, 1); err == nil {
 		t.Fatal("unknown user accepted")
 	}
-	if err := cl.Register(1, 10, 10, 0, 0); err == nil {
+	if err := cl.Register(ctx, 1, 10, 10, 0, 0); err == nil {
 		t.Fatal("invalid profile accepted")
 	}
-	if _, err := cl.CountUsers(Rect{}, "bogus-policy"); err == nil {
+	if _, err := cl.CountUsers(ctx, Rect{}, "bogus-policy"); err == nil {
 		t.Fatal("bad policy accepted")
 	}
-	resp, err := cl.Raw(Request{Op: "no-such-op"})
+	resp, err := cl.Raw(ctx, Request{Op: "no-such-op"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -190,7 +195,7 @@ func TestApplicationErrors(t *testing.T) {
 		t.Fatalf("response = %+v", resp)
 	}
 	// count_users without a rect.
-	resp, err = cl.Raw(Request{Op: OpCountUsers})
+	resp, err = cl.Raw(ctx, Request{Op: OpCountUsers})
 	if err != nil || resp.OK {
 		t.Fatalf("missing rect: %+v, %v", resp, err)
 	}
@@ -232,11 +237,15 @@ func TestConcurrentClients(t *testing.T) {
 			defer cl.Close()
 			for i := int64(0); i < 20; i++ {
 				uid := base*100 + i
-				if err := cl.Register(uid, float64(uid%4000), float64((uid*7)%4000), 1, 0); err != nil {
+				if err := cl.Register(ctx, uid, float64(uid%4000), float64((uid*7)%4000), 1, 0); err != nil {
 					errs <- err
 					return
 				}
-				if _, err := cl.NearestPublic(uid); err != nil {
+				if err := cl.Update(ctx, uid, float64((uid*3)%4000), float64((uid*11)%4000)); err != nil {
+					errs <- err
+					return
+				}
+				if _, err := cl.NearestPublic(ctx, uid); err != nil {
 					errs <- err
 					return
 				}
@@ -250,7 +259,7 @@ func TestConcurrentClients(t *testing.T) {
 	}
 	cl, _ := Dial(addr)
 	defer cl.Close()
-	st, err := cl.Stats()
+	st, err := cl.Stats(ctx)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -263,13 +272,13 @@ func TestAddPublicOverWire(t *testing.T) {
 	addr := startServer(t)
 	cl, _ := Dial(addr)
 	defer cl.Close()
-	if err := cl.AddPublic(9999, 50, 50, "new-cafe"); err != nil {
+	if err := cl.AddPublic(ctx, 9999, 50, 50, "new-cafe"); err != nil {
 		t.Fatal(err)
 	}
-	if err := cl.AddPublic(9999, 60, 60, "dup"); err == nil {
+	if err := cl.AddPublic(ctx, 9999, 60, 60, "dup"); err == nil {
 		t.Fatal("duplicate public object accepted")
 	}
-	st, _ := cl.Stats()
+	st, _ := cl.Stats(ctx)
 	if st.PublicObjs != 201 {
 		t.Fatalf("public objects = %d", st.PublicObjs)
 	}
@@ -288,10 +297,10 @@ func TestKNearestPublicOverWire(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer cl.Close()
-	if err := cl.Register(1, 2000, 2000, 1, 0); err != nil {
+	if err := cl.Register(ctx, 1, 2000, 2000, 1, 0); err != nil {
 		t.Fatal(err)
 	}
-	items, cost, err := cl.KNearestPublic(1, 3)
+	items, cost, err := cl.KNearestPublic(ctx, 1, 3)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -301,7 +310,7 @@ func TestKNearestPublicOverWire(t *testing.T) {
 	if cost.Candidates < 3 {
 		t.Fatalf("cost = %+v", cost)
 	}
-	if _, _, err := cl.KNearestPublic(1, 0); err == nil {
+	if _, _, err := cl.KNearestPublic(ctx, 1, 0); err == nil {
 		t.Fatal("k=0 accepted over wire")
 	}
 }
@@ -353,7 +362,7 @@ func TestIdleTimeoutDisconnects(t *testing.T) {
 	cfg := core.DefaultConfig()
 	cfg.Universe = geom.R(0, 0, 1024, 1024)
 	cfg.PyramidLevels = 5
-	srv := NewServer(core.New(cfg))
+	srv := NewServer(core.MustNew(cfg))
 	srv.SetLogf(func(string, ...any) {})
 	srv.IdleTimeout = 150 * time.Millisecond
 	addr, err := srv.Listen("127.0.0.1:0")
@@ -385,7 +394,7 @@ func TestBatchUpdateOverWire(t *testing.T) {
 	}
 	defer cl.Close()
 	for i := int64(1); i <= 5; i++ {
-		if err := cl.Register(i, float64(i*100), float64(i*100), 1, 0); err != nil {
+		if err := cl.Register(ctx, i, float64(i*100), float64(i*100), 1, 0); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -393,11 +402,11 @@ func TestBatchUpdateOverWire(t *testing.T) {
 	for i := range updates {
 		updates[i] = BatchUpdate{UserID: int64(i + 1), X: 3000 + float64(i), Y: 3000}
 	}
-	n, err := cl.BatchUpdate(updates)
+	n, err := cl.BatchUpdate(ctx, updates)
 	if err != nil || n != 5 {
 		t.Fatalf("batch: n=%d err=%v", n, err)
 	}
-	count, err := cl.CountUsers(Rect{MinX: 2500, MinY: 2500, MaxX: 3500, MaxY: 3500}, "")
+	count, err := cl.CountUsers(ctx, Rect{MinX: 2500, MinY: 2500, MaxX: 3500, MaxY: 3500}, "")
 	if err != nil || count != 5 {
 		t.Fatalf("count after batch = %v, %v", count, err)
 	}
@@ -407,7 +416,7 @@ func TestBatchUpdateOverWire(t *testing.T) {
 		{UserID: 999, X: 20, Y: 20},
 		{UserID: 2, X: 30, Y: 30},
 	}
-	n, err = cl.BatchUpdate(bad)
+	n, err = cl.BatchUpdate(ctx, bad)
 	if err == nil {
 		t.Fatal("bad batch accepted")
 	}
@@ -424,11 +433,11 @@ func TestDensityOverWire(t *testing.T) {
 	}
 	defer cl.Close()
 	for i := int64(0); i < 20; i++ {
-		if err := cl.Register(i, float64(i*100+50), float64((i*150+50)%4000), 1, 0); err != nil {
+		if err := cl.Register(ctx, i, float64(i*100+50), float64((i*150+50)%4000), 1, 0); err != nil {
 			t.Fatal(err)
 		}
 	}
-	grid, err := cl.Density(8)
+	grid, err := cl.Density(ctx, 8)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -445,11 +454,11 @@ func TestDensityOverWire(t *testing.T) {
 		t.Fatalf("density mass = %v", total)
 	}
 	// Default resolution.
-	grid, err = cl.Density(0)
+	grid, err = cl.Density(ctx, 0)
 	if err != nil || len(grid) != 16 {
 		t.Fatalf("default density: %d, %v", len(grid), err)
 	}
-	if _, err := cl.Density(-3); err == nil {
+	if _, err := cl.Density(ctx, -3); err == nil {
 		t.Fatal("negative n accepted")
 	}
 }

@@ -31,8 +31,13 @@ const DefaultIdleTimeout = 5 * time.Minute
 // administrator endpoint for public queries — while preserving the
 // internal trust boundary (the DB server half never sees identities or
 // exact positions).
+//
+// Requests from different connections run concurrently: core.Casper is
+// safe for concurrent use, so no serialization happens here. Within a
+// single connection, requests are still answered strictly in order —
+// the newline framing has no request IDs, so in-order responses are
+// what keeps the stream interpretable.
 type Server struct {
-	mu     sync.Mutex // serializes access to the core framework
 	casper *core.Casper
 	ln     net.Listener
 	logf   func(string, ...any)
@@ -156,8 +161,6 @@ func (s *Server) handleConn(conn net.Conn) {
 }
 
 func (s *Server) dispatch(req Request) Response {
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	switch req.Op {
 	case OpRegister:
 		err := s.casper.RegisterUser(
@@ -172,7 +175,7 @@ func (s *Server) dispatch(req Request) Response {
 		applied := 0
 		for _, u := range req.Batch {
 			if err := s.casper.UpdateUser(anonymizer.UserID(u.UserID), geom.Pt(u.X, u.Y)); err != nil {
-				resp := errResponse("batch aborted at uid %d: %v", u.UserID, err)
+				resp := errFrom(fmt.Errorf("batch aborted at uid %d: %w", u.UserID, err))
 				resp.Count = float64(applied)
 				return resp
 			}
@@ -189,25 +192,25 @@ func (s *Server) dispatch(req Request) Response {
 	case OpNearestPublic:
 		ans, err := s.casper.NearestPublic(anonymizer.UserID(req.UserID))
 		if err != nil {
-			return errResponse("%v", err)
+			return errFrom(err)
 		}
 		return nnResponse(ans)
 	case OpNearestBuddy:
 		ans, err := s.casper.NearestBuddy(anonymizer.UserID(req.UserID))
 		if err != nil {
-			return errResponse("%v", err)
+			return errFrom(err)
 		}
 		return nnResponse(ans)
 	case OpKNearestPublic:
 		items, cost, err := s.casper.KNearestPublic(anonymizer.UserID(req.UserID), req.NN)
 		if err != nil {
-			return errResponse("%v", err)
+			return errFrom(err)
 		}
 		return Response{OK: true, Cost: costWire(cost), Candidates: objectsWire(items)}
 	case OpRangePublic:
 		items, cost, err := s.casper.RangePublic(anonymizer.UserID(req.UserID), req.Radius)
 		if err != nil {
-			return errResponse("%v", err)
+			return errFrom(err)
 		}
 		resp := Response{OK: true, Cost: costWire(cost)}
 		resp.Candidates = objectsWire(items)
@@ -218,11 +221,11 @@ func (s *Server) dispatch(req Request) Response {
 		}
 		policy, err := parsePolicy(req.Policy)
 		if err != nil {
-			return errResponse("%v", err)
+			return errFrom(err)
 		}
 		n, err := s.casper.CountUsersIn(req.Rect.ToGeom(), policy)
 		if err != nil {
-			return errResponse("%v", err)
+			return errFrom(err)
 		}
 		return Response{OK: true, Count: n}
 	case OpAddPublic:
@@ -239,7 +242,7 @@ func (s *Server) dispatch(req Request) Response {
 		}
 		grid, err := s.casper.UserDensityGrid(n)
 		if err != nil {
-			return errResponse("%v", err)
+			return errFrom(err)
 		}
 		return Response{OK: true, Density: grid}
 	case OpStats:
@@ -256,7 +259,7 @@ func (s *Server) dispatch(req Request) Response {
 
 func okOrErr(err error) Response {
 	if err != nil {
-		return errResponse("%v", err)
+		return errFrom(err)
 	}
 	return Response{OK: true}
 }

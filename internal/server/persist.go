@@ -3,6 +3,7 @@ package server
 import (
 	"fmt"
 	"os"
+	"sync"
 
 	"casper/internal/geom"
 	"casper/internal/wal"
@@ -14,9 +15,21 @@ import (
 // holds only what the server itself may see — pseudonyms and cloaked
 // rectangles, never exact user locations — so persistence does not
 // widen the privacy boundary.
+//
+// Persistent is safe for concurrent use: queries run in parallel
+// (they are plain Server reads), while mutations serialize behind
+// walMu so the order of records in the log always matches the order
+// the in-memory server applied them — a replayed log then rebuilds
+// exactly the state that was live.
 type Persistent struct {
 	*Server
-	log *wal.Log
+	// walMu is held across each log-append + apply pair (and across
+	// Compact/Sync/Close, which swap or retire the log). Without it,
+	// two concurrent upserts of the same ID could reach the log in the
+	// opposite order they reached the R-tree, and recovery would
+	// resurrect the older cloak.
+	walMu sync.Mutex
+	log   *wal.Log
 }
 
 // OpenPersistent recovers a server from the WAL at path (creating an
@@ -69,6 +82,8 @@ func apply(s *Server, r wal.Record) error {
 
 // AddPublic logs then applies.
 func (p *Persistent) AddPublic(o PublicObject) error {
+	p.walMu.Lock()
+	defer p.walMu.Unlock()
 	if err := p.log.Append(wal.Record{
 		Type: wal.PublicAdd, ID: o.ID, X0: o.Pos.X, Y0: o.Pos.Y, Name: o.Name,
 	}); err != nil {
@@ -79,6 +94,8 @@ func (p *Persistent) AddPublic(o PublicObject) error {
 
 // RemovePublic logs then applies.
 func (p *Persistent) RemovePublic(id int64) error {
+	p.walMu.Lock()
+	defer p.walMu.Unlock()
 	if err := p.log.Append(wal.Record{Type: wal.PublicRemove, ID: id}); err != nil {
 		return err
 	}
@@ -87,6 +104,8 @@ func (p *Persistent) RemovePublic(id int64) error {
 
 // UpsertPrivate logs then applies.
 func (p *Persistent) UpsertPrivate(o PrivateObject) error {
+	p.walMu.Lock()
+	defer p.walMu.Unlock()
 	if err := p.log.Append(wal.Record{
 		Type: wal.PrivateUpsert, ID: o.ID,
 		X0: o.Region.Min.X, Y0: o.Region.Min.Y,
@@ -99,6 +118,8 @@ func (p *Persistent) UpsertPrivate(o PrivateObject) error {
 
 // RemovePrivate logs then applies.
 func (p *Persistent) RemovePrivate(id int64) error {
+	p.walMu.Lock()
+	defer p.walMu.Unlock()
 	if err := p.log.Append(wal.Record{Type: wal.PrivateRemove, ID: id}); err != nil {
 		return err
 	}
@@ -109,12 +130,18 @@ func (p *Persistent) RemovePrivate(id int64) error {
 // removal-free sequence of adds into a compacted log (the bulk load is
 // a bootstrap operation; compaction keeps the log equal to the state).
 func (p *Persistent) LoadPublic(objs []PublicObject) error {
+	p.walMu.Lock()
+	defer p.walMu.Unlock()
 	p.Server.LoadPublic(objs)
-	return p.Compact()
+	return p.compactLocked()
 }
 
 // Sync makes all appended records durable.
-func (p *Persistent) Sync() error { return p.log.Sync() }
+func (p *Persistent) Sync() error {
+	p.walMu.Lock()
+	defer p.walMu.Unlock()
+	return p.log.Sync()
+}
 
 // Compact rewrites the log so it contains exactly the current state:
 // one PublicAdd per public object and one PrivateUpsert per cloaked
@@ -122,6 +149,12 @@ func (p *Persistent) Sync() error { return p.log.Sync() }
 // atomically renamed over the old log, so a crash at any point leaves
 // either the full old log or the full snapshot — never a mix.
 func (p *Persistent) Compact() error {
+	p.walMu.Lock()
+	defer p.walMu.Unlock()
+	return p.compactLocked()
+}
+
+func (p *Persistent) compactLocked() error {
 	path := p.log.Path()
 	if err := p.log.Close(); err != nil {
 		return err
@@ -179,6 +212,8 @@ func (p *Persistent) Compact() error {
 
 // Close syncs and closes the log.
 func (p *Persistent) Close() error {
+	p.walMu.Lock()
+	defer p.walMu.Unlock()
 	if err := p.log.Sync(); err != nil {
 		p.log.Close()
 		return err
