@@ -68,7 +68,9 @@ func main() {
 		cfg := casper.DefaultConfig()
 		cfg.Universe = casper.R(0, 0, *extent, *extent)
 		c := casper.MustNew(cfg)
-		c.LoadPublicObjects(casper.UniformTargets(cfg.Universe, *targets, *seed))
+		if err := c.LoadPublicObjects(casper.UniformTargets(cfg.Universe, *targets, *seed)); err != nil {
+			log.Fatalf("casper-replay: load targets: %v", err)
+		}
 		d = &inprocDriver{c: c}
 	}
 

@@ -17,7 +17,9 @@
 //	count    <x0> <y0> <x1> <y1> [policy]  users in a region
 //	density  [n]                        ASCII density heatmap
 //	add-public <id> <x> <y> <name>      add a public object
-//	stats                               deployment statistics
+//	stats [debug-addr]                  deployment statistics; with the
+//	                                    host:port of casperd -debug-addr,
+//	                                    fetch and pretty-print /metrics
 package main
 
 import (
@@ -48,6 +50,15 @@ func main() {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
 		defer cancel()
+	}
+
+	// `stats <debug-addr>` talks to the observability endpoint, not the
+	// protocol port, so it needs no protocol connection at all.
+	if args[0] == "stats" && len(args) > 1 {
+		if err := statsFromDebug(args[1]); err != nil {
+			fatal("stats: %v", err)
+		}
+		return
 	}
 
 	cl, err := casper.DialProtocol(*addr)
@@ -237,6 +248,8 @@ commands:
   count    <x0> <y0> <x1> <y1> [policy]  users in a region
   density  [n]                           ASCII density heatmap (n x n)
   add-public <id> <x> <y> <name>         add a public object
-  stats                                  deployment statistics
+  stats [debug-addr]                     deployment statistics; with the
+                                         host:port of casperd -debug-addr,
+                                         fetch and pretty-print /metrics
 `)
 }

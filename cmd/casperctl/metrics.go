@@ -1,0 +1,278 @@
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// statsFromDebug fetches /metrics from a casperd -debug-addr endpoint
+// and pretty-prints it: plain counters and gauges as name/value rows,
+// histograms reduced to count, mean, and p50/p95/p99 computed from
+// the exposed buckets — the at-a-glance view the raw exposition
+// format buries.
+func statsFromDebug(addr string) error {
+	if !strings.Contains(addr, "://") {
+		addr = "http://" + addr
+	}
+	url := strings.TrimSuffix(addr, "/") + "/metrics"
+	cl := &http.Client{Timeout: 10 * time.Second}
+	resp, err := cl.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("GET %s: %s", url, resp.Status)
+	}
+	fams, order, err := parseExposition(resp.Body)
+	if err != nil {
+		return err
+	}
+	for _, name := range order {
+		printFamily(name, fams[name])
+	}
+	return nil
+}
+
+// family is one metric family parsed from the exposition text.
+type family struct {
+	kind    string // counter | gauge | histogram
+	help    string
+	samples []sample // non-histogram samples, in input order
+	hists   []*histSeries
+}
+
+type sample struct {
+	labels string
+	value  float64
+}
+
+// histSeries is one histogram (one label set) within a family.
+type histSeries struct {
+	labels string // label set without the le pair
+	bounds []float64
+	cumul  []float64 // cumulative counts per bound, +Inf last
+	sum    float64
+	count  float64
+}
+
+func parseExposition(r io.Reader) (map[string]*family, []string, error) {
+	fams := make(map[string]*family)
+	var order []string
+	get := func(name string) *family {
+		f, ok := fams[name]
+		if !ok {
+			f = &family{kind: "gauge"}
+			fams[name] = f
+			order = append(order, name)
+		}
+		return f
+	}
+	histByKey := make(map[string]*histSeries)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64*1024), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			parts := strings.Fields(line)
+			if len(parts) >= 4 {
+				get(parts[2]).kind = parts[3]
+			}
+			continue
+		}
+		if strings.HasPrefix(line, "# HELP ") {
+			parts := strings.SplitN(line, " ", 4)
+			if len(parts) == 4 {
+				get(parts[2]).help = parts[3]
+			}
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		name, labels, value, ok := parseSample(line)
+		if !ok {
+			continue
+		}
+		base, suffix := name, ""
+		for _, sfx := range []string{"_bucket", "_sum", "_count"} {
+			if strings.HasSuffix(name, sfx) {
+				if f, exists := fams[strings.TrimSuffix(name, sfx)]; exists && f.kind == "histogram" {
+					base, suffix = strings.TrimSuffix(name, sfx), sfx
+				}
+				break
+			}
+		}
+		f := get(base)
+		if f.kind == "histogram" && suffix != "" {
+			le, rest := splitLE(labels)
+			key := base + "{" + rest + "}"
+			h, exists := histByKey[key]
+			if !exists {
+				h = &histSeries{labels: rest}
+				histByKey[key] = h
+				f.hists = append(f.hists, h)
+			}
+			switch suffix {
+			case "_bucket":
+				if le == "+Inf" {
+					h.cumul = append(h.cumul, value)
+					h.bounds = append(h.bounds, math.Inf(1))
+				} else if b, err := strconv.ParseFloat(le, 64); err == nil {
+					h.cumul = append(h.cumul, value)
+					h.bounds = append(h.bounds, b)
+				}
+			case "_sum":
+				h.sum = value
+			case "_count":
+				h.count = value
+			}
+			continue
+		}
+		f.samples = append(f.samples, sample{labels: labels, value: value})
+	}
+	return fams, order, sc.Err()
+}
+
+// parseSample splits `name{labels} value` / `name value`.
+func parseSample(line string) (name, labels string, value float64, ok bool) {
+	sp := strings.LastIndexByte(line, ' ')
+	if sp < 0 {
+		return "", "", 0, false
+	}
+	v, err := strconv.ParseFloat(strings.TrimSpace(line[sp+1:]), 64)
+	if err != nil {
+		return "", "", 0, false
+	}
+	head := strings.TrimSpace(line[:sp])
+	if i := strings.IndexByte(head, '{'); i >= 0 && strings.HasSuffix(head, "}") {
+		return head[:i], head[i+1 : len(head)-1], v, true
+	}
+	return head, "", v, true
+}
+
+// splitLE pulls the le="..." pair out of a bucket label set.
+func splitLE(labels string) (le, rest string) {
+	var kept []string
+	for _, part := range splitLabels(labels) {
+		if strings.HasPrefix(part, `le="`) {
+			le = strings.TrimSuffix(strings.TrimPrefix(part, `le="`), `"`)
+			continue
+		}
+		kept = append(kept, part)
+	}
+	return le, strings.Join(kept, ",")
+}
+
+// splitLabels splits a rendered label set on commas outside quotes.
+func splitLabels(s string) []string {
+	var out []string
+	depth := false
+	start := 0
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '"':
+			if i == 0 || s[i-1] != '\\' {
+				depth = !depth
+			}
+		case ',':
+			if !depth {
+				out = append(out, s[start:i])
+				start = i + 1
+			}
+		}
+	}
+	if start < len(s) {
+		out = append(out, s[start:])
+	}
+	return out
+}
+
+func printFamily(name string, f *family) {
+	switch f.kind {
+	case "histogram":
+		for _, h := range f.hists {
+			label := name
+			if h.labels != "" {
+				label += "{" + h.labels + "}"
+			}
+			if h.count == 0 {
+				fmt.Printf("%-58s (no observations)\n", label)
+				continue
+			}
+			mean := h.sum / h.count
+			fmt.Printf("%-58s count=%.0f mean=%s p50=%s p95=%s p99=%s\n",
+				label, h.count, formatQty(name, mean),
+				formatQty(name, h.quantile(0.50)),
+				formatQty(name, h.quantile(0.95)),
+				formatQty(name, h.quantile(0.99)))
+		}
+	default:
+		for _, s := range f.samples {
+			label := name
+			if s.labels != "" {
+				label += "{" + s.labels + "}"
+			}
+			fmt.Printf("%-58s %s\n", label, strconv.FormatFloat(s.value, 'g', -1, 64))
+		}
+	}
+}
+
+// quantile mirrors the server-side estimate: linear interpolation in
+// the bucket where the cumulative count crosses p·total.
+func (h *histSeries) quantile(p float64) float64 {
+	if h.count == 0 || len(h.bounds) == 0 {
+		return math.NaN()
+	}
+	// Bounds arrive in exposition order (ascending, +Inf last); be
+	// defensive about it anyway.
+	idx := make([]int, len(h.bounds))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return h.bounds[idx[a]] < h.bounds[idx[b]] })
+	rank := p * h.count
+	prevCum, prevBound := 0.0, 0.0
+	lastFinite := 0.0
+	for _, i := range idx {
+		ub, cum := h.bounds[i], h.cumul[i]
+		if !math.IsInf(ub, 1) {
+			lastFinite = ub
+		}
+		if cum >= rank && cum > prevCum {
+			if math.IsInf(ub, 1) {
+				return lastFinite
+			}
+			frac := (rank - prevCum) / (cum - prevCum)
+			if frac < 0 {
+				frac = 0
+			}
+			return prevBound + (ub-prevBound)*frac
+		}
+		prevCum, prevBound = cum, ub
+	}
+	return lastFinite
+}
+
+// formatQty renders a value with units inferred from the metric name:
+// seconds get human duration formatting, everything else a compact
+// float.
+func formatQty(name string, v float64) string {
+	if math.IsNaN(v) {
+		return "-"
+	}
+	if strings.HasSuffix(name, "_seconds") {
+		return time.Duration(v * float64(time.Second)).Round(time.Microsecond).String()
+	}
+	return strconv.FormatFloat(v, 'g', 4, 64)
+}

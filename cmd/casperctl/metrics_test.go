@@ -1,0 +1,85 @@
+package main
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+const sampleExposition = `# HELP casper_query_cache_hits_total Query-cache hits.
+# TYPE casper_query_cache_hits_total counter
+casper_query_cache_hits_total 42
+# HELP casper_public_objects Public objects stored.
+# TYPE casper_public_objects gauge
+casper_public_objects 7
+# HELP casper_rpc_seconds RPC latency.
+# TYPE casper_rpc_seconds histogram
+casper_rpc_seconds_bucket{op="nn",le="0.001"} 50
+casper_rpc_seconds_bucket{op="nn",le="0.01"} 90
+casper_rpc_seconds_bucket{op="nn",le="0.1"} 100
+casper_rpc_seconds_bucket{op="nn",le="+Inf"} 100
+casper_rpc_seconds_sum{op="nn"} 0.5
+casper_rpc_seconds_count{op="nn"} 100
+`
+
+func TestParseExposition(t *testing.T) {
+	fams, order, err := parseExposition(strings.NewReader(sampleExposition))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != 3 {
+		t.Fatalf("parsed %d families, want 3: %v", len(order), order)
+	}
+	c := fams["casper_query_cache_hits_total"]
+	if c == nil || c.kind != "counter" || len(c.samples) != 1 || c.samples[0].value != 42 {
+		t.Fatalf("counter family = %+v", c)
+	}
+	g := fams["casper_public_objects"]
+	if g == nil || g.kind != "gauge" || g.samples[0].value != 7 {
+		t.Fatalf("gauge family = %+v", g)
+	}
+	h := fams["casper_rpc_seconds"]
+	if h == nil || h.kind != "histogram" || len(h.hists) != 1 {
+		t.Fatalf("histogram family = %+v", h)
+	}
+	hs := h.hists[0]
+	if hs.labels != `op="nn"` || hs.count != 100 || hs.sum != 0.5 {
+		t.Fatalf("histogram series = %+v", hs)
+	}
+	if len(hs.bounds) != 4 || !math.IsInf(hs.bounds[3], 1) {
+		t.Fatalf("bounds = %v", hs.bounds)
+	}
+}
+
+func TestHistQuantile(t *testing.T) {
+	fams, _, err := parseExposition(strings.NewReader(sampleExposition))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := fams["casper_rpc_seconds"].hists[0]
+	// Rank 50 lands exactly on the first bucket's cumulative count.
+	if p50 := hs.quantile(0.50); p50 > 0.001+1e-12 {
+		t.Errorf("p50 = %v, want <= 0.001", p50)
+	}
+	// Rank 90 lands exactly on the second bucket's cumulative count.
+	p90 := hs.quantile(0.90)
+	if p90 <= 0.001 || p90 > 0.01+1e-12 {
+		t.Errorf("p90 = %v, want in (0.001, 0.01]", p90)
+	}
+	// Ranks 95 and 99 interpolate inside the (0.01, 0.1] bucket.
+	for _, q := range []float64{0.95, 0.99} {
+		if v := hs.quantile(q); v <= 0.01 || v > 0.1 {
+			t.Errorf("q%v = %v, want in (0.01, 0.1]", q, v)
+		}
+	}
+}
+
+func TestParseSample(t *testing.T) {
+	name, labels, v, ok := parseSample(`casper_rpc_errors_total{op="nn",code="not_registered"} 3`)
+	if !ok || name != "casper_rpc_errors_total" || labels != `op="nn",code="not_registered"` || v != 3 {
+		t.Fatalf("parseSample = %q %q %v %v", name, labels, v, ok)
+	}
+	if _, _, _, ok := parseSample("not a sample line"); ok {
+		t.Fatal("garbage accepted")
+	}
+}

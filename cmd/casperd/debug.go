@@ -1,0 +1,53 @@
+package main
+
+import (
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+
+	"casper/internal/metrics"
+)
+
+// startDebugServer serves the observability endpoints on addr:
+//
+//	/metrics       Prometheus text exposition of every framework metric
+//	/healthz       liveness probe ("ok")
+//	/debug/pprof/  the standard Go profiling handlers
+//
+// The debug listener is separate from the protocol port on purpose:
+// it can be bound to localhost or a management network while the
+// protocol endpoint faces clients. Returns the bound address and a
+// shutdown func.
+func startDebugServer(addr string) (net.Addr, func(), error) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if err := metrics.Default.WritePrometheus(w); err != nil {
+			log.Printf("debug: write metrics: %v", err)
+		}
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		io.WriteString(w, "ok\n")
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, nil, err
+	}
+	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	go func() {
+		if err := srv.Serve(ln); err != nil && err != http.ErrServerClosed {
+			log.Printf("debug server: %v", err)
+		}
+	}()
+	return ln.Addr(), func() { srv.Close() }, nil
+}

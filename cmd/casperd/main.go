@@ -13,6 +13,15 @@
 //	-filters     query filters: 1, 2 or 4      (default 4)
 //	-targets     preloaded public objects      (default 10000)
 //	-seed        workload seed                 (default 1)
+//	-wal         write-ahead log path          (default none)
+//	-debug-addr  observability HTTP endpoint   (default off)
+//	-slow-query  slow-query log threshold      (default off)
+//
+// With -debug-addr set (e.g. ":6060"), casperd serves /metrics
+// (Prometheus text format), /healthz, and /debug/pprof/* on that
+// address; with -slow-query set (e.g. 50ms), every request slower
+// than the threshold is logged with its cloak/query/transmit
+// breakdown. See DESIGN.md §8 for the metric inventory.
 //
 // Try it with netcat:
 //
@@ -44,6 +53,8 @@ func main() {
 	targets := flag.Int("targets", 10000, "number of preloaded public target objects")
 	seed := flag.Int64("seed", 1, "seed for target placement")
 	walPath := flag.String("wal", "", "write-ahead log path; empty disables persistence")
+	debugAddr := flag.String("debug-addr", "", "address for /metrics, /healthz and /debug/pprof; empty disables")
+	slowQuery := flag.Duration("slow-query", 0, "log requests slower than this (e.g. 50ms); 0 disables")
 	flag.Parse()
 
 	cfg := casper.DefaultConfig()
@@ -72,11 +83,26 @@ func main() {
 	}
 	// Preload targets only when the (possibly recovered) table is empty.
 	if *targets > 0 && c.Server().PublicCount() == 0 {
-		c.LoadPublicObjects(casper.UniformTargets(cfg.Universe, *targets, *seed))
+		if err := c.LoadPublicObjects(casper.UniformTargets(cfg.Universe, *targets, *seed)); err != nil {
+			log.Fatalf("load public targets: %v", err)
+		}
 		log.Printf("loaded %d public targets over %.0fm x %.0fm", *targets, *extent, *extent)
 	}
 
+	if *debugAddr != "" {
+		dbgBound, stopDebug, err := startDebugServer(*debugAddr)
+		if err != nil {
+			log.Fatalf("debug listen: %v", err)
+		}
+		defer stopDebug()
+		log.Printf("observability on http://%s (/metrics, /healthz, /debug/pprof)", dbgBound)
+	}
+
 	srv := casper.NewProtocolServer(c)
+	srv.SlowQueryThreshold = *slowQuery
+	if *slowQuery > 0 {
+		log.Printf("slow-query log enabled at threshold %s", *slowQuery)
+	}
 	bound, err := srv.Listen(*addr)
 	if err != nil {
 		log.Fatalf("listen: %v", err)

@@ -32,7 +32,9 @@ func main() {
 	c := casper.MustNew(cfg)
 
 	// 2000 gas stations, uniformly spread (the paper's target layout).
-	c.LoadPublicObjects(casper.UniformTargets(cfg.Universe, numStations, 11))
+	if err := c.LoadPublicObjects(casper.UniformTargets(cfg.Universe, numStations, 11)); err != nil {
+		log.Fatalf("load stations: %v", err)
+	}
 
 	// Commuters move along the synthetic Hennepin-like road network.
 	net := casper.SyntheticHennepin(3)

@@ -33,7 +33,9 @@ func main() {
 	cfg.Universe = casper.R(0, 0, 10000, 10000)
 	cfg.PyramidLevels = 7
 	core := casper.MustNew(cfg)
-	core.LoadPublicObjects(casper.UniformTargets(cfg.Universe, 500, 3))
+	if err := core.LoadPublicObjects(casper.UniformTargets(cfg.Universe, 500, 3)); err != nil {
+		log.Fatalf("load targets: %v", err)
+	}
 
 	srv := casper.NewProtocolServer(core)
 	addr, err := srv.Listen("127.0.0.1:0")

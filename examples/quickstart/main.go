@@ -27,13 +27,15 @@ func main() {
 
 	// Public data: gas stations. These go straight to the server —
 	// nothing about them is private.
-	c.LoadPublicObjects([]casper.PublicObject{
+	if err := c.LoadPublicObjects([]casper.PublicObject{
 		{ID: 1, Pos: casper.Pt(1200, 800), Name: "Casper Fuel Downtown"},
 		{ID: 2, Pos: casper.Pt(8200, 900), Name: "Eastside Gas"},
 		{ID: 3, Pos: casper.Pt(4600, 5300), Name: "Midtown Pumps"},
 		{ID: 4, Pos: casper.Pt(900, 9100), Name: "North Harbor Fuel"},
 		{ID: 5, Pos: casper.Pt(9100, 8800), Name: "Lakeview Station"},
-	})
+	}); err != nil {
+		log.Fatalf("load stations: %v", err)
+	}
 
 	// Mobile users register through the anonymizer with a privacy
 	// profile (k, Amin). Alice wants to be 3-anonymous.

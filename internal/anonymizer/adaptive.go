@@ -3,6 +3,7 @@ package anonymizer
 import (
 	"fmt"
 	"sync"
+	"time"
 
 	"casper/internal/geom"
 	"casper/internal/pyramid"
@@ -190,20 +191,26 @@ func (a *Adaptive) SetProfile(uid UserID, prof Profile) error {
 
 // Cloak implements Anonymizer.
 func (a *Adaptive) Cloak(uid UserID) (CloakedRegion, error) {
+	start := time.Now()
 	a.mu.RLock()
 	defer a.mu.RUnlock()
 	e, ok := a.users[uid]
 	if !ok {
 		return CloakedRegion{}, fmt.Errorf("%w: %d", ErrUnknownUser, uid)
 	}
-	return a.cloakFromNode(e.leaf, e.profile, CloakOpts{})
+	cr, err := a.cloakFromNode(e.leaf, e.profile, CloakOpts{})
+	adaptiveCloakMetrics.observe(start, cr, err)
+	return cr, err
 }
 
 // CloakAt implements Anonymizer.
 func (a *Adaptive) CloakAt(p geom.Point, prof Profile) (CloakedRegion, error) {
+	start := time.Now()
 	a.mu.RLock()
 	defer a.mu.RUnlock()
-	return a.cloakFromNode(a.locate(p), prof, CloakOpts{})
+	cr, err := a.cloakFromNode(a.locate(p), prof, CloakOpts{})
+	adaptiveCloakMetrics.observe(start, cr, err)
+	return cr, err
 }
 
 // cloakFromNode is Algorithm 1 running directly on the incomplete

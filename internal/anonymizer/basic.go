@@ -3,6 +3,7 @@ package anonymizer
 import (
 	"fmt"
 	"sync"
+	"time"
 
 	"casper/internal/geom"
 	"casper/internal/pyramid"
@@ -103,20 +104,26 @@ func (b *Basic) SetProfile(uid UserID, prof Profile) error {
 
 // Cloak implements Anonymizer.
 func (b *Basic) Cloak(uid UserID) (CloakedRegion, error) {
+	start := time.Now()
 	b.mu.RLock()
 	defer b.mu.RUnlock()
 	e, ok := b.users[uid]
 	if !ok {
 		return CloakedRegion{}, fmt.Errorf("%w: %d", ErrUnknownUser, uid)
 	}
-	return bottomUpCloak(b, b.grid, e.leaf, e.profile)
+	cr, err := bottomUpCloak(b, b.grid, e.leaf, e.profile)
+	basicCloakMetrics.observe(start, cr, err)
+	return cr, err
 }
 
 // CloakAt implements Anonymizer.
 func (b *Basic) CloakAt(p geom.Point, prof Profile) (CloakedRegion, error) {
+	start := time.Now()
 	b.mu.RLock()
 	defer b.mu.RUnlock()
-	return bottomUpCloak(b, b.grid, b.grid.LeafAt(p), prof)
+	cr, err := bottomUpCloak(b, b.grid, b.grid.LeafAt(p), prof)
+	basicCloakMetrics.observe(start, cr, err)
+	return cr, err
 }
 
 // Users implements Anonymizer.

@@ -1,0 +1,63 @@
+package anonymizer
+
+import (
+	"time"
+
+	"casper/internal/metrics"
+)
+
+// Cloaking instrumentation, split by anonymizer kind. These are the
+// quantities the paper's Sec. 6.1 evaluation plots: cloaking time,
+// Algorithm 1 recursion depth (steps up), and cloaked-region area
+// (the privacy/answer-quality trade-off).
+var (
+	cloakSeconds = metrics.Default.HistogramVec(
+		"casper_cloak_seconds", "anonymizer",
+		"Time to blur one exact location into a cloaked region.",
+		metrics.TimeBuckets())
+	cloakStepsUp = metrics.Default.HistogramVec(
+		"casper_cloak_steps_up", "anonymizer",
+		"Parent-cell recursions Algorithm 1 needed before succeeding.",
+		metrics.LinearBuckets(0, 1, 16))
+	cloakArea = metrics.Default.HistogramVec(
+		"casper_cloak_area_m2", "anonymizer",
+		"Area of the produced cloaked region in squared universe units.",
+		metrics.ExpBuckets(1, 4, 20))
+	cloakErrors = metrics.Default.CounterVec(
+		"casper_cloak_errors_total", "anonymizer",
+		"Cloak requests that failed (unknown user or unsatisfiable profile).")
+)
+
+// cloakMetrics bundles the per-kind instruments, resolved once so the
+// cloak hot path pays only atomic adds.
+type cloakMetrics struct {
+	seconds *metrics.Histogram
+	steps   *metrics.Histogram
+	area    *metrics.Histogram
+	errors  *metrics.Counter
+}
+
+func newCloakMetrics(kind string) *cloakMetrics {
+	return &cloakMetrics{
+		seconds: cloakSeconds.With(kind),
+		steps:   cloakStepsUp.With(kind),
+		area:    cloakArea.With(kind),
+		errors:  cloakErrors.With(kind),
+	}
+}
+
+var (
+	basicCloakMetrics    = newCloakMetrics("basic")
+	adaptiveCloakMetrics = newCloakMetrics("adaptive")
+)
+
+// observe records one cloak outcome.
+func (m *cloakMetrics) observe(start time.Time, cr CloakedRegion, err error) {
+	if err != nil {
+		m.errors.Inc()
+		return
+	}
+	m.seconds.Observe(time.Since(start).Seconds())
+	m.steps.Observe(float64(cr.StepsUp))
+	m.area.Observe(cr.Region.Area())
+}

@@ -152,6 +152,7 @@ func NewAsync(notify func(Event), buffer int) *Monitor {
 	go func(ch <-chan Event) {
 		defer close(m.done)
 		for e := range ch {
+			monQueueDepth.Set(int64(len(ch)))
 			if notify != nil {
 				notify(e)
 			}
@@ -217,6 +218,7 @@ func (m *Monitor) AddPublic(it rtree.Item) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	m.updates++
+	monUpdates.Inc()
 	m.public.Insert(it)
 	for id, q := range m.nnQueries {
 		if q.kind == privacyqp.PublicData && q.aext.Intersects(it.Rect) {
@@ -236,6 +238,7 @@ func (m *Monitor) RemovePublic(id int64, r geom.Rect) bool {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	m.updates++
+	monUpdates.Inc()
 	if !m.public.Delete(id, r) {
 		return false
 	}
@@ -262,6 +265,7 @@ func (m *Monitor) UpsertPrivate(id int64, region geom.Rect) error {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	m.updates++
+	monUpdates.Inc()
 	old, had := m.privIdx[id]
 	if had {
 		if old == region {
@@ -310,6 +314,7 @@ func (m *Monitor) RemovePrivate(id int64) bool {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	m.updates++
+	monUpdates.Inc()
 	old, had := m.privIdx[id]
 	if !had {
 		return false
@@ -351,6 +356,7 @@ func (m *Monitor) RegisterRangeCount(r geom.Rect, policy privacyqp.CountPolicy) 
 	m.nextID++
 	m.rangeQueries[id] = &rangeQuery{rect: r, policy: policy, count: count}
 	m.evaluations++
+	monEvaluations.Inc()
 	return id, count, nil
 }
 
@@ -367,6 +373,7 @@ func (m *Monitor) RegisterNN(cloak geom.Rect, kind privacyqp.DataKind, opt priva
 		return 0, nil, err
 	}
 	m.evaluations++
+	monEvaluations.Inc()
 	id := m.nextID
 	m.nextID++
 	m.nnQueries[id] = q
@@ -385,6 +392,7 @@ func (m *Monitor) RegisterRadius(cloak geom.Rect, radius float64, kind privacyqp
 		return 0, nil, err
 	}
 	m.evaluations++
+	monEvaluations.Inc()
 	id := m.nextID
 	m.nextID++
 	m.radQueries[id] = q
@@ -397,6 +405,7 @@ func (m *Monitor) UpdateRadiusCloak(id QueryID, cloak geom.Rect) error {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	m.updates++
+	monUpdates.Inc()
 	q, ok := m.radQueries[id]
 	if !ok {
 		return fmt.Errorf("continuous: unknown query %d", id)
@@ -446,6 +455,7 @@ func (m *Monitor) reevalRadius(id QueryID, q *radiusQuery) {
 		q.candIDs = map[int64]bool{}
 	}
 	m.evaluations++
+	monEvaluations.Inc()
 	if !sameIDSet(oldIDs, q.candIDs) {
 		m.emit(Event{
 			Query:      id,
@@ -463,6 +473,7 @@ func (m *Monitor) UpdateNNCloak(id QueryID, cloak geom.Rect) error {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	m.updates++
+	monUpdates.Inc()
 	q, ok := m.nnQueries[id]
 	if !ok {
 		return fmt.Errorf("continuous: unknown query %d", id)
@@ -559,6 +570,7 @@ func (m *Monitor) reevalNN(id QueryID, q *nnQuery) {
 		q.candIDs = map[int64]bool{}
 	}
 	m.evaluations++
+	monEvaluations.Inc()
 	if !sameIDSet(oldIDs, q.candIDs) {
 		m.emit(Event{
 			Query:      id,
@@ -574,10 +586,13 @@ func (m *Monitor) reevalNN(id QueryID, q *nnQuery) {
 // touches m.mu.
 func (m *Monitor) emit(e Event) {
 	if m.closed {
+		monEventsDropped.Inc()
 		return
 	}
+	monEvents.Inc()
 	if m.events != nil {
 		m.events <- e
+		monQueueDepth.Set(int64(len(m.events)))
 		return
 	}
 	if m.notify != nil {

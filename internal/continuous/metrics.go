@@ -1,0 +1,23 @@
+package continuous
+
+import "casper/internal/metrics"
+
+// Continuous-monitor instrumentation: the incremental-processing win
+// (evaluations ≪ updates) and the async delivery queue's health.
+var (
+	monUpdates = metrics.Default.Counter(
+		"casper_monitor_updates_total", "",
+		"Data updates the continuous monitor processed.")
+	monEvaluations = metrics.Default.Counter(
+		"casper_monitor_evaluations_total", "",
+		"Full query re-evaluations those updates caused.")
+	monEvents = metrics.Default.Counter(
+		"casper_monitor_events_total", "",
+		"Change events emitted to subscribers.")
+	monEventsDropped = metrics.Default.Counter(
+		"casper_monitor_events_dropped_total", "",
+		"Events dropped because the monitor was already closed.")
+	monQueueDepth = metrics.Default.Gauge(
+		"casper_monitor_queue_depth", "",
+		"Events queued for asynchronous delivery right now.")
+)

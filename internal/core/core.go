@@ -280,18 +280,24 @@ func (c *Casper) Config() Config { return c.cfg }
 
 // LoadPublicObjects installs the public table (gas stations,
 // restaurants, ...). Public data bypasses the anonymizer entirely.
-func (c *Casper) LoadPublicObjects(objs []server.PublicObject) {
+//
+// With persistence configured the WAL is compacted to the new state;
+// a returned error means the load is live in memory but NOT durable —
+// disk and memory have diverged, and the caller must decide whether
+// to retry (Compact), fall back, or shut down.
+func (c *Casper) LoadPublicObjects(objs []server.PublicObject) error {
+	var err error
 	if c.persist != nil {
-		// Durable bulk load: the WAL is compacted to the new state.
-		// A failure here leaves the in-memory state loaded; surface
-		// persistence problems at the next Sync/Close.
-		_ = c.persist.LoadPublic(objs)
+		err = c.persist.LoadPublic(objs)
 	} else {
 		c.srv.LoadPublic(objs)
 	}
+	// Keep the monitor in step even on a persistence failure: the
+	// in-memory table did change, and live queries see it.
 	if mon := c.Monitor(); mon != nil {
 		mon.SetPublic(publicItems(objs))
 	}
+	return err
 }
 
 func publicItems(objs []server.PublicObject) []rtree.Item {
@@ -630,8 +636,13 @@ func (c *Casper) NearestBuddy(uid anonymizer.UserID) (NNAnswer, error) {
 		return NNAnswer{}, err
 	}
 	c.mu.RLock()
-	pid := c.pseudo[uid]
+	pid, ok := c.pseudo[uid]
 	c.mu.RUnlock()
+	if !ok {
+		// The user deregistered between userPos and here; pseudonym 0
+		// would wrongly exclude (or fail to exclude) a stored cloak.
+		return NNAnswer{}, fmt.Errorf("%w: user %d", ErrNotRegistered, uid)
+	}
 	t0 := time.Now()
 	cr, err := c.anon.Cloak(uid)
 	if err != nil {

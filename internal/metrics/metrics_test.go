@@ -1,0 +1,175 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGauge(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("test_total", "", "a counter")
+	c.Inc()
+	c.Add(4)
+	c.Add(-3) // ignored: counters only go up
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	g := r.Gauge("test_gauge", "", "a gauge")
+	g.Set(7)
+	g.Add(-2)
+	if got := g.Value(); got != 5 {
+		t.Fatalf("gauge = %d, want 5", got)
+	}
+}
+
+func TestRegisterIdempotent(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("dup_total", `op="x"`, "h")
+	b := r.Counter("dup_total", `op="x"`, "h")
+	if a != b {
+		t.Fatal("same name+labels must return the same counter")
+	}
+	if c := r.Counter("dup_total", `op="y"`, "h"); c == a {
+		t.Fatal("different labels must return a different counter")
+	}
+}
+
+func TestRegisterKindClashPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("clash", "", "h")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("re-registering a counter as a gauge must panic")
+		}
+	}()
+	r.Gauge("clash", "", "h")
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat_seconds", "", "h", LinearBuckets(1, 1, 100))
+	for v := 1; v <= 100; v++ {
+		h.Observe(float64(v))
+	}
+	if h.Count() != 100 {
+		t.Fatalf("count = %d, want 100", h.Count())
+	}
+	if got, want := h.Sum(), 5050.0; got != want {
+		t.Fatalf("sum = %v, want %v", got, want)
+	}
+	for _, tc := range []struct{ p, want, tol float64 }{
+		{0.50, 50, 1}, {0.95, 95, 1}, {0.99, 99, 1}, {1.0, 100, 0.001},
+	} {
+		if got := h.Quantile(tc.p); math.Abs(got-tc.want) > tc.tol {
+			t.Errorf("q%.2f = %v, want %v±%v", tc.p, got, tc.want, tc.tol)
+		}
+	}
+}
+
+func TestHistogramOverflowAndNaN(t *testing.T) {
+	h := newHistogram([]float64{1, 2})
+	h.Observe(100)        // +Inf bucket
+	h.Observe(math.NaN()) // dropped
+	if h.Count() != 1 {
+		t.Fatalf("count = %d, want 1 (NaN dropped)", h.Count())
+	}
+	// Quantile clamps to the last finite bound for +Inf observations.
+	if got := h.Quantile(0.99); got != 2 {
+		t.Fatalf("q99 = %v, want clamp to 2", got)
+	}
+	if got := newHistogram([]float64{1}).Quantile(0.5); !math.IsNaN(got) {
+		t.Fatalf("empty histogram quantile = %v, want NaN", got)
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	h := newHistogram(TimeBuckets())
+	var wg sync.WaitGroup
+	const workers, per = 8, 1000
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				h.Observe(1e-4)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := h.Count(); got != workers*per {
+		t.Fatalf("count = %d, want %d", got, workers*per)
+	}
+	if got, want := h.Sum(), float64(workers*per)*1e-4; math.Abs(got-want) > 1e-6 {
+		t.Fatalf("sum = %v, want %v", got, want)
+	}
+}
+
+func TestWritePrometheus(t *testing.T) {
+	r := NewRegistry()
+	rv := r.CounterVec("rpc_total", "op", "requests by op")
+	rv.With("register").Add(3)
+	rv.With("nn_public").Inc()
+	r.GaugeFunc("cache_hit_rate", "", "hit rate", func() float64 { return 0.5 })
+	h := r.Histogram("q_seconds", `kind="nn"`, "query latency", []float64{0.001, 0.01})
+	h.Observe(0.0005)
+	h.Observe(0.005)
+	h.Observe(5)
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE rpc_total counter",
+		`rpc_total{op="register"} 3`,
+		`rpc_total{op="nn_public"} 1`,
+		"# TYPE cache_hit_rate gauge",
+		"cache_hit_rate 0.5",
+		"# TYPE q_seconds histogram",
+		`q_seconds_bucket{kind="nn",le="0.001"} 1`,
+		`q_seconds_bucket{kind="nn",le="0.01"} 2`,
+		`q_seconds_bucket{kind="nn",le="+Inf"} 3`,
+		`q_seconds_count{kind="nn"} 3`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q in:\n%s", want, out)
+		}
+	}
+	// HELP/TYPE must appear exactly once per family.
+	if n := strings.Count(out, "# TYPE rpc_total"); n != 1 {
+		t.Errorf("TYPE rpc_total appears %d times, want 1", n)
+	}
+}
+
+func TestLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("esc_total", `name="`+escapeLabel(`a"b\c`)+`"`, "h").Inc()
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), `esc_total{name="a\"b\\c"} 1`) {
+		t.Errorf("escaped label wrong:\n%s", b.String())
+	}
+}
+
+func TestBucketHelpers(t *testing.T) {
+	exp := ExpBuckets(1, 2, 4)
+	for i, want := range []float64{1, 2, 4, 8} {
+		if exp[i] != want {
+			t.Fatalf("ExpBuckets[%d] = %v, want %v", i, exp[i], want)
+		}
+	}
+	lin := LinearBuckets(10, 5, 3)
+	for i, want := range []float64{10, 15, 20} {
+		if lin[i] != want {
+			t.Fatalf("LinearBuckets[%d] = %v, want %v", i, lin[i], want)
+		}
+	}
+	if tb := TimeBuckets(); tb[0] != 1e-6 || len(tb) != 27 {
+		t.Fatalf("TimeBuckets shape wrong: %v", tb[:2])
+	}
+}

@@ -74,7 +74,10 @@ func (o Options) validate() error {
 	default:
 		return fmt.Errorf("privacyqp: filters must be 1, 2 or 4 (got %d)", o.Filters)
 	}
-	if o.MinOverlap < 0 || o.MinOverlap > 1 {
+	// The negated range check also rejects NaN (every comparison with
+	// NaN is false, so a plain < 0 || > 1 would admit it — and every
+	// overlap test downstream would then silently admit nothing).
+	if !(o.MinOverlap >= 0 && o.MinOverlap <= 1) {
 		return fmt.Errorf("privacyqp: MinOverlap %v out of [0,1]", o.MinOverlap)
 	}
 	return nil

@@ -56,6 +56,28 @@ func TestOptionsValidate(t *testing.T) {
 	}
 }
 
+// TestOptionsRejectNonFinite pins the NaN regression: a NaN MinOverlap
+// compares false against everything, so the old `< 0 || > 1` check
+// admitted it — and then every overlap comparison downstream was also
+// false, silently emptying candidate lists that must stay inclusive.
+func TestOptionsRejectNonFinite(t *testing.T) {
+	db := pointDB(rand.New(rand.NewSource(1)), 10)
+	cloak := geom.R(10, 10, 20, 20)
+	for _, mo := range []float64{math.NaN(), math.Inf(1), math.Inf(-1)} {
+		opt := Options{Filters: 4, MinOverlap: mo}
+		if _, err := PrivateNN(db, cloak, PrivateData, opt); err == nil {
+			t.Errorf("MinOverlap=%v accepted", mo)
+		}
+	}
+	// The boundary values stay legal.
+	for _, mo := range []float64{0, 1} {
+		opt := Options{Filters: 4, MinOverlap: mo}
+		if _, err := PrivateNN(db, cloak, PrivateData, opt); err != nil {
+			t.Errorf("MinOverlap=%v rejected: %v", mo, err)
+		}
+	}
+}
+
 func TestPrivateNNEmptyDB(t *testing.T) {
 	if _, err := PrivateNN(rtree.New(), geom.R(0, 0, 1, 1), PublicData, DefaultOptions()); !errors.Is(err, ErrNoTargets) {
 		t.Fatalf("err = %v", err)

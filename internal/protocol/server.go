@@ -46,6 +46,12 @@ type Server struct {
 	// before Listen. Zero disables it.
 	IdleTimeout time.Duration
 
+	// SlowQueryThreshold, when positive, logs every request that takes
+	// longer than this to answer — with the cloak/query/transmit
+	// breakdown when the op produced one — so latency outliers are
+	// attributable. Set before Listen.
+	SlowQueryThreshold time.Duration
+
 	wg       sync.WaitGroup
 	closed   chan struct{}
 	closeOne sync.Once
@@ -118,6 +124,9 @@ func (s *Server) acceptLoop() {
 // connections are dropped.
 func (s *Server) handleConn(conn net.Conn) {
 	defer conn.Close()
+	connsTotal.Inc()
+	connsOpen.Add(1)
+	defer connsOpen.Add(-1)
 	sc := bufio.NewScanner(conn)
 	sc.Buffer(make([]byte, 64*1024), MaxFrameBytes)
 	enc := json.NewEncoder(conn)
@@ -148,12 +157,19 @@ func (s *Server) handleConn(conn net.Conn) {
 		}
 		var req Request
 		if err := json.Unmarshal(line, &req); err != nil {
+			rpcMalformed.Inc()
 			if err := enc.Encode(errResponse("malformed request: %v", err)); err != nil {
 				return
 			}
 			continue
 		}
+		start := time.Now()
 		resp := s.dispatch(req)
+		elapsed := time.Since(start)
+		observeRPC(req.Op, elapsed.Seconds(), resp)
+		if s.SlowQueryThreshold > 0 && elapsed > s.SlowQueryThreshold {
+			s.logSlow(req, resp, elapsed)
+		}
 		if err := enc.Encode(resp); err != nil {
 			return
 		}
@@ -255,6 +271,30 @@ func (s *Server) dispatch(req Request) Response {
 	default:
 		return errResponse("unknown op %q", req.Op)
 	}
+}
+
+// logSlow is the slow-query log: one line per request over the
+// threshold, carrying the end-to-end cost breakdown the framework
+// already computes (Fig. 17's cloak + query + transmit decomposition)
+// when the op produced one, so outliers are attributable to a stage.
+func (s *Server) logSlow(req Request, resp Response, elapsed time.Duration) {
+	rpcSlow.Inc()
+	outcome := "ok"
+	if !resp.OK {
+		outcome = "err"
+		if resp.Code != "" {
+			outcome = resp.Code
+		}
+	}
+	if resp.Cost != nil {
+		s.logf("casper/protocol: slow query: op=%s uid=%d took=%s cloak=%s query=%s transmit=%s candidates=%d outcome=%s",
+			req.Op, req.UserID, elapsed,
+			time.Duration(resp.Cost.CloakNS), time.Duration(resp.Cost.QueryNS),
+			time.Duration(resp.Cost.TransmitNS), resp.Cost.Candidates, outcome)
+		return
+	}
+	s.logf("casper/protocol: slow query: op=%s uid=%d took=%s outcome=%s",
+		req.Op, req.UserID, elapsed, outcome)
 }
 
 func okOrErr(err error) Response {

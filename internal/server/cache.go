@@ -53,9 +53,11 @@ func (c *queryCache) get(key cacheKey, version int64) (privacyqp.Result, bool) {
 	e, ok := c.entries[key]
 	if !ok || e.version != version {
 		c.misses++
+		cacheMisses.Inc()
 		return privacyqp.Result{}, false
 	}
 	c.hits++
+	cacheHits.Inc()
 	return e.res, true
 }
 

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"os"
 	"sync"
+	"time"
 
 	"casper/internal/geom"
 	"casper/internal/wal"
@@ -80,11 +81,23 @@ func apply(s *Server, r wal.Record) error {
 	}
 }
 
+// append writes one record to the live log, keeping the WAL counters
+// in step. Callers hold walMu.
+func (p *Persistent) append(r wal.Record) error {
+	if err := p.log.Append(r); err != nil {
+		walAppendErrors.Inc()
+		return err
+	}
+	walAppends.Inc()
+	walAppendBytes.Add(int64(wal.RecordSize(r)))
+	return nil
+}
+
 // AddPublic logs then applies.
 func (p *Persistent) AddPublic(o PublicObject) error {
 	p.walMu.Lock()
 	defer p.walMu.Unlock()
-	if err := p.log.Append(wal.Record{
+	if err := p.append(wal.Record{
 		Type: wal.PublicAdd, ID: o.ID, X0: o.Pos.X, Y0: o.Pos.Y, Name: o.Name,
 	}); err != nil {
 		return err
@@ -96,7 +109,7 @@ func (p *Persistent) AddPublic(o PublicObject) error {
 func (p *Persistent) RemovePublic(id int64) error {
 	p.walMu.Lock()
 	defer p.walMu.Unlock()
-	if err := p.log.Append(wal.Record{Type: wal.PublicRemove, ID: id}); err != nil {
+	if err := p.append(wal.Record{Type: wal.PublicRemove, ID: id}); err != nil {
 		return err
 	}
 	return p.Server.RemovePublic(id)
@@ -106,7 +119,7 @@ func (p *Persistent) RemovePublic(id int64) error {
 func (p *Persistent) UpsertPrivate(o PrivateObject) error {
 	p.walMu.Lock()
 	defer p.walMu.Unlock()
-	if err := p.log.Append(wal.Record{
+	if err := p.append(wal.Record{
 		Type: wal.PrivateUpsert, ID: o.ID,
 		X0: o.Region.Min.X, Y0: o.Region.Min.Y,
 		X1: o.Region.Max.X, Y1: o.Region.Max.Y,
@@ -120,7 +133,7 @@ func (p *Persistent) UpsertPrivate(o PrivateObject) error {
 func (p *Persistent) RemovePrivate(id int64) error {
 	p.walMu.Lock()
 	defer p.walMu.Unlock()
-	if err := p.log.Append(wal.Record{Type: wal.PrivateRemove, ID: id}); err != nil {
+	if err := p.append(wal.Record{Type: wal.PrivateRemove, ID: id}); err != nil {
 		return err
 	}
 	return p.Server.RemovePrivate(id)
@@ -140,7 +153,17 @@ func (p *Persistent) LoadPublic(objs []PublicObject) error {
 func (p *Persistent) Sync() error {
 	p.walMu.Lock()
 	defer p.walMu.Unlock()
-	return p.log.Sync()
+	return p.syncLocked()
+}
+
+func (p *Persistent) syncLocked() error {
+	start := time.Now()
+	if err := p.log.Sync(); err != nil {
+		return err
+	}
+	walSyncs.Inc()
+	walSyncSeconds.Observe(time.Since(start).Seconds())
+	return nil
 }
 
 // Compact rewrites the log so it contains exactly the current state:
@@ -155,13 +178,32 @@ func (p *Persistent) Compact() error {
 }
 
 func (p *Persistent) compactLocked() error {
-	path := p.log.Path()
-	if err := p.log.Close(); err != nil {
+	start := time.Now()
+	if err := p.compactSwapLocked(); err != nil {
+		walCompactErrors.Inc()
 		return err
 	}
+	walCompactions.Inc()
+	walCompactSeconds.Observe(time.Since(start).Seconds())
+	return nil
+}
+
+// compactSwapLocked writes the snapshot and swaps it in. The live log
+// stays open — and p.log stays valid — until the snapshot is complete
+// and durable, so a failure at any step leaves the server fully
+// usable on the old log with the temp file cleaned up; p.log is
+// swapped only after the rename lands.
+func (p *Persistent) compactSwapLocked() error {
+	path := p.log.Path()
 	tmpPath := path + ".compact"
 	tmp, err := wal.Create(tmpPath)
 	if err != nil {
+		return err
+	}
+	// abandon discards a half-written snapshot, keeping the live log.
+	abandon := func(err error) error {
+		tmp.Close()
+		os.Remove(tmpPath)
 		return err
 	}
 	p.mu.RLock()
@@ -178,8 +220,7 @@ func (p *Persistent) compactLocked() error {
 		if err := tmp.Append(wal.Record{
 			Type: wal.PublicAdd, ID: o.ID, X0: o.Pos.X, Y0: o.Pos.Y, Name: o.Name,
 		}); err != nil {
-			tmp.Close()
-			return err
+			return abandon(err)
 		}
 	}
 	for _, o := range privs {
@@ -188,22 +229,42 @@ func (p *Persistent) compactLocked() error {
 			X0: o.Region.Min.X, Y0: o.Region.Min.Y,
 			X1: o.Region.Max.X, Y1: o.Region.Max.Y,
 		}); err != nil {
-			tmp.Close()
-			return err
+			return abandon(err)
 		}
 	}
 	if err := tmp.Sync(); err != nil {
-		tmp.Close()
-		return err
+		return abandon(err)
 	}
 	if err := tmp.Close(); err != nil {
+		os.Remove(tmpPath)
+		return err
+	}
+	// The snapshot is durable; now retire the old log and swap. From
+	// here a failure reopens the log at path so p.log never points at
+	// a closed handle (records the failed close did not flush are
+	// still in memory and will be captured by the next compaction).
+	if err := p.log.Close(); err != nil {
+		os.Remove(tmpPath)
+		if reopened, rerr := wal.OpenAppend(path); rerr == nil {
+			p.log = reopened
+		}
 		return err
 	}
 	if err := os.Rename(tmpPath, path); err != nil {
-		return fmt.Errorf("server: compact rename: %w", err)
+		os.Remove(tmpPath)
+		err = fmt.Errorf("server: compact rename: %w", err)
+		reopened, rerr := wal.OpenAppend(path)
+		if rerr != nil {
+			return fmt.Errorf("%w (reopen after failed rename: %v)", err, rerr)
+		}
+		p.log = reopened
+		return err
 	}
 	fresh, err := wal.OpenAppend(path)
 	if err != nil {
+		// The rename landed, so path holds the complete snapshot; only
+		// the reopen failed. Surface it — mutations will keep failing
+		// until a Compact retry succeeds, but no state is lost.
 		return err
 	}
 	p.log = fresh
@@ -214,7 +275,7 @@ func (p *Persistent) compactLocked() error {
 func (p *Persistent) Close() error {
 	p.walMu.Lock()
 	defer p.walMu.Unlock()
-	if err := p.log.Sync(); err != nil {
+	if err := p.syncLocked(); err != nil {
 		p.log.Close()
 		return err
 	}

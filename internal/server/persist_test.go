@@ -176,6 +176,71 @@ func TestPersistentCompactShrinksLog(t *testing.T) {
 	}
 }
 
+// TestPersistentCompactFailureKeepsLog injects a snapshot failure —
+// a directory squatting on the temp path, which defeats wal.Create
+// even when the test runs as root (permission bits would not) — and
+// checks the invariant the swap logic promises: after a failed
+// Compact the live log is still open, still appendable, and nothing
+// logged before or after the failure is lost across a restart.
+func TestPersistentCompactFailureKeepsLog(t *testing.T) {
+	path := tmpWAL(t)
+	p, err := OpenPersistent(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		f := float64(i)
+		if err := p.UpsertPrivate(PrivateObject{ID: int64(i), Region: geom.R(f, f, f+5, f+5)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := p.Sync(); err != nil {
+		t.Fatal(err)
+	}
+
+	block := path + ".compact"
+	if err := os.Mkdir(block, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Compact(); err == nil {
+		t.Fatal("Compact succeeded with the temp path blocked")
+	}
+	// The failed compaction must leave the log handle usable: both an
+	// append and a durable flush on the old log.
+	if err := p.UpsertPrivate(PrivateObject{ID: 999, Region: geom.R(1, 1, 2, 2)}); err != nil {
+		t.Fatalf("append after failed compact: %v", err)
+	}
+	if err := p.Sync(); err != nil {
+		t.Fatalf("sync after failed compact: %v", err)
+	}
+
+	// Unblock; a retry compacts and the handle swap works.
+	if err := os.Remove(block); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Compact(); err != nil {
+		t.Fatalf("Compact retry: %v", err)
+	}
+	if _, err := os.Stat(block); !os.IsNotExist(err) {
+		t.Fatalf("temp file left behind after compact: %v", err)
+	}
+	if err := p.UpsertPrivate(PrivateObject{ID: 1000, Region: geom.R(3, 3, 4, 4)}); err != nil {
+		t.Fatalf("append after compact retry: %v", err)
+	}
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	q, err := OpenPersistent(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer q.Close()
+	if q.PrivateCount() != 22 {
+		t.Fatalf("recovered %d objects, want 22", q.PrivateCount())
+	}
+}
+
 func TestPersistentLoadPublicCompacts(t *testing.T) {
 	path := tmpWAL(t)
 	p, err := OpenPersistent(path)

@@ -20,6 +20,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 
 	"casper/internal/geom"
 	"casper/internal/privacyqp"
@@ -66,13 +67,15 @@ type Server struct {
 
 // New returns an empty server.
 func New() *Server {
-	return &Server{
+	s := &Server{
 		public:  rtree.New(),
 		private: rtree.New(),
 		pubIdx:  make(map[int64]PublicObject),
 		privIdx: make(map[int64]PrivateObject),
 		cache:   newQueryCache(4096),
 	}
+	registerServerGauges(s)
+	return s
 }
 
 // LoadPublic bulk-loads the public table, replacing its contents.
@@ -174,12 +177,14 @@ func (s *Server) Queries() int64 {
 // Cached results share their candidate slices across callers; treat
 // them as read-only.
 func (s *Server) NNPublic(cloak geom.Rect, opt privacyqp.Options) (privacyqp.Result, error) {
+	start := time.Now()
 	s.mu.Lock()
 	s.queries++
 	version := s.pubVersion
 	s.mu.Unlock()
 	key := cacheKey{region: cloak, filters: opt.Filters, k: 1}
 	if res, ok := s.cache.get(key, version); ok {
+		qiNNPublic.observe(start, len(res.Candidates), nil)
 		return res, nil
 	}
 	s.mu.RLock()
@@ -188,6 +193,7 @@ func (s *Server) NNPublic(cloak geom.Rect, opt privacyqp.Options) (privacyqp.Res
 	if err == nil {
 		s.cache.put(key, res, version)
 	}
+	qiNNPublic.observe(start, len(res.Candidates), err)
 	return res, err
 }
 
@@ -196,6 +202,7 @@ func (s *Server) NNPublic(cloak geom.Rect, opt privacyqp.Options) (privacyqp.Res
 // stored cloak from the candidate list; pass a negative value to keep
 // everything.
 func (s *Server) NNPrivate(cloak geom.Rect, excludeID int64, opt privacyqp.Options) (privacyqp.Result, error) {
+	start := time.Now()
 	s.mu.Lock()
 	s.queries++
 	s.mu.Unlock()
@@ -203,6 +210,7 @@ func (s *Server) NNPrivate(cloak geom.Rect, excludeID int64, opt privacyqp.Optio
 	defer s.mu.RUnlock()
 	res, err := privacyqp.PrivateNN(s.private, cloak, privacyqp.PrivateData, opt)
 	if err != nil {
+		qiNNPrivate.observe(start, 0, err)
 		return res, err
 	}
 	if excludeID >= 0 {
@@ -214,6 +222,7 @@ func (s *Server) NNPrivate(cloak geom.Rect, excludeID int64, opt privacyqp.Optio
 		}
 		res.Candidates = out
 	}
+	qiNNPrivate.observe(start, len(res.Candidates), nil)
 	return res, nil
 }
 
@@ -221,12 +230,14 @@ func (s *Server) NNPrivate(cloak geom.Rect, excludeID int64, opt privacyqp.Optio
 // public table: the candidate list contains the k nearest targets for
 // every possible user position in the cloak.
 func (s *Server) KNNPublic(cloak geom.Rect, k int, opt privacyqp.Options) (privacyqp.Result, error) {
+	start := time.Now()
 	s.mu.Lock()
 	s.queries++
 	version := s.pubVersion
 	s.mu.Unlock()
 	key := cacheKey{region: cloak, filters: opt.Filters, k: k}
 	if res, ok := s.cache.get(key, version); ok {
+		qiKNNPublic.observe(start, len(res.Candidates), nil)
 		return res, nil
 	}
 	s.mu.RLock()
@@ -235,6 +246,7 @@ func (s *Server) KNNPublic(cloak geom.Rect, k int, opt privacyqp.Options) (priva
 	if err == nil {
 		s.cache.put(key, res, version)
 	}
+	qiKNNPublic.observe(start, len(res.Candidates), err)
 	return res, err
 }
 
@@ -242,6 +254,7 @@ func (s *Server) KNNPublic(cloak geom.Rect, k int, opt privacyqp.Options) (priva
 // private table, excluding the asker's own cloak when excludeID >= 0.
 // k is validated against the table size net of the exclusion.
 func (s *Server) KNNPrivate(cloak geom.Rect, k int, excludeID int64, opt privacyqp.Options) (privacyqp.Result, error) {
+	start := time.Now()
 	s.mu.Lock()
 	s.queries++
 	s.mu.Unlock()
@@ -249,6 +262,7 @@ func (s *Server) KNNPrivate(cloak geom.Rect, k int, excludeID int64, opt privacy
 	defer s.mu.RUnlock()
 	res, err := privacyqp.PrivateKNN(s.private, cloak, k, privacyqp.PrivateData, opt)
 	if err != nil {
+		qiKNNPrivate.observe(start, 0, err)
 		return res, err
 	}
 	if excludeID >= 0 {
@@ -260,17 +274,21 @@ func (s *Server) KNNPrivate(cloak geom.Rect, k int, excludeID int64, opt privacy
 		}
 		res.Candidates = out
 	}
+	qiKNNPrivate.observe(start, len(res.Candidates), nil)
 	return res, nil
 }
 
 // RangePublic answers a private range query over the public table.
 func (s *Server) RangePublic(cloak geom.Rect, radius float64) (privacyqp.Result, error) {
+	start := time.Now()
 	s.mu.Lock()
 	s.queries++
 	s.mu.Unlock()
 	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return privacyqp.PrivateRange(s.public, cloak, radius, privacyqp.PublicData)
+	res, err := privacyqp.PrivateRange(s.public, cloak, radius, privacyqp.PublicData)
+	s.mu.RUnlock()
+	qiRange.observe(start, len(res.Candidates), err)
+	return res, err
 }
 
 // CountPrivate answers a public range query over the private table:

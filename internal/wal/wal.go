@@ -173,6 +173,10 @@ func (l *Log) Close() error {
 // Path returns the file path.
 func (l *Log) Path() string { return l.path }
 
+// RecordSize returns the on-disk size of one appended record,
+// length/CRC header included — what Append will add to the file.
+func RecordSize(r Record) int { return 8 + 1 + 8 + 32 + 2 + len(r.Name) }
+
 // ErrBadHeader reports a file that is not a Casper WAL.
 var ErrBadHeader = errors.New("wal: bad file header")
 
