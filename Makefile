@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race check bench
+.PHONY: all build vet test race check bench bench-updates race-stress
 
 all: check
 
@@ -22,3 +22,26 @@ check: build vet race
 
 bench:
 	$(GO) test -bench=. -benchmem
+
+# bench-updates measures the sharded write path (serial, parallel,
+# batched, and the reconstructed pre-refactor global-lock baseline)
+# and records the numbers in BENCH_updates.json. The headline ratio is
+# BenchmarkParallelUpdates vs BenchmarkParallelUpdatesGlobalLock at
+# GOMAXPROCS >= 4.
+bench-updates:
+	$(GO) test -run XXX -bench 'Updates|ParallelMixed' -benchmem . | tee /tmp/bench-updates.txt
+	@awk -v cpus="$$(nproc 2>/dev/null || echo unknown)" \
+	'BEGIN { printf "{\n  \"cpus\": \"%s\",\n  \"headline\": \"BenchmarkParallelUpdates vs BenchmarkParallelUpdatesGlobalLock; the sharding win needs GOMAXPROCS >= 4 (single-lock and striped paths coincide on one core)\",\n  \"benchmarks\": [\n", cpus; first = 1 } \
+	/^Benchmark/ { if (!first) printf ",\n"; first = 0; \
+	  printf "    {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s", $$1, $$2, $$3; \
+	  if ($$5 != "") printf ", \"bytes_per_op\": %s", $$5; \
+	  if ($$7 != "") printf ", \"allocs_per_op\": %s", $$7; \
+	  printf "}" } \
+	END { printf "\n  ]\n}\n" }' /tmp/bench-updates.txt > BENCH_updates.json
+	@echo "wrote BENCH_updates.json"
+
+# race-stress runs the concurrency stress suites repeatedly under the
+# race detector: striped/batched anonymizer stress, the core batch
+# workload, and the server/WAL interleavings.
+race-stress:
+	$(GO) test -race -count=3 -run 'Stress|Concurrent|Batch' ./internal/anonymizer ./internal/core ./internal/server ./internal/protocol

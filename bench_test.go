@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"math/rand"
 	"path/filepath"
+	"sync"
 	"sync/atomic"
 	"testing"
 
@@ -654,6 +655,149 @@ func BenchmarkParallelNN(b *testing.B) {
 				b.Fatal(err)
 			}
 		}
+	})
+}
+
+// BenchmarkSerialUpdates is the single-goroutine update baseline:
+// every operation is a location update + re-cloak + server upsert.
+func BenchmarkSerialUpdates(b *testing.B) {
+	c := concurrencyWorld(b)
+	defer c.Close()
+	rng := rand.New(rand.NewSource(7))
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		uid := anonymizer.UserID(i % concurrencyUsers)
+		pos := geom.Pt(rng.Float64()*10000, rng.Float64()*10000)
+		if err := c.UpdateUser(uid, pos); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkParallelUpdates hammers the write path from GOMAXPROCS
+// goroutines. With the striped anonymizer, sharded identity tables,
+// and atomic cell counters, updates for users in different top-level
+// quadrants proceed concurrently; compare against
+// BenchmarkParallelUpdatesGlobalLock (the pre-refactor single-lock
+// discipline reconstructed around the same instance) at
+// GOMAXPROCS >= 4 to see the speedup.
+func BenchmarkParallelUpdates(b *testing.B) {
+	c := concurrencyWorld(b)
+	defer c.Close()
+	var lane int64
+	b.ResetTimer()
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		seed := atomic.AddInt64(&lane, 1)
+		rng := rand.New(rand.NewSource(seed))
+		i := seed * 7919
+		for pb.Next() {
+			i++
+			uid := anonymizer.UserID(i % concurrencyUsers)
+			pos := geom.Pt(rng.Float64()*10000, rng.Float64()*10000)
+			if err := c.UpdateUser(uid, pos); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkParallelUpdatesGlobalLock is the live reconstruction of the
+// pre-refactor write path: the same parallel update workload forced
+// through one global mutex, the discipline the whole framework used
+// when a single anonymizer write lock serialized every update. The
+// BenchmarkParallelUpdates / BenchmarkParallelUpdatesGlobalLock ratio
+// at GOMAXPROCS >= 4 is the headline number for the sharding refactor
+// (see BENCH_updates.json).
+func BenchmarkParallelUpdatesGlobalLock(b *testing.B) {
+	c := concurrencyWorld(b)
+	defer c.Close()
+	var mu sync.Mutex
+	var lane int64
+	b.ResetTimer()
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		seed := atomic.AddInt64(&lane, 1)
+		rng := rand.New(rand.NewSource(seed))
+		i := seed * 7919
+		for pb.Next() {
+			i++
+			uid := anonymizer.UserID(i % concurrencyUsers)
+			pos := geom.Pt(rng.Float64()*10000, rng.Float64()*10000)
+			mu.Lock()
+			err := c.UpdateUser(uid, pos)
+			mu.Unlock()
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkBatchUpdates measures the batched write path: 64 updates
+// per UpdateUsers call — one server write lock and one cache-version
+// bump per batch instead of per update. Each op is one user update, so
+// ns/op is directly comparable to BenchmarkSerialUpdates.
+func BenchmarkBatchUpdates(b *testing.B) {
+	const batchSize = 64
+	c := concurrencyWorld(b)
+	defer c.Close()
+	rng := rand.New(rand.NewSource(7))
+	batch := make([]casper.UserUpdate, batchSize)
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i += batchSize {
+		for j := range batch {
+			batch[j] = casper.UserUpdate{
+				UID: anonymizer.UserID((i + j) % concurrencyUsers),
+				Pos: geom.Pt(rng.Float64()*10000, rng.Float64()*10000),
+			}
+		}
+		if _, err := c.UpdateUsers(batch); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkParallelBatchUpdates runs the batched path from GOMAXPROCS
+// goroutines: the fleet-client shape, many uplinks each carrying
+// update_batch frames. ns/op is per user update.
+func BenchmarkParallelBatchUpdates(b *testing.B) {
+	const batchSize = 64
+	c := concurrencyWorld(b)
+	defer c.Close()
+	var lane int64
+	b.ResetTimer()
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		seed := atomic.AddInt64(&lane, 1)
+		rng := rand.New(rand.NewSource(seed))
+		i := seed * 7919
+		batch := make([]casper.UserUpdate, 0, batchSize)
+		flush := func() bool {
+			if len(batch) == 0 {
+				return true
+			}
+			_, err := c.UpdateUsers(batch)
+			if err != nil {
+				b.Error(err)
+				return false
+			}
+			batch = batch[:0]
+			return true
+		}
+		for pb.Next() {
+			i++
+			batch = append(batch, casper.UserUpdate{
+				UID: anonymizer.UserID(i % concurrencyUsers),
+				Pos: geom.Pt(rng.Float64()*10000, rng.Float64()*10000),
+			})
+			if len(batch) == batchSize && !flush() {
+				return
+			}
+		}
+		flush()
 	})
 }
 

@@ -102,6 +102,8 @@ type (
 	Breakdown = core.Breakdown
 	// NNAnswer is a nearest-neighbor query outcome.
 	NNAnswer = core.NNAnswer
+	// UserUpdate is one entry of a batched UpdateUsers call.
+	UserUpdate = core.UserUpdate
 	// PublicObject is an exact-location object in the public table.
 	PublicObject = server.PublicObject
 	// PrivateObject is a pseudonymous cloaked object.

@@ -32,8 +32,45 @@ import (
 type driver interface {
 	register(uid int64, x, y float64, k int) error
 	update(uid int64, x, y float64) error
+	// updateBatch applies many updates through the deployment's batched
+	// path (one frame over TCP, one server write lock in-process) and
+	// returns how many were applied.
+	updateBatch(updates []casper.UserUpdate) (int, error)
 	deregister(uid int64) error
 	query(uid int64) (candidates int, err error)
+}
+
+// batcher buffers location updates and flushes them through
+// driver.updateBatch. Anything that must observe the updates' effects
+// (queries, deregisters, the final report) flushes first, so replay
+// semantics match the unbatched run — only the grouping changes.
+type batcher struct {
+	d    driver
+	size int
+	buf  []casper.UserUpdate
+}
+
+func (b *batcher) add(uid int64, x, y float64) error {
+	if b.size <= 1 {
+		return b.d.update(uid, x, y)
+	}
+	b.buf = append(b.buf, casper.UserUpdate{UID: casper.UserID(uid), Pos: casper.Pt(x, y)})
+	if len(b.buf) >= b.size {
+		return b.flush()
+	}
+	return nil
+}
+
+func (b *batcher) flush() error {
+	if len(b.buf) == 0 {
+		return nil
+	}
+	n, err := b.d.updateBatch(b.buf)
+	if err != nil {
+		return fmt.Errorf("batch (applied %d of %d): %w", n, len(b.buf), err)
+	}
+	b.buf = b.buf[:0]
+	return nil
 }
 
 func main() {
@@ -44,6 +81,7 @@ func main() {
 	qps := flag.Float64("qps", 0.02, "probability that an update is followed by an NN query")
 	maxK := flag.Int("maxk", 20, "privacy profiles drawn from [1, maxk]")
 	seed := flag.Int64("seed", 1, "profile/query sampling seed")
+	batch := flag.Int("batch", 1, "group location updates into update_batch frames of this size (1 = unbatched)")
 	flag.Parse()
 
 	if *tracePath == "" {
@@ -76,6 +114,7 @@ func main() {
 
 	rng := rand.New(rand.NewSource(*seed))
 	live := map[int64]bool{}
+	b := &batcher{d: d, size: *batch}
 	var registers, updates, deregisters, queries, queryErrs, candSum int
 	start := time.Now()
 
@@ -91,11 +130,14 @@ func main() {
 				registers++
 				return nil
 			}
-			if err := d.update(e.ID, e.X, e.Y); err != nil {
+			if err := b.add(e.ID, e.X, e.Y); err != nil {
 				return fmt.Errorf("update %d: %w", e.ID, err)
 			}
 			updates++
 			if rng.Float64() < *qps {
+				if err := b.flush(); err != nil {
+					return err
+				}
 				queries++
 				if n, err := d.query(e.ID); err != nil {
 					queryErrs++
@@ -105,6 +147,9 @@ func main() {
 			}
 		case 'D':
 			if live[e.ID] {
+				if err := b.flush(); err != nil {
+					return err
+				}
 				if err := d.deregister(e.ID); err != nil {
 					return fmt.Errorf("deregister %d: %w", e.ID, err)
 				}
@@ -114,6 +159,9 @@ func main() {
 		}
 		return nil
 	})
+	if err == nil {
+		err = b.flush()
+	}
 	if err != nil {
 		log.Fatalf("casper-replay: %v", err)
 	}
@@ -137,6 +185,9 @@ func (d *inprocDriver) register(uid int64, x, y float64, k int) error {
 func (d *inprocDriver) update(uid int64, x, y float64) error {
 	return d.c.UpdateUser(casper.UserID(uid), casper.Pt(x, y))
 }
+func (d *inprocDriver) updateBatch(updates []casper.UserUpdate) (int, error) {
+	return d.c.UpdateUsers(updates)
+}
 func (d *inprocDriver) deregister(uid int64) error {
 	return d.c.DeregisterUser(casper.UserID(uid))
 }
@@ -155,6 +206,13 @@ func (d *tcpDriver) register(uid int64, x, y float64, k int) error {
 }
 func (d *tcpDriver) update(uid int64, x, y float64) error {
 	return d.cl.Update(context.Background(), uid, x, y)
+}
+func (d *tcpDriver) updateBatch(updates []casper.UserUpdate) (int, error) {
+	wire := make([]protocol.BatchUpdate, len(updates))
+	for i, u := range updates {
+		wire[i] = protocol.BatchUpdate{UserID: int64(u.UID), X: u.Pos.X, Y: u.Pos.Y}
+	}
+	return d.cl.BatchUpdate(context.Background(), wire)
 }
 func (d *tcpDriver) deregister(uid int64) error {
 	return d.cl.Deregister(context.Background(), uid)

@@ -3,6 +3,7 @@ package anonymizer
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"casper/internal/geom"
@@ -26,16 +27,44 @@ import (
 //
 // Adaptive is safe for concurrent use: cloaking and other read-only
 // operations proceed in parallel under a read lock, while mutations
-// (register, deregister, update, profile changes — including the
-// split/merge maintenance they trigger) serialize behind the write
-// lock.
+// (register, deregister, update, profile changes) serialize behind the
+// write lock. Split/merge maintenance is *deferred*: mutations only
+// record which nodes may need restructuring, and the recorded triggers
+// are applied in a batch — either when enough have accumulated
+// (maintenanceBatch, amortizing the restructuring cost across many
+// updates and shortening each write-lock hold) or lazily by the next
+// structure-dependent read (syncMaintenance), so deferral is invisible
+// to callers. Deferral is order-insensitive because profile
+// satisfaction is monotone in level (a user satisfied at a child level
+// is satisfied at every ancestor level): a node whose split is
+// justified can never be merged away by a pending merge, so the
+// flushed structure is the same fixed point eager evaluation reaches.
 type Adaptive struct {
 	mu      sync.RWMutex
 	grid    pyramid.Grid
 	root    *aNode
 	users   map[UserID]*aEntry
 	updates int64
+
+	// pending holds deferred split/merge triggers, deduplicated by
+	// node. It is guarded by mu (write); pendingCount mirrors its size
+	// so readers can test "anything pending?" without any lock.
+	pending      map[*aNode]maintKind
+	pendingCount atomic.Int64
 }
+
+// maintKind is the set of deferred maintenance checks recorded for a
+// node.
+type maintKind uint8
+
+const (
+	maintSplit maintKind = 1 << iota
+	maintMerge
+)
+
+// maintenanceBatch is how many deferred triggers may accumulate
+// before a mutation flushes them inline.
+const maintenanceBatch = 64
 
 // aNode is one maintained pyramid cell. children is nil for a
 // maintained leaf, which then owns the users located inside it.
@@ -64,8 +93,77 @@ func NewAdaptive(universe geom.Rect, levels int) *Adaptive {
 			cell:  pyramid.Root(),
 			users: make(map[UserID]*aEntry),
 		},
-		users: make(map[UserID]*aEntry),
+		users:   make(map[UserID]*aEntry),
+		pending: make(map[*aNode]maintKind),
 	}
+}
+
+// deferSplit records that leaf may satisfy the split criterion. The
+// caller holds a.mu for writing.
+func (a *Adaptive) deferSplit(leaf *aNode) {
+	if a.pending[leaf]&maintSplit == 0 {
+		a.pending[leaf] |= maintSplit
+		a.pendingCount.Add(1)
+	}
+}
+
+// deferMerge records that parent may satisfy the merge criterion. The
+// caller holds a.mu for writing.
+func (a *Adaptive) deferMerge(parent *aNode) {
+	if parent == nil {
+		return
+	}
+	if a.pending[parent]&maintMerge == 0 {
+		a.pending[parent] |= maintMerge
+		a.pendingCount.Add(1)
+	}
+}
+
+// flushMaintenanceLocked applies every deferred trigger. Merges run
+// first so splits act on the consolidated structure; the result is
+// order-independent regardless (see the type comment), merges-first
+// just avoids building subtrees a merge would immediately tear down.
+// Nodes detached by an earlier merge in the same flush are inert:
+// maybeSplit sees no users and maybeMerge sees no children. The
+// caller holds a.mu for writing.
+func (a *Adaptive) flushMaintenanceLocked() {
+	if len(a.pending) == 0 {
+		return
+	}
+	batch := a.pending
+	a.pending = make(map[*aNode]maintKind)
+	a.pendingCount.Store(0)
+	for n, k := range batch {
+		if k&maintMerge != 0 {
+			a.maybeMerge(n)
+		}
+	}
+	for n, k := range batch {
+		if k&maintSplit != 0 {
+			a.maybeSplit(n)
+		}
+	}
+}
+
+// flushIfDueLocked flushes when the batch threshold is reached. The
+// caller holds a.mu for writing.
+func (a *Adaptive) flushIfDueLocked() {
+	if len(a.pending) >= maintenanceBatch {
+		a.flushMaintenanceLocked()
+	}
+}
+
+// syncMaintenance applies any deferred triggers before a
+// structure-dependent read, so batching stays invisible to callers:
+// a cloak issued after an update sees exactly the structure eager
+// maintenance would have produced.
+func (a *Adaptive) syncMaintenance() {
+	if a.pendingCount.Load() == 0 {
+		return
+	}
+	a.mu.Lock()
+	a.flushMaintenanceLocked()
+	a.mu.Unlock()
 }
 
 // childIndex returns which of a node's four children (in
@@ -107,7 +205,8 @@ func (a *Adaptive) Register(uid UserID, p geom.Point, prof Profile) error {
 		n.count++
 		a.updates++
 	}
-	a.maybeSplit(leaf)
+	a.deferSplit(leaf)
+	a.flushIfDueLocked()
 	return nil
 }
 
@@ -126,7 +225,8 @@ func (a *Adaptive) Deregister(uid UserID) error {
 		n.count--
 		a.updates++
 	}
-	a.maybeMerge(leaf.parent)
+	a.deferMerge(leaf.parent)
+	a.flushIfDueLocked()
 	return nil
 }
 
@@ -144,7 +244,8 @@ func (a *Adaptive) Update(uid UserID, p geom.Point) error {
 		// Still inside the same maintained cell: no counter changes,
 		// but the user's child assignment may now justify a split.
 		e.pos = p
-		a.maybeSplit(oldLeaf)
+		a.deferSplit(oldLeaf)
+		a.flushIfDueLocked()
 		return nil
 	}
 	// Remove from the old leaf and walk up, decrementing, until the
@@ -166,8 +267,9 @@ func (a *Adaptive) Update(uid UserID, p geom.Point) error {
 	e.pos = p
 	e.leaf = n
 	n.users[uid] = e
-	a.maybeMerge(oldLeaf.parent)
-	a.maybeSplit(n)
+	a.deferMerge(oldLeaf.parent)
+	a.deferSplit(n)
+	a.flushIfDueLocked()
 	return nil
 }
 
@@ -184,14 +286,16 @@ func (a *Adaptive) SetProfile(uid UserID, prof Profile) error {
 		return fmt.Errorf("%w: %d", ErrUnknownUser, uid)
 	}
 	e.profile = prof
-	a.maybeSplit(e.leaf)
-	a.maybeMerge(e.leaf.parent)
+	a.deferSplit(e.leaf)
+	a.deferMerge(e.leaf.parent)
+	a.flushIfDueLocked()
 	return nil
 }
 
 // Cloak implements Anonymizer.
 func (a *Adaptive) Cloak(uid UserID) (CloakedRegion, error) {
 	start := time.Now()
+	a.syncMaintenance()
 	a.mu.RLock()
 	defer a.mu.RUnlock()
 	e, ok := a.users[uid]
@@ -206,6 +310,7 @@ func (a *Adaptive) Cloak(uid UserID) (CloakedRegion, error) {
 // CloakAt implements Anonymizer.
 func (a *Adaptive) CloakAt(p geom.Point, prof Profile) (CloakedRegion, error) {
 	start := time.Now()
+	a.syncMaintenance()
 	a.mu.RLock()
 	defer a.mu.RUnlock()
 	cr, err := a.cloakFromNode(a.locate(p), prof, CloakOpts{})
@@ -276,8 +381,11 @@ func (a *Adaptive) Users() int {
 // Grid implements Anonymizer.
 func (a *Adaptive) Grid() pyramid.Grid { return a.grid }
 
-// UpdateCost implements Anonymizer.
+// UpdateCost implements Anonymizer. Deferred maintenance is applied
+// first so the reported cost includes the restructuring work the
+// preceding mutations triggered.
 func (a *Adaptive) UpdateCost() int64 {
+	a.syncMaintenance()
 	a.mu.RLock()
 	defer a.mu.RUnlock()
 	return a.updates
@@ -293,6 +401,7 @@ func (a *Adaptive) ResetUpdateCost() {
 // MaintainedCells returns the number of maintained cells (nodes); an
 // efficiency diagnostic contrasted with the complete pyramid's 4^H.
 func (a *Adaptive) MaintainedCells() int {
+	a.syncMaintenance()
 	a.mu.RLock()
 	defer a.mu.RUnlock()
 	n := 0
@@ -432,6 +541,7 @@ func (a *Adaptive) maybeMerge(parent *aNode) {
 // counts aggregate correctly, users sit in leaves whose cells contain
 // them, and the user index agrees with the tree.
 func (a *Adaptive) CheckConsistency() error {
+	a.syncMaintenance()
 	a.mu.RLock()
 	defer a.mu.RUnlock()
 	seen := map[UserID]bool{}

@@ -150,14 +150,13 @@ type CloakOpts struct {
 // CloakAtOpt cloaks an arbitrary point under a profile with explicit
 // ablation options (Basic anonymizer).
 func (b *Basic) CloakAtOpt(p geom.Point, prof Profile, opts CloakOpts) (CloakedRegion, error) {
-	b.mu.RLock()
-	defer b.mu.RUnlock()
-	return bottomUpCloakOpt(b, b.grid, b.grid.LeafAt(p), prof, opts)
+	return b.cloakAt(p, prof, opts)
 }
 
 // CloakAtOpt cloaks an arbitrary point under a profile with explicit
 // ablation options (Adaptive anonymizer).
 func (a *Adaptive) CloakAtOpt(p geom.Point, prof Profile, opts CloakOpts) (CloakedRegion, error) {
+	a.syncMaintenance()
 	a.mu.RLock()
 	defer a.mu.RUnlock()
 	return a.cloakFromNode(a.locate(p), prof, opts)
@@ -219,6 +218,68 @@ func bottomUpCloakOpt(src cellCounter, g pyramid.Grid, start pyramid.CellID, pro
 				KFound:  kFound,
 				StepsUp: steps,
 			}, nil
+		}
+		steps++
+	}
+}
+
+// bottomUpCloakQuadrant runs Algorithm 1 confined to the top-level
+// quadrant containing start, for callers holding only that quadrant's
+// stripe lock. All cells at level >= 2 that the algorithm touches —
+// the cell itself and its sibling neighbors — share start's quadrant,
+// and the quadrant's own level-1 counter is written only under this
+// quadrant's stripe, so those reads are consistent. The moment the
+// algorithm would need cross-quadrant information (the sibling checks
+// at level 1, or any read of the root), it gives up with done=false
+// and the caller escalates to the all-stripe lock. done=true means
+// the returned result is exactly what the unconfined algorithm would
+// produce.
+func bottomUpCloakQuadrant(src cellCounter, g pyramid.Grid, start pyramid.CellID, prof Profile, opts CloakOpts) (CloakedRegion, error, bool) {
+	if err := prof.Validate(); err != nil {
+		return CloakedRegion{}, err, true
+	}
+	steps := 0
+	for cid := start; ; cid = cid.Parent() {
+		if cid.Level == 0 {
+			return CloakedRegion{}, nil, false
+		}
+		n := src.cellCount(cid)
+		area := g.CellArea(cid.Level)
+		if n >= prof.K && area >= prof.AMin {
+			return CloakedRegion{
+				Region:  g.CellRect(cid),
+				Level:   cid.Level,
+				KFound:  n,
+				StepsUp: steps,
+			}, nil, true
+		}
+		if opts.DisableNeighborMerge {
+			steps++
+			continue
+		}
+		if cid.Level == 1 {
+			// The sibling neighbors of a level-1 cell are the other
+			// quadrants.
+			return CloakedRegion{}, nil, false
+		}
+		cidV, _ := cid.VerticalNeighbor()
+		cidH, _ := cid.HorizontalNeighbor()
+		nV := n + src.cellCount(cidV)
+		nH := n + src.cellCount(cidH)
+		if (nV >= prof.K || nH >= prof.K) && 2*area >= prof.AMin {
+			var with pyramid.CellID
+			var kFound int
+			if (nH >= prof.K && nV >= prof.K && nH <= nV) || nV < prof.K {
+				with, kFound = cidH, nH
+			} else {
+				with, kFound = cidV, nV
+			}
+			return CloakedRegion{
+				Region:  g.CellRect(cid).Union(g.CellRect(with)),
+				Level:   cid.Level,
+				KFound:  kFound,
+				StepsUp: steps,
+			}, nil, true
 		}
 		steps++
 	}

@@ -1,0 +1,90 @@
+package anonymizer
+
+import (
+	"sync"
+
+	"casper/internal/pyramid"
+)
+
+// The striped anonymizer state is partitioned by top-level quadrant:
+// the four level-1 cells of the pyramid. The choice of level 1 as the
+// stripe boundary is forced by Algorithm 1's access pattern — a cell
+// at level >= 2 and its horizontal/vertical sibling neighbors share a
+// parent at level >= 1, so every cell the algorithm inspects while at
+// level >= 2 lies inside one top-level quadrant. Only the level-1
+// sibling checks and the root read cross quadrants, and those
+// escalate to an all-stripe lock (see Basic.cloakEscalated).
+const numStripes = 4
+
+// stripeOf maps a cell to the stripe (quadrant) that owns it. The
+// root belongs to stripe 0 by convention; it is only ever read under
+// the all-stripe lock, so the assignment is arbitrary.
+func stripeOf(c pyramid.CellID) int {
+	if c.Level == 0 {
+		return 0
+	}
+	q := c.AncestorAt(1)
+	return q.Y<<1 | q.X
+}
+
+// quadrantStripes is the shard harness shared by striped anonymizer
+// state: one RWMutex per top-level quadrant, with helpers that always
+// acquire multiple stripes in ascending index order. Every code path
+// that holds more than one stripe goes through lockPair/rlockAll, so
+// the ascending-order discipline — and with it deadlock freedom — is
+// centralized here rather than re-argued at each call site.
+type quadrantStripes struct {
+	mu [numStripes]sync.RWMutex
+}
+
+// lockPair write-locks stripes a and b (which may be equal) in
+// ascending order.
+func (s *quadrantStripes) lockPair(a, b int) {
+	if a > b {
+		a, b = b, a
+	}
+	s.mu[a].Lock()
+	if b != a {
+		s.mu[b].Lock()
+	}
+}
+
+// unlockPair releases what lockPair acquired.
+func (s *quadrantStripes) unlockPair(a, b int) {
+	if a > b {
+		a, b = b, a
+	}
+	if b != a {
+		s.mu[b].Unlock()
+	}
+	s.mu[a].Unlock()
+}
+
+// rlockAll read-locks every stripe in ascending order, giving the
+// caller a consistent view of the whole pyramid (writers of any
+// quadrant are excluded).
+func (s *quadrantStripes) rlockAll() {
+	for i := range s.mu {
+		s.mu[i].RLock()
+	}
+}
+
+func (s *quadrantStripes) runlockAll() {
+	for i := len(s.mu) - 1; i >= 0; i-- {
+		s.mu[i].RUnlock()
+	}
+}
+
+// lockAll write-locks every stripe in ascending order (consistency
+// checks and accounting resets).
+func (s *quadrantStripes) lockAll() {
+	for i := range s.mu {
+		s.mu[i].Lock()
+	}
+}
+
+func (s *quadrantStripes) unlockAll() {
+	for i := len(s.mu) - 1; i >= 0; i-- {
+		s.mu[i].Unlock()
+	}
+}

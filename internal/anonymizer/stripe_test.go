@@ -1,0 +1,231 @@
+package anonymizer
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"casper/internal/geom"
+)
+
+// stripeTestUniverse is a 4096-unit square so the quadrant seams run
+// through x=2048 and y=2048.
+var stripeTestUniverse = geom.R(0, 0, 4096, 4096)
+
+// TestBasicStripedMatchesCloakAt pins the striping escalation to the
+// unconfined algorithm: for users spread across all four quadrants and
+// hugging the seams, Cloak(uid) must equal CloakAt(pos, profile) —
+// CloakAt and Cloak share the same data, so any divergence can only
+// come from the confined fast path bailing out with a wrong result.
+func TestBasicStripedMatchesCloakAt(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	b := NewBasic(stripeTestUniverse, 7)
+	type reg struct {
+		uid  UserID
+		pos  geom.Point
+		prof Profile
+	}
+	var regs []reg
+	uid := UserID(0)
+	add := func(p geom.Point, prof Profile) {
+		uid++
+		if err := b.Register(uid, p, prof); err != nil {
+			t.Fatal(err)
+		}
+		regs = append(regs, reg{uid, p, prof})
+	}
+	// Clusters on the seams force cloaks that climb to level 1 or the
+	// root — the escalation path; scattered users exercise the
+	// single-quadrant fast path.
+	for i := 0; i < 64; i++ {
+		k := 1 + rng.Intn(48)
+		add(geom.Pt(2048+rng.Float64()*8-4, rng.Float64()*4096), Profile{K: k})
+		add(geom.Pt(rng.Float64()*4096, 2048+rng.Float64()*8-4), Profile{K: k})
+		add(geom.Pt(rng.Float64()*4096, rng.Float64()*4096), Profile{K: 1 + rng.Intn(8)})
+	}
+	for _, r := range regs {
+		got, errGot := b.Cloak(r.uid)
+		want, errWant := b.CloakAt(r.pos, r.prof)
+		if (errGot == nil) != (errWant == nil) {
+			t.Fatalf("uid %d: Cloak err %v, CloakAt err %v", r.uid, errGot, errWant)
+		}
+		if errGot != nil {
+			continue
+		}
+		if got != want {
+			t.Fatalf("uid %d at %v (k=%d): Cloak %+v != CloakAt %+v", r.uid, r.pos, r.prof.K, got, want)
+		}
+		if got.KFound < r.prof.K {
+			t.Fatalf("uid %d: cloak violates k: %d < %d", r.uid, got.KFound, r.prof.K)
+		}
+	}
+	if err := b.CheckConsistency(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// stressAnonymizer runs a mixed concurrent workload against any
+// Anonymizer: updaters crossing quadrant seams, strict-profile cloaks
+// that escalate past the stripe boundary, register/deregister churn,
+// and profile changes. Run under -race this is the main guard for the
+// striped basic and batched adaptive write paths.
+func stressAnonymizer(t *testing.T, an Anonymizer, check func() error) {
+	t.Helper()
+	const (
+		baseUsers = 256
+		churnBase = 10_000
+		rounds    = 400
+	)
+	for i := 0; i < baseUsers; i++ {
+		// Half the population sits within a leaf cell of a seam, so
+		// updates constantly cross stripes.
+		var p geom.Point
+		if i%2 == 0 {
+			p = geom.Pt(2048+float64(i%64)-32, float64(i*16%4096))
+		} else {
+			p = geom.Pt(float64(i*16%4096), float64(i*16%4096))
+		}
+		if err := an.Register(UserID(i), p, Profile{K: 1 + i%16}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 16)
+	report := func(err error) {
+		select {
+		case errs <- err:
+		default:
+		}
+	}
+
+	for w := 0; w < 4; w++ { // updaters hopping across the seams
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			for i := 0; i < rounds; i++ {
+				uid := UserID(rng.Intn(baseUsers))
+				var p geom.Point
+				if i%2 == 0 {
+					p = geom.Pt(2048+rng.Float64()*64-32, rng.Float64()*4096)
+				} else {
+					p = geom.Pt(rng.Float64()*4096, rng.Float64()*4096)
+				}
+				if err := an.Update(uid, p); err != nil {
+					report(err)
+					return
+				}
+			}
+		}(w)
+	}
+	for w := 0; w < 4; w++ { // cloakers, including strict profiles that escalate
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(100 + w)))
+			for i := 0; i < rounds; i++ {
+				uid := UserID(rng.Intn(baseUsers))
+				cr, err := an.Cloak(uid)
+				if err != nil {
+					report(err)
+					return
+				}
+				if cr.KFound < 1 {
+					report(errEmptyCloak)
+					return
+				}
+				// One-shot cloak with a profile strict enough to climb
+				// to the top levels.
+				if _, err := an.CloakAt(geom.Pt(rng.Float64()*4096, rng.Float64()*4096), Profile{K: baseUsers / 2}); err != nil {
+					report(err)
+					return
+				}
+			}
+		}(w)
+	}
+	for w := 0; w < 2; w++ { // churners with disjoint uid ranges
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(200 + w)))
+			base := UserID(churnBase * (w + 1))
+			for i := 0; i < rounds; i++ {
+				uid := base + UserID(i%32)
+				p := geom.Pt(rng.Float64()*4096, rng.Float64()*4096)
+				if err := an.Register(uid, p, Profile{K: 1 + rng.Intn(4)}); err == nil {
+					if rng.Intn(2) == 0 {
+						_ = an.SetProfile(uid, Profile{K: 1 + rng.Intn(8)})
+					}
+					if err := an.Deregister(uid); err != nil {
+						report(err)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	select {
+	case err := <-errs:
+		t.Fatal(err)
+	default:
+	}
+	if err := check(); err != nil {
+		t.Fatal(err)
+	}
+	if got := an.Users(); got != baseUsers {
+		t.Fatalf("after churn: %d users, want %d", got, baseUsers)
+	}
+}
+
+var errEmptyCloak = errUnexpected("cloak returned KFound < 1")
+
+type errUnexpected string
+
+func (e errUnexpected) Error() string { return string(e) }
+
+func TestBasicStripedStress(t *testing.T) {
+	b := NewBasic(stripeTestUniverse, 7)
+	stressAnonymizer(t, b, b.CheckConsistency)
+}
+
+func TestAdaptiveBatchedStress(t *testing.T) {
+	a := NewAdaptive(stripeTestUniverse, 7)
+	stressAnonymizer(t, a, a.CheckConsistency)
+}
+
+// TestAdaptiveDeferredMaintenanceFlushes verifies that deferral stays
+// invisible: after a burst of mutations smaller than the flush
+// threshold, a structure read (MaintainedCells) observes the split
+// structure, and UpdateCost includes the restructuring work.
+func TestAdaptiveDeferredMaintenanceFlushes(t *testing.T) {
+	a := NewAdaptive(stripeTestUniverse, 7)
+	// Register a tight cluster of relaxed users: the split criterion
+	// holds at deeper levels, so maintenance must subdivide.
+	for i := 0; i < 20; i++ {
+		p := geom.Pt(100+float64(i), 100+float64(i))
+		if err := a.Register(UserID(i), p, Profile{K: 1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if cells := a.MaintainedCells(); cells <= 1 {
+		t.Fatalf("MaintainedCells = %d after clustered registrations; deferred splits not applied", cells)
+	}
+	cost := a.UpdateCost()
+	if cost <= 20 { // bare counter increments alone, without split work
+		t.Fatalf("UpdateCost = %d, expected restructuring cost on top of counter updates", cost)
+	}
+	if err := a.CheckConsistency(); err != nil {
+		t.Fatal(err)
+	}
+	// Deregistering everyone must merge back to the bare root.
+	for i := 0; i < 20; i++ {
+		if err := a.Deregister(UserID(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if cells := a.MaintainedCells(); cells != 1 {
+		t.Fatalf("MaintainedCells = %d after full deregistration, want 1", cells)
+	}
+}

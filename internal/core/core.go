@@ -24,6 +24,7 @@ import (
 	"casper/internal/continuous"
 	"casper/internal/geom"
 	"casper/internal/privacyqp"
+	"casper/internal/pyramid"
 	"casper/internal/rtree"
 	"casper/internal/server"
 )
@@ -179,20 +180,32 @@ func (b Breakdown) Total() time.Duration { return b.Cloak + b.Query + b.Transmit
 // structure. Concurrent updates to the same user are applied in some
 // serial order; the cloak stored at the server is always one that was
 // valid at some instant.
+//
+// The framework's own state is no single lock: the pseudonym table is
+// sharded by uid hash (pyramid.UserTable), the pseudonym RNG sits
+// behind its own small mutex touched only at registration, and the
+// continuous-monitor pointer and watch lists sit behind monMu. The
+// update hot path (UpdateUser, UpdateUsers) therefore contends on
+// none of the framework locks beyond one pseudonym-shard read.
 type Casper struct {
 	anon anonymizer.Anonymizer
 	srv  *server.Server
 	cfg  Config
 
-	// mu guards the framework's own state: the pseudonym table, the
-	// pseudonym RNG, the continuous monitor pointer, and the per-user
-	// watch lists.
-	mu     sync.RWMutex
-	pseudo map[anonymizer.UserID]int64 // uid -> server pseudonym
-	rng    *rand.Rand
+	// pseudo maps uid -> server pseudonym, sharded so concurrent
+	// updates for different users never serialize on the lookup.
+	pseudo *pyramid.UserTable[int64]
 
-	// monitor, when enabled, receives the same pseudonymous update
-	// stream as the server and maintains continuous queries.
+	// rngMu guards pseudonym generation only.
+	rngMu sync.Mutex
+	rng   *rand.Rand
+
+	// monMu guards the monitor pointer and the per-user watch lists.
+	// It is acquired only after any anonymizer/server locks have been
+	// released (pushCloak), or before they are taken (Watch*); it is
+	// never held while waiting on another framework lock that could be
+	// waiting on it, so no lock-order cycle exists.
+	monMu        sync.RWMutex
 	monitor      *continuous.Monitor
 	watches      map[anonymizer.UserID][]continuous.QueryID
 	rangeWatches map[anonymizer.UserID][]continuous.QueryID
@@ -219,7 +232,7 @@ func New(cfg Config) (*Casper, error) {
 	c := &Casper{
 		anon:   anon,
 		cfg:    cfg,
-		pseudo: make(map[anonymizer.UserID]int64),
+		pseudo: pyramid.NewUserTable[int64](),
 		rng:    rand.New(rand.NewSource(cfg.Seed)),
 	}
 	if cfg.WALPath != "" {
@@ -256,10 +269,10 @@ func Open(cfg Config) (*Casper, error) { return New(cfg) }
 // Close shuts down the continuous monitor (when enabled) and flushes
 // and closes the WAL (when persistence is configured).
 func (c *Casper) Close() error {
-	c.mu.Lock()
+	c.monMu.Lock()
 	mon := c.monitor
 	c.monitor = nil
-	c.mu.Unlock()
+	c.monMu.Unlock()
 	if mon != nil {
 		mon.Close()
 	}
@@ -371,8 +384,8 @@ func (c *Casper) EnableContinuousBuffered(notify func(continuous.Event), buffer 
 }
 
 func (c *Casper) enableContinuous(build func() *continuous.Monitor) *continuous.Monitor {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	c.monMu.Lock()
+	defer c.monMu.Unlock()
 	if c.monitor != nil {
 		return c.monitor
 	}
@@ -381,18 +394,19 @@ func (c *Casper) enableContinuous(build func() *continuous.Monitor) *continuous.
 	c.rangeWatches = make(map[anonymizer.UserID][]continuous.QueryID)
 	// Seed with current state.
 	c.monitor.SetPublic(c.srv.PublicItems())
-	for uid := range c.pseudo {
-		if cr, err := c.anon.Cloak(uid); err == nil {
-			_ = c.monitor.UpsertPrivate(c.pseudo[uid], cr.Region)
+	c.pseudo.Range(func(uid int64, pid int64) bool {
+		if cr, err := c.anon.Cloak(anonymizer.UserID(uid)); err == nil {
+			_ = c.monitor.UpsertPrivate(pid, cr.Region)
 		}
-	}
+		return true
+	})
 	return c.monitor
 }
 
 // Monitor returns the attached continuous monitor, nil when disabled.
 func (c *Casper) Monitor() *continuous.Monitor {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
+	c.monMu.RLock()
+	defer c.monMu.RUnlock()
 	return c.monitor
 }
 
@@ -402,8 +416,8 @@ func (c *Casper) Monitor() *continuous.Monitor {
 // or other users' cloaks (the asker's own cloak is excluded
 // automatically). EnableContinuous must have been called.
 func (c *Casper) WatchNearest(uid anonymizer.UserID, kind privacyqp.DataKind) (continuous.QueryID, []rtree.Item, error) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	c.monMu.Lock()
+	defer c.monMu.Unlock()
 	if c.monitor == nil {
 		return 0, nil, ErrMonitorDisabled
 	}
@@ -413,7 +427,7 @@ func (c *Casper) WatchNearest(uid anonymizer.UserID, kind privacyqp.DataKind) (c
 	}
 	exclude := int64(-1)
 	if kind == privacyqp.PrivateData {
-		exclude = c.pseudo[uid]
+		exclude, _ = c.pseudo.Get(int64(uid))
 	}
 	qid, cands, err := c.monitor.RegisterNN(cr.Region, kind, c.cfg.Query, exclude)
 	if err != nil {
@@ -428,8 +442,8 @@ func (c *Casper) WatchNearest(uid anonymizer.UserID, kind privacyqp.DataKind) (c
 // user's cloak and the data change. EnableContinuous must have been
 // called.
 func (c *Casper) WatchRange(uid anonymizer.UserID, radius float64, kind privacyqp.DataKind) (continuous.QueryID, []rtree.Item, error) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	c.monMu.Lock()
+	defer c.monMu.Unlock()
 	if c.monitor == nil {
 		return 0, nil, ErrMonitorDisabled
 	}
@@ -439,7 +453,7 @@ func (c *Casper) WatchRange(uid anonymizer.UserID, radius float64, kind privacyq
 	}
 	exclude := int64(-1)
 	if kind == privacyqp.PrivateData {
-		exclude = c.pseudo[uid]
+		exclude, _ = c.pseudo.Get(int64(uid))
 	}
 	qid, cands, err := c.monitor.RegisterRadius(cr.Region, radius, kind, exclude)
 	if err != nil {
@@ -451,37 +465,38 @@ func (c *Casper) WatchRange(uid anonymizer.UserID, radius float64, kind privacyq
 
 // RegisterUser registers a mobile user: the anonymizer learns the
 // exact position and profile, assigns a pseudonym, and pushes only the
-// cloaked region to the server.
+// cloaked region to the server. The anonymizer's own duplicate check
+// is the atomicity point for concurrent registrations of the same ID.
 func (c *Casper) RegisterUser(uid anonymizer.UserID, pos geom.Point, prof anonymizer.Profile) error {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if _, ok := c.pseudo[uid]; ok {
-		return fmt.Errorf("%w: user %d", ErrAlreadyRegistered, uid)
-	}
 	if err := c.anon.Register(uid, pos, prof); err != nil {
 		return userErr(err)
 	}
-	// Pseudonyms are random, so the server cannot infer registration
-	// order or identity. Skip pseudonyms already stored at the server:
-	// after a WAL recovery the deterministic generator would otherwise
-	// replay IDs that still name recovered cloaks.
-	pid := c.rng.Int63()
-	for {
-		if _, exists := c.srv.GetPrivate(pid); !exists {
-			break
-		}
-		pid = c.rng.Int63()
-	}
-	c.pseudo[uid] = pid
-	if err := c.pushCloakLocked(uid); err != nil {
+	c.pseudo.Store(int64(uid), c.newPseudonym())
+	if err := c.pushCloak(uid); err != nil {
 		// Roll back so a failed registration leaves no ghost user; the
 		// caller can fix the profile and retry without hitting
 		// ErrAlreadyRegistered.
-		delete(c.pseudo, uid)
+		c.pseudo.Delete(int64(uid))
 		_ = c.anon.Deregister(uid)
 		return err
 	}
 	return nil
+}
+
+// newPseudonym draws a fresh random pseudonym. Pseudonyms are random,
+// so the server cannot infer registration order or identity. Skip
+// pseudonyms already stored at the server: after a WAL recovery the
+// deterministic generator would otherwise replay IDs that still name
+// recovered cloaks.
+func (c *Casper) newPseudonym() int64 {
+	c.rngMu.Lock()
+	defer c.rngMu.Unlock()
+	for {
+		pid := c.rng.Int63()
+		if _, exists := c.srv.GetPrivate(pid); !exists {
+			return pid
+		}
+	}
 }
 
 // UpdateUser processes a location update and refreshes the user's
@@ -491,6 +506,79 @@ func (c *Casper) UpdateUser(uid anonymizer.UserID, pos geom.Point) error {
 		return userErr(err)
 	}
 	return c.pushCloak(uid)
+}
+
+// UserUpdate is one entry of a batched location-update call.
+type UserUpdate struct {
+	UID anonymizer.UserID
+	Pos geom.Point
+}
+
+// UpdateUsers applies a batch of location updates and refreshes all
+// the resulting cloaks at the server in one shot: one server write
+// lock, and with persistence configured one WAL record (chunked only
+// past wal.MaxBatchEntries), instead of one of each per user. It
+// returns how many updates were fully applied.
+//
+// Entries are processed in order; the first anonymizer or cloaking
+// failure stops intake, but the cloaks already collected are still
+// stored — updates before the failing entry behave exactly as if made
+// through UpdateUser. A storage failure is reported with the count of
+// anonymizer-applied updates; the anonymizer state keeps them, their
+// cloak refresh is lost (same contract as a failed UpdateUser).
+func (c *Casper) UpdateUsers(updates []UserUpdate) (int, error) {
+	if len(updates) == 0 {
+		return 0, nil
+	}
+	type cloaked struct {
+		uid    anonymizer.UserID
+		pid    int64
+		region geom.Rect
+	}
+	objs := make([]server.PrivateObject, 0, len(updates))
+	pushed := make([]cloaked, 0, len(updates))
+	applied := 0
+	var firstErr error
+	for _, u := range updates {
+		if err := c.anon.Update(u.UID, u.Pos); err != nil {
+			firstErr = fmt.Errorf("batch aborted at uid %d: %w", u.UID, userErr(err))
+			break
+		}
+		pid, ok := c.pseudo.Get(int64(u.UID))
+		if !ok {
+			// Deregistered concurrently after the anonymizer update;
+			// nothing to store for this entry.
+			applied++
+			continue
+		}
+		cr, err := c.anon.Cloak(u.UID)
+		if err != nil {
+			// Unsatisfiable profile: the previous region stays in place,
+			// exactly like a failed UpdateUser push.
+			firstErr = fmt.Errorf("batch aborted at uid %d: %w", u.UID, userErr(err))
+			break
+		}
+		objs = append(objs, server.PrivateObject{ID: pid, Region: cr.Region})
+		pushed = append(pushed, cloaked{uid: u.UID, pid: pid, region: cr.Region})
+		applied++
+	}
+	if len(objs) > 0 {
+		var storeErr error
+		if c.persist != nil {
+			storeErr = c.persist.UpsertPrivateBatch(objs)
+		} else {
+			storeErr = c.srv.UpsertPrivateBatch(objs)
+		}
+		if storeErr != nil {
+			return applied, storeErr
+		}
+		for _, p := range pushed {
+			if err := c.notifyCloak(p.uid, p.pid, p.region); err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
+	}
+	return applied, firstErr
 }
 
 // SetProfile changes a user's privacy profile and re-cloaks.
@@ -504,13 +592,16 @@ func (c *Casper) SetProfile(uid anonymizer.UserID, prof anonymizer.Profile) erro
 // DeregisterUser removes a user from both components, tearing down
 // any continuous queries they registered.
 func (c *Casper) DeregisterUser(uid anonymizer.UserID) error {
-	c.mu.Lock()
-	defer c.mu.Unlock()
 	if err := c.anon.Deregister(uid); err != nil {
 		return userErr(err)
 	}
-	pid := c.pseudo[uid]
-	delete(c.pseudo, uid)
+	pid, ok := c.pseudo.Delete(int64(uid))
+	if !ok {
+		// A concurrent DeregisterUser already tore the rest down (the
+		// anonymizer's own check serializes who wins).
+		return nil
+	}
+	c.monMu.Lock()
 	if c.monitor != nil {
 		c.monitor.RemovePrivate(pid)
 		for _, qid := range c.watches[uid] {
@@ -522,6 +613,7 @@ func (c *Casper) DeregisterUser(uid anonymizer.UserID) error {
 		}
 		delete(c.rangeWatches, uid)
 	}
+	c.monMu.Unlock()
 	if c.persist != nil {
 		return c.persist.RemovePrivate(pid)
 	}
@@ -533,14 +625,7 @@ func (c *Casper) DeregisterUser(uid anonymizer.UserID) error {
 // pseudonym. An unsatisfiable profile leaves the previous region in
 // place and reports the error.
 func (c *Casper) pushCloak(uid anonymizer.UserID) error {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	return c.pushCloakLocked(uid)
-}
-
-// pushCloakLocked is pushCloak with c.mu already held (read or write).
-func (c *Casper) pushCloakLocked(uid anonymizer.UserID) error {
-	pid, ok := c.pseudo[uid]
+	pid, ok := c.pseudo.Get(int64(uid))
 	if !ok {
 		// The user was deregistered between the anonymizer update and
 		// this push (concurrent update/deregister); nothing to store.
@@ -560,19 +645,29 @@ func (c *Casper) pushCloakLocked(uid anonymizer.UserID) error {
 	if upsertErr != nil {
 		return upsertErr
 	}
-	if c.monitor != nil {
-		if err := c.monitor.UpsertPrivate(pid, cr.Region); err != nil {
+	return c.notifyCloak(uid, pid, cr.Region)
+}
+
+// notifyCloak propagates a freshly stored cloak to the continuous
+// monitor and the user's standing watches. It takes monMu only after
+// all anonymizer and server locks have been released.
+func (c *Casper) notifyCloak(uid anonymizer.UserID, pid int64, region geom.Rect) error {
+	c.monMu.RLock()
+	defer c.monMu.RUnlock()
+	if c.monitor == nil {
+		return nil
+	}
+	if err := c.monitor.UpsertPrivate(pid, region); err != nil {
+		return err
+	}
+	for _, qid := range c.watches[uid] {
+		if err := c.monitor.UpdateNNCloak(qid, region); err != nil {
 			return err
 		}
-		for _, qid := range c.watches[uid] {
-			if err := c.monitor.UpdateNNCloak(qid, cr.Region); err != nil {
-				return err
-			}
-		}
-		for _, qid := range c.rangeWatches[uid] {
-			if err := c.monitor.UpdateRadiusCloak(qid, cr.Region); err != nil {
-				return err
-			}
+	}
+	for _, qid := range c.rangeWatches[uid] {
+		if err := c.monitor.UpdateRadiusCloak(qid, region); err != nil {
+			return err
 		}
 	}
 	return nil
@@ -635,9 +730,7 @@ func (c *Casper) NearestBuddy(uid anonymizer.UserID) (NNAnswer, error) {
 	if err != nil {
 		return NNAnswer{}, err
 	}
-	c.mu.RLock()
-	pid, ok := c.pseudo[uid]
-	c.mu.RUnlock()
+	pid, ok := c.pseudo.Get(int64(uid))
 	if !ok {
 		// The user deregistered between userPos and here; pseudonym 0
 		// would wrongly exclude (or fail to exclude) a stored cloak.

@@ -388,7 +388,14 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 		case kindGauge:
 			writeSample(&b, m.family, m.labels, float64(m.gauge.Value()))
 		case kindGaugeFunc:
-			writeSample(&b, m.family, m.labels, m.fn())
+			v := m.fn()
+			if math.IsNaN(v) {
+				// A NaN sample (e.g. a ratio gauge before any traffic,
+				// 0/0) breaks strict exposition parsers and poisons rate
+				// math downstream; expose the empty ratio as 0 instead.
+				v = 0
+			}
+			writeSample(&b, m.family, m.labels, v)
 		case kindHistogram:
 			counts, inf, count, sum := m.hist.snapshot()
 			cum := int64(0)

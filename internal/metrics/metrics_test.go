@@ -144,6 +144,37 @@ func TestWritePrometheus(t *testing.T) {
 	}
 }
 
+// TestGaugeFuncNaNExposedAsZero: a ratio gauge that divides by zero
+// before any traffic (hits+misses == 0) must not leak NaN into the
+// exposition — strict parsers reject it and rate math downstream
+// propagates it. The sample reads 0 instead.
+func TestGaugeFuncNaNExposedAsZero(t *testing.T) {
+	r := NewRegistry()
+	hits, misses := 0.0, 0.0
+	r.GaugeFunc("hit_rate", "", "cache hit rate", func() float64 {
+		return hits / (hits + misses) // NaN until traffic arrives
+	})
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(b.String(), "NaN") {
+		t.Fatalf("NaN leaked into exposition:\n%s", b.String())
+	}
+	if !strings.Contains(b.String(), "hit_rate 0\n") {
+		t.Fatalf("empty ratio not exposed as 0:\n%s", b.String())
+	}
+	// Once the ratio is defined, the real value flows through.
+	hits, misses = 3, 1
+	b.Reset()
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "hit_rate 0.75") {
+		t.Fatalf("live ratio wrong:\n%s", b.String())
+	}
+}
+
 func TestLabelEscaping(t *testing.T) {
 	r := NewRegistry()
 	r.Counter("esc_total", `name="`+escapeLabel(`a"b\c`)+`"`, "h").Inc()

@@ -1,0 +1,119 @@
+package protocol
+
+import (
+	"bufio"
+	"encoding/json"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"casper/internal/core"
+	"casper/internal/geom"
+)
+
+// TestUpdateBatchOpSpellings: both the canonical "update_batch" op and
+// the legacy "batch_update" spelling dispatch to the batched path and
+// report the applied count.
+func TestUpdateBatchOpSpellings(t *testing.T) {
+	addr := startServer(t)
+	cl, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	for i := int64(1); i <= 4; i++ {
+		if err := cl.Register(ctx, i, float64(i*200), float64(i*200), 1, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cl.Close()
+
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	enc := json.NewEncoder(conn)
+	sc := bufio.NewScanner(conn)
+	for _, op := range []string{OpUpdateBatch, OpBatchUpdate} {
+		req := Request{Op: op, Batch: []BatchUpdate{
+			{UserID: 1, X: 1000, Y: 1000},
+			{UserID: 2, X: 1100, Y: 1100},
+		}}
+		if err := enc.Encode(req); err != nil {
+			t.Fatalf("%s: send: %v", op, err)
+		}
+		if !sc.Scan() {
+			t.Fatalf("%s: no response: %v", op, sc.Err())
+		}
+		var resp Response
+		if err := json.Unmarshal(sc.Bytes(), &resp); err != nil {
+			t.Fatalf("%s: decode: %v", op, err)
+		}
+		if !resp.OK || resp.Count != 2 {
+			t.Fatalf("%s: resp = %+v, want ok with count 2", op, resp)
+		}
+	}
+}
+
+// TestWriteTimeoutDropsStalledClient: a client that sends a request but
+// never drains the response cannot park the serving goroutine — the
+// per-frame write deadline closes the connection.
+func TestWriteTimeoutDropsStalledClient(t *testing.T) {
+	cfg := core.DefaultConfig()
+	cfg.Universe = geom.R(0, 0, 1024, 1024)
+	cfg.PyramidLevels = 5
+	var logMu sync.Mutex
+	var logged []string
+	srv := NewServer(core.MustNew(cfg))
+	srv.SetLogf(func(f string, args ...any) {
+		logMu.Lock()
+		logged = append(logged, f)
+		logMu.Unlock()
+	})
+	srv.WriteTimeout = 200 * time.Millisecond
+	srv.IdleTimeout = 0
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn, err := net.Dial("tcp", addr.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	// A density request produces a response far larger than the unread
+	// socket buffers once enough frames pile up; keep requesting without
+	// ever reading until the server's write stalls and times out.
+	req, _ := json.Marshal(Request{Op: OpDensity, NN: 64})
+	req = append(req, '\n')
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		conn.SetWriteDeadline(time.Now().Add(time.Second))
+		if _, err := conn.Write(req); err != nil {
+			break // server gave up on us: deadline fired
+		}
+	}
+	// Closing the server must not hang on the stalled connection; that
+	// is the regression this test guards.
+	done := make(chan struct{})
+	go func() { srv.Close(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(15 * time.Second):
+		t.Fatal("server close blocked on a stalled client write")
+	}
+	found := false
+	logMu.Lock()
+	defer logMu.Unlock()
+	for _, f := range logged {
+		if strings.Contains(f, "response write exceeded") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("write timeout never fired")
+	}
+}

@@ -157,9 +157,10 @@ func (c *Client) Update(ctx context.Context, uid int64, x, y float64) error {
 
 // BatchUpdate sends many location updates in one frame and returns
 // how many were applied; on error, updates before the failing one have
-// already been applied.
+// already been applied. The server applies the whole frame through its
+// batched update path (one server write lock, one WAL record).
 func (c *Client) BatchUpdate(ctx context.Context, updates []BatchUpdate) (int, error) {
-	resp, err := c.call(ctx, Request{Op: OpBatchUpdate, Batch: updates})
+	resp, err := c.call(ctx, Request{Op: OpUpdateBatch, Batch: updates})
 	if err != nil {
 		return int(resp.Count), err
 	}

@@ -41,7 +41,7 @@ type rpcInstruments struct {
 var rpcByOp = func() map[string]rpcInstruments {
 	m := make(map[string]rpcInstruments)
 	for _, op := range []string{
-		OpRegister, OpUpdate, OpBatchUpdate, OpDeregister, OpSetProfile,
+		OpRegister, OpUpdate, OpUpdateBatch, OpBatchUpdate, OpDeregister, OpSetProfile,
 		OpNearestPublic, OpNearestBuddy, OpKNearestPublic, OpRangePublic,
 		OpCountUsers, OpAddPublic, OpDensity, OpStats, "unknown",
 	} {

@@ -23,9 +23,14 @@ const (
 	OpRegister = "register"
 	// OpUpdate is a location update (uid, x, y).
 	OpUpdate = "update"
-	// OpBatchUpdate carries many location updates in one frame (fleet
-	// clients); Response.Count reports how many were applied, and the
-	// first failure aborts the rest.
+	// OpUpdateBatch carries many location updates in one frame (fleet
+	// clients) and applies them through the framework's batched update
+	// path: one server write lock and one WAL record for the whole
+	// frame. Response.Count reports how many were applied; the first
+	// failure aborts the rest.
+	OpUpdateBatch = "update_batch"
+	// OpBatchUpdate is the legacy spelling of OpUpdateBatch, accepted
+	// for old clients; it dispatches to the same batched path.
 	OpBatchUpdate = "batch_update"
 	// OpDeregister removes a user.
 	OpDeregister = "deregister"

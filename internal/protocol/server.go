@@ -26,6 +26,11 @@ const MaxFrameBytes = 1 << 20
 // long; zero disables the deadline.
 const DefaultIdleTimeout = 5 * time.Minute
 
+// DefaultWriteTimeout bounds how long one response frame may take to
+// flush; zero disables the deadline. A client that stops draining its
+// socket otherwise parks the serving goroutine forever in Encode.
+const DefaultWriteTimeout = 30 * time.Second
+
 // Server serves the Casper protocol over TCP. One instance hosts both
 // roles of Fig. 1 — the anonymizer endpoint for mobile users and the
 // administrator endpoint for public queries — while preserving the
@@ -52,6 +57,12 @@ type Server struct {
 	// attributable. Set before Listen.
 	SlowQueryThreshold time.Duration
 
+	// WriteTimeout bounds how long each response frame may take to
+	// flush to the client; set before Listen. Zero disables it.
+	// Timeouts close the connection and count as "write_timeout" in
+	// casper_rpc_errors_total.
+	WriteTimeout time.Duration
+
 	wg       sync.WaitGroup
 	closed   chan struct{}
 	closeOne sync.Once
@@ -60,10 +71,11 @@ type Server struct {
 // NewServer wraps a core framework instance.
 func NewServer(c *core.Casper) *Server {
 	return &Server{
-		casper:      c,
-		logf:        log.Printf,
-		IdleTimeout: DefaultIdleTimeout,
-		closed:      make(chan struct{}),
+		casper:       c,
+		logf:         log.Printf,
+		IdleTimeout:  DefaultIdleTimeout,
+		WriteTimeout: DefaultWriteTimeout,
+		closed:       make(chan struct{}),
 	}
 }
 
@@ -158,7 +170,7 @@ func (s *Server) handleConn(conn net.Conn) {
 		var req Request
 		if err := json.Unmarshal(line, &req); err != nil {
 			rpcMalformed.Inc()
-			if err := enc.Encode(errResponse("malformed request: %v", err)); err != nil {
+			if err := s.writeFrame(conn, enc, errResponse("malformed request: %v", err)); err != nil {
 				return
 			}
 			continue
@@ -170,10 +182,32 @@ func (s *Server) handleConn(conn net.Conn) {
 		if s.SlowQueryThreshold > 0 && elapsed > s.SlowQueryThreshold {
 			s.logSlow(req, resp, elapsed)
 		}
-		if err := enc.Encode(resp); err != nil {
+		if err := s.writeFrame(conn, enc, resp); err != nil {
 			return
 		}
 	}
+}
+
+// writeFrame encodes one response under the per-frame write deadline.
+// A deadline expiry means the client stopped draining its socket; the
+// connection is surrendered (the caller returns) and the stall is
+// counted so operators can tell slow clients from crashed ones.
+func (s *Server) writeFrame(conn net.Conn, enc *json.Encoder, resp Response) error {
+	if s.WriteTimeout > 0 {
+		if err := conn.SetWriteDeadline(time.Now().Add(s.WriteTimeout)); err != nil {
+			return err
+		}
+	}
+	err := enc.Encode(resp)
+	if err != nil {
+		var nerr net.Error
+		if errors.As(err, &nerr) && nerr.Timeout() {
+			rpcErrors.With("write_timeout").Inc()
+			s.logf("casper/protocol: dropping %s: response write exceeded %s",
+				conn.RemoteAddr(), s.WriteTimeout)
+		}
+	}
+	return err
 }
 
 func (s *Server) dispatch(req Request) Response {
@@ -187,15 +221,16 @@ func (s *Server) dispatch(req Request) Response {
 		return okOrErr(err)
 	case OpUpdate:
 		return okOrErr(s.casper.UpdateUser(anonymizer.UserID(req.UserID), geom.Pt(req.X, req.Y)))
-	case OpBatchUpdate:
-		applied := 0
-		for _, u := range req.Batch {
-			if err := s.casper.UpdateUser(anonymizer.UserID(u.UserID), geom.Pt(u.X, u.Y)); err != nil {
-				resp := errFrom(fmt.Errorf("batch aborted at uid %d: %w", u.UserID, err))
-				resp.Count = float64(applied)
-				return resp
-			}
-			applied++
+	case OpUpdateBatch, OpBatchUpdate:
+		updates := make([]core.UserUpdate, len(req.Batch))
+		for i, u := range req.Batch {
+			updates[i] = core.UserUpdate{UID: anonymizer.UserID(u.UserID), Pos: geom.Pt(u.X, u.Y)}
+		}
+		applied, err := s.casper.UpdateUsers(updates)
+		if err != nil {
+			resp := errFrom(err)
+			resp.Count = float64(applied)
+			return resp
 		}
 		return Response{OK: true, Count: float64(applied)}
 	case OpDeregister:

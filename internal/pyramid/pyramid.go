@@ -25,6 +25,7 @@ package pyramid
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"casper/internal/geom"
 )
@@ -197,19 +198,27 @@ func (g Grid) LevelForArea(a float64) int {
 // level propagate to the root. Updates counts every counter
 // increment/decrement performed, which is the per-location-update cost
 // metric plotted in Figures 10b, 11b and 12b of the paper.
+//
+// All counters are atomic so counter propagation needs no structure
+// lock: concurrent Add/Move/RemoveAt calls interleave safely at the
+// level of individual increments. Callers that need a *consistent*
+// multi-cell view (Algorithm 1 reading a cell and its neighbors, or
+// CheckConsistency) must still provide their own exclusion against
+// writers of the cells they read — in the striped basic anonymizer
+// that exclusion is the per-quadrant stripe lock.
 type Complete struct {
 	grid    Grid
-	counts  [][]int32 // counts[level][y<<level | x]
-	total   int
-	updates int64
+	counts  [][]atomic.Int64 // counts[level][y<<level | x]
+	total   atomic.Int64
+	updates atomic.Int64
 }
 
 // NewComplete builds an empty complete pyramid over the grid.
 func NewComplete(grid Grid) *Complete {
 	c := &Complete{grid: grid}
-	c.counts = make([][]int32, grid.Levels)
+	c.counts = make([][]atomic.Int64, grid.Levels)
 	for l := 0; l < grid.Levels; l++ {
-		c.counts[l] = make([]int32, 1<<(2*l))
+		c.counts[l] = make([]atomic.Int64, 1<<(2*l))
 	}
 	return c
 }
@@ -218,20 +227,20 @@ func NewComplete(grid Grid) *Complete {
 func (c *Complete) Grid() Grid { return c.grid }
 
 // Total returns the number of users currently tracked.
-func (c *Complete) Total() int { return c.total }
+func (c *Complete) Total() int { return int(c.total.Load()) }
 
 // Updates returns the cumulative number of cell-counter writes.
-func (c *Complete) Updates() int64 { return c.updates }
+func (c *Complete) Updates() int64 { return c.updates.Load() }
 
 // ResetUpdates zeroes the update accounting (used between experiment
 // phases).
-func (c *Complete) ResetUpdates() { c.updates = 0 }
+func (c *Complete) ResetUpdates() { c.updates.Store(0) }
 
 func (c *Complete) idx(id CellID) int { return id.Y<<id.Level | id.X }
 
 // Count returns the number of users within cell id.
 func (c *Complete) Count(id CellID) int {
-	return int(c.counts[id.Level][c.idx(id)])
+	return int(c.counts[id.Level][c.idx(id)].Load())
 }
 
 // Add registers a user at point p, increments the counters of the leaf
@@ -239,7 +248,7 @@ func (c *Complete) Count(id CellID) int {
 func (c *Complete) Add(p geom.Point) CellID {
 	leaf := c.grid.LeafAt(p)
 	c.addAlongPath(leaf, 1)
-	c.total++
+	c.total.Add(1)
 	return leaf
 }
 
@@ -249,7 +258,7 @@ func (c *Complete) RemoveAt(id CellID) {
 		panic(fmt.Sprintf("pyramid: RemoveAt on non-leaf cell %v", id))
 	}
 	c.addAlongPath(id, -1)
-	c.total--
+	c.total.Add(-1)
 }
 
 // Move handles a location update for a user currently in leaf cell
@@ -266,9 +275,9 @@ func (c *Complete) Move(old CellID, p geom.Point) (CellID, bool) {
 	// Walk both paths upward in lockstep until they converge.
 	a, b := old, newLeaf
 	for a != b {
-		c.counts[a.Level][c.idx(a)]--
-		c.counts[b.Level][c.idx(b)]++
-		c.updates += 2
+		c.counts[a.Level][c.idx(a)].Add(-1)
+		c.counts[b.Level][c.idx(b)].Add(1)
+		c.updates.Add(2)
 		a, b = a.Parent(), b.Parent()
 		if a.Level == 0 && b.Level == 0 && a != b {
 			panic("pyramid: paths failed to converge at root")
@@ -277,11 +286,11 @@ func (c *Complete) Move(old CellID, p geom.Point) (CellID, bool) {
 	return newLeaf, true
 }
 
-func (c *Complete) addAlongPath(leaf CellID, delta int32) {
+func (c *Complete) addAlongPath(leaf CellID, delta int64) {
 	id := leaf
 	for {
-		c.counts[id.Level][c.idx(id)] += delta
-		c.updates++
+		c.counts[id.Level][c.idx(id)].Add(delta)
+		c.updates.Add(1)
 		if id.IsRoot() {
 			return
 		}
@@ -293,8 +302,8 @@ func (c *Complete) addAlongPath(leaf CellID, delta int32) {
 // the sum of its children's counts and that the root count equals the
 // total. It is O(cells) and intended for tests.
 func (c *Complete) CheckConsistency() error {
-	if got := c.Count(Root()); got != c.total {
-		return fmt.Errorf("root count %d != total %d", got, c.total)
+	if got, want := c.Count(Root()), c.Total(); got != want {
+		return fmt.Errorf("root count %d != total %d", got, want)
 	}
 	for l := 0; l < c.grid.Levels-1; l++ {
 		n := 1 << l

@@ -62,11 +62,21 @@ func (c *queryCache) get(key cacheKey, version int64) (privacyqp.Result, bool) {
 }
 
 // put stores a result computed at the given table version. When full,
-// a pseudo-random victim (map iteration order) is evicted; given that
-// the working set is the set of live grid cells, churn is rare.
+// entries stamped with an older table version are purged first — they
+// can never hit again (get compares versions exactly), so they are
+// strictly better victims than live entries. Only if every entry is
+// current does a pseudo-random victim (map iteration order) go; given
+// that the working set is the set of live grid cells, that is rare.
 func (c *queryCache) put(key cacheKey, res privacyqp.Result, version int64) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if len(c.entries) >= c.maxSize {
+		for k, e := range c.entries {
+			if e.version != version {
+				delete(c.entries, k)
+			}
+		}
+	}
 	if len(c.entries) >= c.maxSize {
 		for k := range c.entries {
 			delete(c.entries, k)

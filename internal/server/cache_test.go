@@ -1,0 +1,82 @@
+package server
+
+import (
+	"testing"
+
+	"casper/internal/geom"
+	"casper/internal/privacyqp"
+	"casper/internal/rtree"
+)
+
+func cacheKeyN(i int) cacheKey {
+	f := float64(i)
+	return cacheKey{region: geom.R(f, f, f+1, f+1), filters: 4, k: 1}
+}
+
+// TestCachePurgesStaleVersionsFirst: when the cache is full, entries
+// stamped with an outdated table version are evicted en masse before
+// any current entry is sacrificed.
+func TestCachePurgesStaleVersionsFirst(t *testing.T) {
+	c := newQueryCache(8)
+	res := privacyqp.Result{Candidates: []rtree.Item{{ID: 1}}}
+	// Fill to capacity at version 1.
+	for i := 0; i < 8; i++ {
+		c.put(cacheKeyN(i), res, 1)
+	}
+	// The table changed; insert three entries at version 2. The first
+	// insert must purge all eight stale entries, so the fresh ones
+	// coexist without evicting each other.
+	for i := 100; i < 103; i++ {
+		c.put(cacheKeyN(i), res, 2)
+	}
+	for i := 100; i < 103; i++ {
+		if _, ok := c.get(cacheKeyN(i), 2); !ok {
+			t.Fatalf("fresh entry %d evicted while stale entries existed", i)
+		}
+	}
+	for i := 0; i < 8; i++ {
+		if _, ok := c.get(cacheKeyN(i), 2); ok {
+			t.Fatalf("stale entry %d still serving", i)
+		}
+	}
+	if got := len(c.entries); got != 3 {
+		t.Fatalf("cache holds %d entries, want 3 (stale purged)", got)
+	}
+}
+
+// TestCacheEvictsWhenAllCurrent: with every entry at the live version,
+// put still makes room (random victim) instead of growing unboundedly.
+func TestCacheEvictsWhenAllCurrent(t *testing.T) {
+	c := newQueryCache(4)
+	res := privacyqp.Result{}
+	for i := 0; i < 10; i++ {
+		c.put(cacheKeyN(i), res, 7)
+		if got := len(c.entries); got > 4 {
+			t.Fatalf("cache grew to %d entries, max 4", got)
+		}
+	}
+	// The newest entry always survives its own insert.
+	if _, ok := c.get(cacheKeyN(9), 7); !ok {
+		t.Fatal("just-inserted entry missing")
+	}
+}
+
+// TestCacheVersionedGet documents the exact-version contract the purge
+// relies on: an entry filled at version v misses at any other version.
+func TestCacheVersionedGet(t *testing.T) {
+	c := newQueryCache(4)
+	key := cacheKeyN(0)
+	c.put(key, privacyqp.Result{}, 3)
+	for _, v := range []int64{2, 4} {
+		if _, ok := c.get(key, v); ok {
+			t.Fatalf("version-%d entry hit at version %d", 3, v)
+		}
+	}
+	if _, ok := c.get(key, 3); !ok {
+		t.Fatal("entry missing at its own version")
+	}
+	hits, misses := c.stats()
+	if hits != 1 || misses != 2 {
+		t.Fatalf("stats = (%d, %d), want (1, 2)", hits, misses)
+	}
+}

@@ -73,6 +73,12 @@ func apply(s *Server, r wal.Record) error {
 		return nil
 	case wal.PrivateUpsert:
 		return s.UpsertPrivate(PrivateObject{ID: r.ID, Region: geom.R(r.X0, r.Y0, r.X1, r.Y1)})
+	case wal.PrivateUpsertBatch:
+		objs := make([]PrivateObject, len(r.Batch))
+		for i, e := range r.Batch {
+			objs[i] = PrivateObject{ID: e.ID, Region: geom.R(e.X0, e.Y0, e.X1, e.Y1)}
+		}
+		return s.UpsertPrivateBatch(objs)
 	case wal.PrivateRemove:
 		_ = s.RemovePrivate(r.ID)
 		return nil
@@ -127,6 +133,31 @@ func (p *Persistent) UpsertPrivate(o PrivateObject) error {
 		return err
 	}
 	return p.Server.UpsertPrivate(o)
+}
+
+// UpsertPrivateBatch logs the whole batch as one record (chunked only
+// past wal.MaxBatchEntries) and applies it under one server lock.
+func (p *Persistent) UpsertPrivateBatch(objs []PrivateObject) error {
+	if len(objs) == 0 {
+		return nil
+	}
+	p.walMu.Lock()
+	defer p.walMu.Unlock()
+	for start := 0; start < len(objs); start += wal.MaxBatchEntries {
+		end := min(start+wal.MaxBatchEntries, len(objs))
+		rec := wal.Record{Type: wal.PrivateUpsertBatch, Batch: make([]wal.BatchEntry, end-start)}
+		for i, o := range objs[start:end] {
+			rec.Batch[i] = wal.BatchEntry{
+				ID: o.ID,
+				X0: o.Region.Min.X, Y0: o.Region.Min.Y,
+				X1: o.Region.Max.X, Y1: o.Region.Max.Y,
+			}
+		}
+		if err := p.append(rec); err != nil {
+			return err
+		}
+	}
+	return p.Server.UpsertPrivateBatch(objs)
 }
 
 // RemovePrivate logs then applies.

@@ -137,6 +137,32 @@ func (s *Server) UpsertPrivate(o PrivateObject) error {
 	return nil
 }
 
+// UpsertPrivateBatch stores or refreshes many cloaked regions under a
+// single write-lock acquisition — the server half of the batched
+// location-update path. The whole batch is validated up front so a
+// bad region rejects the batch before any of it is applied; within a
+// batch, a later entry for the same ID wins.
+func (s *Server) UpsertPrivateBatch(objs []PrivateObject) error {
+	for _, o := range objs {
+		if !o.Region.IsValid() {
+			return fmt.Errorf("server: invalid cloaked region %v for %d", o.Region, o.ID)
+		}
+	}
+	if len(objs) == 0 {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, o := range objs {
+		if old, ok := s.privIdx[o.ID]; ok {
+			s.private.Delete(o.ID, old.Region)
+		}
+		s.privIdx[o.ID] = o
+		s.private.Insert(rtree.Item{Rect: o.Region, ID: o.ID})
+	}
+	return nil
+}
+
 // RemovePrivate deletes a private object (user quit).
 func (s *Server) RemovePrivate(id int64) error {
 	s.mu.Lock()

@@ -48,6 +48,12 @@ const (
 	PrivateUpsert
 	// PrivateRemove deletes a cloaked region by pseudonym.
 	PrivateRemove
+	// PrivateUpsertBatch stores/refreshes many cloaked regions in one
+	// record — one flush of the batched location-update path. Logs
+	// written by older versions never contain it; older versions
+	// reading a newer log stop replay cleanly at the first batch
+	// record (the standard unknown-record contract).
+	PrivateUpsertBatch
 )
 
 // String implements fmt.Stringer.
@@ -61,26 +67,47 @@ func (t RecordType) String() string {
 		return "private-upsert"
 	case PrivateRemove:
 		return "private-remove"
+	case PrivateUpsertBatch:
+		return "private-upsert-batch"
 	default:
 		return fmt.Sprintf("RecordType(%d)", uint8(t))
 	}
 }
 
 // Record is one logged mutation. Coordinates are (X0, Y0) for points;
-// rectangles use all four. Name is set only for PublicAdd.
+// rectangles use all four. Name is set only for PublicAdd; Batch is
+// set only for PrivateUpsertBatch (and the scalar fields are then
+// unused).
 type Record struct {
 	Type           RecordType
 	ID             int64
 	X0, Y0, X1, Y1 float64
 	Name           string
+	Batch          []BatchEntry
+}
+
+// BatchEntry is one (pseudonym, cloaked region) pair of a
+// PrivateUpsertBatch record.
+type BatchEntry struct {
+	ID             int64
+	X0, Y0, X1, Y1 float64
 }
 
 // maxNameLen bounds the variable-length field so a corrupt length
 // cannot allocate unbounded memory during replay.
 const maxNameLen = 1 << 12
 
-// maxPayload is the largest well-formed payload.
-const maxPayload = 1 + 8 + 4*8 + 2 + maxNameLen
+// MaxBatchEntries bounds a PrivateUpsertBatch record; larger batches
+// must be chunked into multiple records by the caller.
+const MaxBatchEntries = 4096
+
+// batchEntrySize is the encoded size of one BatchEntry: id + 4 floats.
+const batchEntrySize = 8 + 4*8
+
+// maxPayload is the largest well-formed payload: the batch layout
+// (type + u32 count + entries) dominates the scalar layout
+// (type + id + 4 floats + name length + name).
+const maxPayload = 1 + 4 + MaxBatchEntries*batchEntrySize
 
 // Log is an append-only WAL handle. Safe for concurrent use.
 type Log struct {
@@ -175,7 +202,12 @@ func (l *Log) Path() string { return l.path }
 
 // RecordSize returns the on-disk size of one appended record,
 // length/CRC header included — what Append will add to the file.
-func RecordSize(r Record) int { return 8 + 1 + 8 + 32 + 2 + len(r.Name) }
+func RecordSize(r Record) int {
+	if r.Type == PrivateUpsertBatch {
+		return 8 + 1 + 4 + len(r.Batch)*batchEntrySize
+	}
+	return 8 + 1 + 8 + 32 + 2 + len(r.Name)
+}
 
 // ErrBadHeader reports a file that is not a Casper WAL.
 var ErrBadHeader = errors.New("wal: bad file header")
@@ -278,6 +310,9 @@ func readRecord(r *bufio.Reader) (Record, bool) {
 }
 
 func encode(r Record) ([]byte, error) {
+	if r.Type == PrivateUpsertBatch {
+		return encodeBatch(r)
+	}
 	if r.Type < PublicAdd || r.Type > PrivateRemove {
 		return nil, fmt.Errorf("wal: invalid record type %d", r.Type)
 	}
@@ -296,6 +331,9 @@ func encode(r Record) ([]byte, error) {
 }
 
 func decode(payload []byte) (Record, bool) {
+	if len(payload) >= 1 && RecordType(payload[0]) == PrivateUpsertBatch {
+		return decodeBatch(payload)
+	}
 	const fixed = 1 + 8 + 32 + 2
 	if len(payload) < fixed {
 		return Record{}, false
@@ -315,5 +353,49 @@ func decode(payload []byte) (Record, bool) {
 		return Record{}, false
 	}
 	r.Name = string(payload[fixed:])
+	return r, true
+}
+
+// encodeBatch lays out a PrivateUpsertBatch payload:
+// type (1) | u32 entry count (4) | count × (id 8, four floats 32).
+func encodeBatch(r Record) ([]byte, error) {
+	if len(r.Batch) == 0 {
+		return nil, fmt.Errorf("wal: empty batch record")
+	}
+	if len(r.Batch) > MaxBatchEntries {
+		return nil, fmt.Errorf("wal: batch too large (%d entries, max %d)", len(r.Batch), MaxBatchEntries)
+	}
+	buf := make([]byte, 0, 1+4+len(r.Batch)*batchEntrySize)
+	buf = append(buf, byte(PrivateUpsertBatch))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(r.Batch)))
+	for _, e := range r.Batch {
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(e.ID))
+		for _, v := range []float64{e.X0, e.Y0, e.X1, e.Y1} {
+			buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(v))
+		}
+	}
+	return buf, nil
+}
+
+func decodeBatch(payload []byte) (Record, bool) {
+	const hdr = 1 + 4
+	if len(payload) < hdr {
+		return Record{}, false
+	}
+	count := int(binary.LittleEndian.Uint32(payload[1:5]))
+	if count < 1 || count > MaxBatchEntries || len(payload) != hdr+count*batchEntrySize {
+		return Record{}, false
+	}
+	r := Record{Type: PrivateUpsertBatch, Batch: make([]BatchEntry, count)}
+	off := hdr
+	for i := range r.Batch {
+		e := &r.Batch[i]
+		e.ID = int64(binary.LittleEndian.Uint64(payload[off : off+8]))
+		e.X0 = math.Float64frombits(binary.LittleEndian.Uint64(payload[off+8 : off+16]))
+		e.Y0 = math.Float64frombits(binary.LittleEndian.Uint64(payload[off+16 : off+24]))
+		e.X1 = math.Float64frombits(binary.LittleEndian.Uint64(payload[off+24 : off+32]))
+		e.Y1 = math.Float64frombits(binary.LittleEndian.Uint64(payload[off+32 : off+40]))
+		off += batchEntrySize
+	}
 	return r, true
 }
