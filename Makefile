@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race check bench bench-updates race-stress
+.PHONY: all build vet test race check bench bench-updates bench-queries bench-smoke race-stress
 
 all: check
 
@@ -39,6 +39,33 @@ bench-updates:
 	  printf "}" } \
 	END { printf "\n  ]\n}\n" }' /tmp/bench-updates.txt > BENCH_updates.json
 	@echo "wrote BENCH_updates.json"
+
+# bench-queries measures the snapshot-isolated query path and records
+# the numbers in BENCH_queries.json: serial and parallel NN
+# throughput, the query kernels with allocs/op (BenchmarkNN/KNN/Range
+# vs the *Baseline variants that disable the scratch arena), and the
+# query-vs-update contention pair (BenchmarkParallelNNUnderUpdates vs
+# the reconstructed RWMutex discipline). Headlines: allocs/op of
+# BenchmarkNN vs BenchmarkNNBaseline (target >= 50% reduction), and
+# ParallelNNUnderUpdates vs ParallelNNRWMutexUnderUpdates at
+# GOMAXPROCS >= 4 (on one core the reader lock is uncontended, so the
+# two paths coincide).
+bench-queries:
+	$(GO) test -run XXX -bench 'BenchmarkNN|BenchmarkKNN|BenchmarkRange|ParallelNN|SerialNN' -benchmem . | tee /tmp/bench-queries.txt
+	@awk -v cpus="$$(nproc 2>/dev/null || echo unknown)" \
+	'BEGIN { printf "{\n  \"cpus\": \"%s\",\n  \"headline\": \"BenchmarkNN vs BenchmarkNNBaseline allocs/op (scratch arena); BenchmarkParallelNNUnderUpdates vs BenchmarkParallelNNRWMutexUnderUpdates (snapshot isolation; needs GOMAXPROCS >= 4 to show contention)\",\n  \"benchmarks\": [\n", cpus; first = 1 } \
+	/^Benchmark/ { if (!first) printf ",\n"; first = 0; \
+	  printf "    {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s", $$1, $$2, $$3; \
+	  if ($$5 != "") printf ", \"bytes_per_op\": %s", $$5; \
+	  if ($$7 != "") printf ", \"allocs_per_op\": %s", $$7; \
+	  printf "}" } \
+	END { printf "\n  ]\n}\n" }' /tmp/bench-queries.txt > BENCH_queries.json
+	@echo "wrote BENCH_queries.json"
+
+# bench-smoke runs every benchmark once so they cannot bit-rot; CI
+# runs this on each push.
+bench-smoke:
+	$(GO) test -run XXX -bench . -benchtime=1x ./...
 
 # race-stress runs the concurrency stress suites repeatedly under the
 # race detector: striped/batched anonymizer stress, the core batch

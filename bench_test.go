@@ -801,6 +801,200 @@ func BenchmarkParallelBatchUpdates(b *testing.B) {
 	})
 }
 
+// --- Query path: snapshot isolation + scratch arena ------------------
+//
+// BenchmarkNN/KNN/Range time the privacyqp kernels directly (no server
+// wrapper) with ReportAllocs; the *Baseline variants disable the
+// pooled scratch arena to reconstruct the fresh-buffers-per-query
+// allocation profile the kernels had before the arena existed. The
+// allocs/op ratio is the headline for the zero-allocation work (see
+// BENCH_queries.json, target >= 50% reduction).
+
+func nnQueryKernel(b *testing.B) {
+	w := world()
+	db := w.PublicTree(w.P.Targets)
+	anon := w.BuildAdaptive(w.P.Levels, w.P.Users, w.Profiles)
+	cloaks := w.SampleCloaks(anon, 64)
+	opt := privacyqp.DefaultOptions()
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := privacyqp.PrivateNN(db, cloaks[i%len(cloaks)], privacyqp.PublicData, opt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func knnQueryKernel(b *testing.B) {
+	w := world()
+	db := w.PublicTree(w.P.Targets)
+	anon := w.BuildAdaptive(w.P.Levels, w.P.Users, w.Profiles)
+	cloaks := w.SampleCloaks(anon, 64)
+	opt := privacyqp.DefaultOptions()
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := privacyqp.PrivateKNN(db, cloaks[i%len(cloaks)], 4, privacyqp.PublicData, opt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func rangeQueryKernel(b *testing.B) {
+	w := world()
+	db := w.PublicTree(w.P.Targets)
+	anon := w.BuildAdaptive(w.P.Levels, w.P.Users, w.Profiles)
+	cloaks := w.SampleCloaks(anon, 64)
+	radius := w.Universe.Width() / 50
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := privacyqp.PrivateRange(db, cloaks[i%len(cloaks)], radius, privacyqp.PublicData); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkNN is the private NN kernel with the scratch arena on.
+func BenchmarkNN(b *testing.B) { nnQueryKernel(b) }
+
+// BenchmarkNNBaseline reruns BenchmarkNN with the pooled scratch arena
+// disabled: every query allocates fresh heap/neighbor/candidate
+// buffers, as the kernel did before this optimization.
+func BenchmarkNNBaseline(b *testing.B) {
+	prev := privacyqp.SetScratchReuse(false)
+	defer privacyqp.SetScratchReuse(prev)
+	nnQueryKernel(b)
+}
+
+// BenchmarkKNN is the private k-NN kernel (k=4) with the arena on.
+func BenchmarkKNN(b *testing.B) { knnQueryKernel(b) }
+
+// BenchmarkKNNBaseline is BenchmarkKNN without the arena.
+func BenchmarkKNNBaseline(b *testing.B) {
+	prev := privacyqp.SetScratchReuse(false)
+	defer privacyqp.SetScratchReuse(prev)
+	knnQueryKernel(b)
+}
+
+// BenchmarkRange is the private range kernel with the arena on.
+func BenchmarkRange(b *testing.B) { rangeQueryKernel(b) }
+
+// BenchmarkRangeBaseline is BenchmarkRange without the arena.
+func BenchmarkRangeBaseline(b *testing.B) {
+	prev := privacyqp.SetScratchReuse(false)
+	defer privacyqp.SetScratchReuse(prev)
+	rangeQueryKernel(b)
+}
+
+// BenchmarkParallelNNUnderUpdates is the query-vs-update contention
+// benchmark: GOMAXPROCS query goroutines run the NN pipeline while a
+// background writer continuously applies 64-entry UpdateUsers batches.
+// With snapshot isolation the queries never block behind the writer —
+// compare against BenchmarkParallelNNRWMutexUnderUpdates (the
+// pre-snapshot RWMutex discipline reconstructed around the same
+// instance) and against plain BenchmarkParallelNN (no writer at all).
+func BenchmarkParallelNNUnderUpdates(b *testing.B) {
+	c := concurrencyWorld(b)
+	defer c.Close()
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		rng := rand.New(rand.NewSource(17))
+		batch := make([]casper.UserUpdate, 64)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			for j := range batch {
+				batch[j] = casper.UserUpdate{
+					UID: anonymizer.UserID(rng.Intn(concurrencyUsers)),
+					Pos: geom.Pt(rng.Float64()*10000, rng.Float64()*10000),
+				}
+			}
+			if _, err := c.UpdateUsers(batch); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+	}()
+	var lane int64
+	b.ResetTimer()
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		i := atomic.AddInt64(&lane, 1) * 7919
+		for pb.Next() {
+			i++
+			if _, err := c.NearestPublic(anonymizer.UserID(i % concurrencyUsers)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.StopTimer()
+	close(stop)
+	wg.Wait()
+}
+
+// BenchmarkParallelNNRWMutexUnderUpdates reconstructs the pre-snapshot
+// read model live: the same contention workload, but queries take a
+// reader lock and the update batches take the writer lock — the
+// discipline Server used before indexes became immutable snapshots.
+func BenchmarkParallelNNRWMutexUnderUpdates(b *testing.B) {
+	c := concurrencyWorld(b)
+	defer c.Close()
+	var mu sync.RWMutex
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		rng := rand.New(rand.NewSource(17))
+		batch := make([]casper.UserUpdate, 64)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			for j := range batch {
+				batch[j] = casper.UserUpdate{
+					UID: anonymizer.UserID(rng.Intn(concurrencyUsers)),
+					Pos: geom.Pt(rng.Float64()*10000, rng.Float64()*10000),
+				}
+			}
+			mu.Lock()
+			_, err := c.UpdateUsers(batch)
+			mu.Unlock()
+			if err != nil {
+				b.Error(err)
+				return
+			}
+		}
+	}()
+	var lane int64
+	b.ResetTimer()
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		i := atomic.AddInt64(&lane, 1) * 7919
+		for pb.Next() {
+			i++
+			mu.RLock()
+			_, err := c.NearestPublic(anonymizer.UserID(i % concurrencyUsers))
+			mu.RUnlock()
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.StopTimer()
+	close(stop)
+	wg.Wait()
+}
+
 // BenchmarkParallelMixed interleaves location updates (writers, which
 // re-cloak and hit the anonymizer's write lock) with NN queries
 // (readers), one update per eight operations.

@@ -20,6 +20,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
 
 	"casper/internal/geom"
 	"casper/internal/rtree"
@@ -131,12 +132,17 @@ func (g *Grid) Delete(id int64, r geom.Rect) bool {
 
 // Search returns all items intersecting r.
 func (g *Grid) Search(r geom.Rect) []rtree.Item {
-	var out []rtree.Item
+	return g.SearchAppend(r, nil)
+}
+
+// SearchAppend appends every item intersecting r to buf and returns the
+// extended slice, letting callers reuse a scratch buffer across queries.
+func (g *Grid) SearchAppend(r geom.Rect, buf []rtree.Item) []rtree.Item {
 	g.SearchFunc(r, func(it rtree.Item) bool {
-		out = append(out, it)
+		buf = append(buf, it)
 		return true
 	})
-	return out
+	return buf
 }
 
 // SearchFunc streams items intersecting r to fn; returning false stops
@@ -190,38 +196,65 @@ func (g *Grid) Nearest(q geom.Point, m rtree.Metric) (rtree.Neighbor, bool) {
 	return ns[0], true
 }
 
+// itemKey identifies one stored (id, rect) pair in the flat dedupe map
+// used by the k-NN ring search. The nested map-of-maps it replaces
+// allocated an inner map per distinct ID on every query; a flat map
+// with a comparable composite key can be pooled and cleared instead.
+type itemKey struct {
+	id   int64
+	rect geom.Rect
+}
+
+// seenPool recycles the k-NN dedupe maps across queries.
+var seenPool = sync.Pool{
+	New: func() any { return make(map[itemKey]int, 64) },
+}
+
 // NearestK returns the k nearest items in ascending metric order. The
 // search expands square rings of buckets around the query point; it
 // stops when the k-th best distance is closer than any unvisited ring
 // can offer (ring min-distance lower-bounds both metrics, exactly as
 // node min-dist does in the R-tree search).
 func (g *Grid) NearestK(q geom.Point, k int, m rtree.Metric) []rtree.Neighbor {
+	return g.nearestK(q, k, m, nil)
+}
+
+// NearestKInto is NearestK with a caller-owned result buffer, reused
+// via out[:0]. The heap parameter exists to satisfy the
+// privacyqp.SpatialIndex contract and is ignored: the grid expands
+// bucket rings around the query point instead of walking a node heap.
+func (g *Grid) NearestKInto(q geom.Point, k int, m rtree.Metric, _ *rtree.NNHeap, out []rtree.Neighbor) []rtree.Neighbor {
+	return g.nearestK(q, k, m, out)
+}
+
+func (g *Grid) nearestK(q geom.Point, k int, m rtree.Metric, out []rtree.Neighbor) []rtree.Neighbor {
+	if out != nil {
+		out = out[:0]
+	}
 	if k <= 0 || g.size == 0 {
-		return nil
+		return out
 	}
 	cx := g.cellOf(q.X, g.universe.Min.X, g.cw)
 	cy := g.cellOf(q.Y, g.universe.Min.Y, g.ch)
-	seen := make(map[int64]map[geom.Rect]int) // dedupe multi-bucket items
-	var out []rtree.Neighbor
+	seen := seenPool.Get().(map[itemKey]int) // dedupe multi-bucket items
+	defer func() {
+		clear(seen)
+		seenPool.Put(seen)
+	}()
 	kth := math.Inf(1)
 
 	consider := func(it rtree.Item) {
-		byRect := seen[it.ID]
-		if byRect == nil {
-			byRect = make(map[geom.Rect]int)
-			seen[it.ID] = byRect
-		}
-		if byRect[it.Rect] > 0 {
-			byRect[it.Rect]--
+		key := itemKey{id: it.ID, rect: it.Rect}
+		if seen[key] > 0 {
+			seen[key]--
 			return
 		}
 		// Count multiplicity: the same (id, rect) may legitimately be
 		// stored several times; treat each sighting of a new copy as a
 		// distinct result, but skip re-sightings from other buckets.
-		copies := 0
 		x0, y0, x1, y1 := g.span(it.Rect)
-		copies = (x1 - x0 + 1) * (y1 - y0 + 1)
-		byRect[it.Rect] = copies - 1
+		copies := (x1 - x0 + 1) * (y1 - y0 + 1)
+		seen[key] = copies - 1
 		d := m.DistTo(q, it.Rect)
 		i := sort.Search(len(out), func(i int) bool { return out[i].Dist > d })
 		out = append(out, rtree.Neighbor{})

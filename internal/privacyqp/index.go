@@ -22,8 +22,15 @@ type SpatialIndex interface {
 	// NearestK returns the k nearest items in ascending distance
 	// order (fewer if the index holds fewer).
 	NearestK(q geom.Point, k int, m rtree.Metric) []rtree.Neighbor
+	// NearestKInto is NearestK with caller-owned scratch: results are
+	// appended into out[:0] and the heap (ignored by indexes that do
+	// not traverse a node heap) is reused across calls. The hot query
+	// path uses this form so repeated queries allocate nothing.
+	NearestKInto(q geom.Point, k int, m rtree.Metric, h *rtree.NNHeap, out []rtree.Neighbor) []rtree.Neighbor
 	// Search returns all items whose rectangles intersect r.
 	Search(r geom.Rect) []rtree.Item
+	// SearchAppend is Search into a caller-owned buffer.
+	SearchAppend(r geom.Rect, buf []rtree.Item) []rtree.Item
 	// SearchFunc streams items intersecting r; returning false stops.
 	SearchFunc(r geom.Rect, fn func(rtree.Item) bool)
 	// All returns every stored item in unspecified order.

@@ -64,6 +64,9 @@ func PrivateKNN(db SpatialIndex, cloak geom.Rect, k int, kind DataKind, opt Opti
 		metric = rtree.MaxDist
 	}
 
+	sc := getScratch()
+	defer putScratch(sc)
+
 	corners := cloak.Corners()
 	// kthDist[i] is f(v_i): the distance from corner i to its k-th
 	// nearest target. With fewer filters, unsampled corners get a
@@ -71,13 +74,14 @@ func PrivateKNN(db SpatialIndex, cloak geom.Rect, k int, kind DataKind, opt Opti
 	var kthDist [4]float64
 	var res Result
 
+	sc.filt = sc.filt[:0]
 	sample := func(p geom.Point) float64 {
-		ns := db.NearestK(p, k, metric)
+		sc.nbrs = db.NearestKInto(p, k, metric, sc.heap, sc.nbrs)
 		res.NNSearches++
-		for _, n := range ns {
-			res.Filters = append(res.Filters, n.Item)
+		for _, n := range sc.nbrs {
+			sc.filt = append(sc.filt, n.Item)
 		}
-		return ns[len(ns)-1].Dist
+		return sc.nbrs[len(sc.nbrs)-1].Dist
 	}
 
 	switch opt.Filters {
@@ -99,7 +103,8 @@ func PrivateKNN(db SpatialIndex, cloak geom.Rect, k int, kind DataKind, opt Opti
 			kthDist[i] = dc + v.Dist(c)
 		}
 	}
-	res.Filters = dedupeItems(res.Filters)
+	sc.filt2 = dedupeInto(sc.filt2[:0], sc.filt)
+	res.Filters = copyItems(sc.filt2)
 
 	var expand [4]float64
 	for ei, e := range cloak.Edges() {
@@ -110,16 +115,18 @@ func PrivateKNN(db SpatialIndex, cloak geom.Rect, k int, kind DataKind, opt Opti
 	}
 	res.AExt = cloak.ExpandSides(expand[2], expand[3], expand[0], expand[1])
 
+	sc.cand = sc.cand[:0]
 	if kind == PrivateData && opt.MinOverlap > 0 {
 		db.SearchFunc(res.AExt, func(it rtree.Item) bool {
 			if geom.OverlapFraction(it.Rect, res.AExt) >= opt.MinOverlap {
-				res.Candidates = append(res.Candidates, it)
+				sc.cand = append(sc.cand, it)
 			}
 			return true
 		})
 	} else {
-		res.Candidates = db.Search(res.AExt)
+		sc.cand = db.SearchAppend(res.AExt, sc.cand)
 	}
+	res.Candidates = copyItems(sc.cand)
 	return res, nil
 }
 

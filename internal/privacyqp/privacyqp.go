@@ -123,6 +123,12 @@ func PrivateNN(db SpatialIndex, cloak geom.Rect, kind DataKind, opt Options) (Re
 		metric = rtree.MaxDist
 	}
 
+	// The query owns a pooled scratch arena for its duration; every
+	// buffer below lives in it, and only exact-size copies reach the
+	// Result.
+	sc := getScratch()
+	defer putScratch(sc)
+
 	// STEP 1 — the filter step: a filter object per vertex.
 	corners := cloak.Corners()
 	var res Result
@@ -130,34 +136,34 @@ func PrivateNN(db SpatialIndex, cloak geom.Rect, kind DataKind, opt Options) (Re
 	switch opt.Filters {
 	case 4:
 		for i, v := range corners {
-			nb, _ := db.Nearest(v, metric)
-			filters[i] = nb.Item
+			filters[i] = nearest1(db, sc, v, metric)
 			res.NNSearches++
 		}
 	case 2:
 		// Two opposite corners: lower-left (0) and upper-right (3).
-		nb0, _ := db.Nearest(corners[0], metric)
-		nb3, _ := db.Nearest(corners[3], metric)
+		t0 := nearest1(db, sc, corners[0], metric)
+		t3 := nearest1(db, sc, corners[3], metric)
 		res.NNSearches = 2
-		filters[0], filters[3] = nb0.Item, nb3.Item
+		filters[0], filters[3] = t0, t3
 		// The remaining corners adopt whichever of the two filters is
 		// closer to them (any assignment preserves inclusiveness; the
 		// closer one gives the tighter extension).
 		for _, i := range []int{1, 2} {
-			if metric.DistTo(corners[i], nb0.Item.Rect) <= metric.DistTo(corners[i], nb3.Item.Rect) {
-				filters[i] = nb0.Item
+			if metric.DistTo(corners[i], t0.Rect) <= metric.DistTo(corners[i], t3.Rect) {
+				filters[i] = t0
 			} else {
-				filters[i] = nb3.Item
+				filters[i] = t3
 			}
 		}
 	case 1:
-		nb, _ := db.Nearest(cloak.Center(), metric)
+		nb := nearest1(db, sc, cloak.Center(), metric)
 		res.NNSearches = 1
 		for i := range filters {
-			filters[i] = nb.Item
+			filters[i] = nb
 		}
 	}
-	res.Filters = dedupeItems(filters[:])
+	sc.filt = dedupeInto(sc.filt[:0], filters[:])
+	res.Filters = copyItems(sc.filt)
 
 	// STEPS 2+3 — the middle point and extended area steps, one edge
 	// at a time. Rect.Edges yields bottom, top, left, right; the
@@ -175,16 +181,18 @@ func PrivateNN(db SpatialIndex, cloak geom.Rect, kind DataKind, opt Options) (Re
 	res.AExt = cloak.ExpandSides(expand[2], expand[3], expand[0], expand[1])
 
 	// STEP 4 — the candidate list step: one range query over A_EXT.
+	sc.cand = sc.cand[:0]
 	if kind == PrivateData && opt.MinOverlap > 0 {
 		db.SearchFunc(res.AExt, func(it rtree.Item) bool {
 			if geom.OverlapFraction(it.Rect, res.AExt) >= opt.MinOverlap {
-				res.Candidates = append(res.Candidates, it)
+				sc.cand = append(sc.cand, it)
 			}
 			return true
 		})
 	} else {
-		res.Candidates = db.Search(res.AExt)
+		sc.cand = db.SearchAppend(res.AExt, sc.cand)
 	}
+	res.Candidates = copyItems(sc.cand)
 	return res, nil
 }
 
@@ -230,21 +238,23 @@ func anchor(t rtree.Item, reverse geom.Point, kind DataKind) geom.Point {
 	return t.Rect.Min
 }
 
-func dedupeItems(items []rtree.Item) []rtree.Item {
-	var out []rtree.Item
-	for _, it := range items {
+// dedupeInto appends the items of src that are distinct by (ID, rect)
+// to dst and returns it; callers pass a scratch buffer as dst[:0] so
+// dedupe costs no allocation on the hot path.
+func dedupeInto(dst, src []rtree.Item) []rtree.Item {
+	for _, it := range src {
 		dup := false
-		for _, o := range out {
+		for _, o := range dst {
 			if o.ID == it.ID && o.Rect == it.Rect {
 				dup = true
 				break
 			}
 		}
 		if !dup {
-			out = append(out, it)
+			dst = append(dst, it)
 		}
 	}
-	return out
+	return dst
 }
 
 func maxf(a, b float64) float64 {

@@ -160,6 +160,9 @@ func PrivateRange(db SpatialIndex, cloak geom.Rect, radius float64, kind DataKin
 	}
 	aext := cloak.Expand(radius)
 	res := Result{AExt: aext}
+	sc := getScratch()
+	defer putScratch(sc)
+	sc.cand = sc.cand[:0]
 	db.SearchFunc(aext, func(it rtree.Item) bool {
 		// Prune the rectangle's corner slack: keep only targets whose
 		// (pessimistic, for private data) distance to the cloak is
@@ -171,10 +174,11 @@ func PrivateRange(db SpatialIndex, cloak geom.Rect, radius float64, kind DataKin
 			d = it.Rect.Min.MinDistRect(cloak)
 		}
 		if d <= radius {
-			res.Candidates = append(res.Candidates, it)
+			sc.cand = append(sc.cand, it)
 		}
 		return true
 	})
+	res.Candidates = copyItems(sc.cand)
 	return res, nil
 }
 

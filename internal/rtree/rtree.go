@@ -22,6 +22,7 @@ package rtree
 
 import (
 	"fmt"
+	"math"
 	"sort"
 
 	"casper/internal/geom"
@@ -448,12 +449,19 @@ func collectItems(n *node, out *[]Item) {
 // Search returns all items whose rectangles intersect q. Order is
 // unspecified.
 func (t *Tree) Search(q geom.Rect) []Item {
-	var out []Item
+	return t.SearchAppend(q, nil)
+}
+
+// SearchAppend appends all items intersecting q to buf and returns the
+// extended slice. Passing buf[:0] of a retained buffer makes repeated
+// range searches allocation-free once the buffer has grown to the
+// working-set size; Search is SearchAppend with a nil buffer.
+func (t *Tree) SearchAppend(q geom.Rect, buf []Item) []Item {
 	t.SearchFunc(q, func(it Item) bool {
-		out = append(out, it)
+		buf = append(buf, it)
 		return true
 	})
-	return out
+	return buf
 }
 
 // SearchFunc streams all items intersecting q to fn; returning false
@@ -520,30 +528,66 @@ func (t *Tree) Nearest(q geom.Point, m Metric) (Neighbor, bool) {
 // admissible and terminates as soon as k items are closer than the
 // best unexplored node.
 func (t *Tree) NearestK(q geom.Point, k int, m Metric) []Neighbor {
-	if k <= 0 || t.size == 0 {
-		return nil
+	return t.nearestK(q, k, m, nil, nil, true)
+}
+
+// NearestKInto is NearestK with caller-owned scratch: the heap h (nil
+// allocates a private one) and the result slice out are reused, so a
+// caller that retains both across queries pays no allocations once
+// they have grown to the working-set size. out is truncated to out[:0]
+// before use; the returned slice aliases its backing array.
+func (t *Tree) NearestKInto(q geom.Point, k int, m Metric, h *NNHeap, out []Neighbor) []Neighbor {
+	return t.nearestK(q, k, m, h, out, true)
+}
+
+// nearestK is the shared best-first search. When prune is set, leaf
+// items and child nodes whose metric distance (resp. min-dist lower
+// bound) already exceeds the current k-th best are never pushed: the
+// k-th best distance only decreases as results accumulate, so an entry
+// beyond it can never enter the final top k. The pruned and unpruned
+// searches return identical results (asserted by TestNearestKPruning).
+func (t *Tree) nearestK(q geom.Point, k int, m Metric, h *NNHeap, out []Neighbor, prune bool) []Neighbor {
+	if out != nil {
+		out = out[:0]
 	}
-	pq := &nnHeap{}
-	pq.push(nnEntry{dist: q.MinDistRect(t.root.mbr), node: t.root})
-	var out []Neighbor
-	for pq.Len() > 0 {
-		e := pq.pop()
+	if k <= 0 || t.size == 0 {
+		return out
+	}
+	if h == nil {
+		h = &NNHeap{}
+	}
+	h.reset()
+	kth := math.Inf(1)
+	h.push(nnEntry{dist: q.MinDistRect(t.root.mbr), node: t.root})
+	for h.Len() > 0 {
+		e := h.pop()
 		if len(out) == k && e.dist > out[len(out)-1].Dist {
 			break
 		}
 		if e.node == nil {
 			// A concrete item surfaced: its metric distance is exact.
 			out = insertNeighbor(out, Neighbor{Item: e.item, Dist: e.dist}, k)
+			if len(out) == k {
+				kth = out[k-1].Dist
+			}
 			continue
 		}
 		n := e.node
 		if n.leaf {
 			for _, it := range n.items {
-				pq.push(nnEntry{dist: m.DistTo(q, it.Rect), item: it})
+				d := m.DistTo(q, it.Rect)
+				if prune && d > kth {
+					continue
+				}
+				h.push(nnEntry{dist: d, item: it})
 			}
 		} else {
 			for _, c := range n.children {
-				pq.push(nnEntry{dist: q.MinDistRect(c.mbr), node: c})
+				d := q.MinDistRect(c.mbr)
+				if prune && d > kth {
+					continue
+				}
+				h.push(nnEntry{dist: d, node: c})
 			}
 		}
 	}
@@ -567,6 +611,36 @@ func (t *Tree) All() []Item {
 	var out []Item
 	collectItems(t.root, &out)
 	return out
+}
+
+// Clone returns a deep copy of the tree: nodes and item slices are
+// copied, Item payloads (Data) are shared. Mutating the clone never
+// touches the original, which is what makes read-copy-update snapshot
+// publication possible (internal/server clones the published tree,
+// applies a write batch, and publishes the result while readers keep
+// traversing the original lock-free). Cost is O(n) time and memory.
+func (t *Tree) Clone() *Tree {
+	return &Tree{
+		root:       cloneNode(t.root),
+		size:       t.size,
+		maxEntries: t.maxEntries,
+		minEntries: t.minEntries,
+	}
+}
+
+func cloneNode(n *node) *node {
+	c := &node{mbr: n.mbr, leaf: n.leaf}
+	if n.leaf {
+		if len(n.items) > 0 {
+			c.items = append(make([]Item, 0, len(n.items)), n.items...)
+		}
+		return c
+	}
+	c.children = make([]*node, len(n.children))
+	for i, ch := range n.children {
+		c.children[i] = cloneNode(ch)
+	}
+	return c
 }
 
 // BulkLoad builds a tree from items using Sort-Tile-Recursive packing,
@@ -597,21 +671,45 @@ func BulkLoadWithCapacity(items []Item, maxEntries int) *Tree {
 	return t
 }
 
+// Typed sort.Sort adapters for the STR packing passes. sort.Slice
+// closes over the slice and allocates both the closure and an
+// interface header per call; these fixed types sort with zero
+// allocations, which matters because strPackLeaves sorts every strip.
+type itemsByCenterX []Item
+
+func (s itemsByCenterX) Len() int           { return len(s) }
+func (s itemsByCenterX) Swap(i, j int)      { s[i], s[j] = s[j], s[i] }
+func (s itemsByCenterX) Less(i, j int) bool { return s[i].Rect.Center().X < s[j].Rect.Center().X }
+
+type itemsByCenterY []Item
+
+func (s itemsByCenterY) Len() int           { return len(s) }
+func (s itemsByCenterY) Swap(i, j int)      { s[i], s[j] = s[j], s[i] }
+func (s itemsByCenterY) Less(i, j int) bool { return s[i].Rect.Center().Y < s[j].Rect.Center().Y }
+
+type nodesByCenterX []*node
+
+func (s nodesByCenterX) Len() int           { return len(s) }
+func (s nodesByCenterX) Swap(i, j int)      { s[i], s[j] = s[j], s[i] }
+func (s nodesByCenterX) Less(i, j int) bool { return s[i].mbr.Center().X < s[j].mbr.Center().X }
+
+type nodesByCenterY []*node
+
+func (s nodesByCenterY) Len() int           { return len(s) }
+func (s nodesByCenterY) Swap(i, j int)      { s[i], s[j] = s[j], s[i] }
+func (s nodesByCenterY) Less(i, j int) bool { return s[i].mbr.Center().Y < s[j].mbr.Center().Y }
+
 func strPackLeaves(items []Item, cap_ int) []*node {
 	n := len(items)
 	numLeaves := (n + cap_ - 1) / cap_
 	numStrips := intSqrtCeil(numLeaves)
-	sort.Slice(items, func(i, j int) bool {
-		return items[i].Rect.Center().X < items[j].Rect.Center().X
-	})
+	sort.Sort(itemsByCenterX(items))
 	perStrip := (n + numStrips - 1) / numStrips
 	var leaves []*node
 	for s := 0; s < n; s += perStrip {
 		e := min(s+perStrip, n)
 		strip := items[s:e]
-		sort.Slice(strip, func(i, j int) bool {
-			return strip[i].Rect.Center().Y < strip[j].Rect.Center().Y
-		})
+		sort.Sort(itemsByCenterY(strip))
 		for i := 0; i < len(strip); i += cap_ {
 			j := min(i+cap_, len(strip))
 			leaf := &node{leaf: true, items: append([]Item(nil), strip[i:j]...)}
@@ -626,17 +724,13 @@ func strPackNodes(nodes []*node, cap_ int) []*node {
 	n := len(nodes)
 	numParents := (n + cap_ - 1) / cap_
 	numStrips := intSqrtCeil(numParents)
-	sort.Slice(nodes, func(i, j int) bool {
-		return nodes[i].mbr.Center().X < nodes[j].mbr.Center().X
-	})
+	sort.Sort(nodesByCenterX(nodes))
 	perStrip := (n + numStrips - 1) / numStrips
 	var parents []*node
 	for s := 0; s < n; s += perStrip {
 		e := min(s+perStrip, n)
 		strip := nodes[s:e]
-		sort.Slice(strip, func(i, j int) bool {
-			return strip[i].mbr.Center().Y < strip[j].mbr.Center().Y
-		})
+		sort.Sort(nodesByCenterY(strip))
 		for i := 0; i < len(strip); i += cap_ {
 			j := min(i+cap_, len(strip))
 			p := &node{children: append([]*node(nil), strip[i:j]...)}
@@ -750,21 +844,32 @@ func (t *Tree) checkInvariants() error {
 	return nil
 }
 
-// nnHeap is a binary min-heap over nnEntry, hand-rolled to avoid the
-// interface boxing of container/heap on this hot path.
+// nnEntry is one element of the best-first frontier: either a node
+// (ranked by min-dist lower bound) or a concrete item (exact metric
+// distance).
 type nnEntry struct {
 	dist float64
 	node *node
 	item Item
 }
 
-type nnHeap struct {
+// NNHeap is the priority queue of the best-first nearest-neighbor
+// search, exported so callers of NearestKInto can own and reuse it
+// across queries: the backing array survives between searches, making
+// repeated k-NN probes allocation-free. The zero value is ready to
+// use. It is a binary min-heap hand-rolled to avoid the interface
+// boxing of container/heap on this hot path.
+type NNHeap struct {
 	es []nnEntry
 }
 
-func (h *nnHeap) Len() int { return len(h.es) }
+// Len returns the number of queued entries.
+func (h *NNHeap) Len() int { return len(h.es) }
 
-func (h *nnHeap) push(e nnEntry) {
+// reset empties the heap, keeping its capacity.
+func (h *NNHeap) reset() { h.es = h.es[:0] }
+
+func (h *NNHeap) push(e nnEntry) {
 	h.es = append(h.es, e)
 	i := len(h.es) - 1
 	for i > 0 {
@@ -777,7 +882,7 @@ func (h *nnHeap) push(e nnEntry) {
 	}
 }
 
-func (h *nnHeap) pop() nnEntry {
+func (h *NNHeap) pop() nnEntry {
 	top := h.es[0]
 	last := len(h.es) - 1
 	h.es[0] = h.es[last]

@@ -454,6 +454,156 @@ func TestNearestMaxDistPrefersSmallNearRects(t *testing.T) {
 	}
 }
 
+func TestNearestKPruning(t *testing.T) {
+	// The leaf/child pruning in nearestK must not change results: for
+	// random float coordinates (ties are measure-zero) the pruned and
+	// unpruned searches return identical neighbor lists.
+	rng := rand.New(rand.NewSource(21))
+	for _, gen := range []func(*rand.Rand, int64) Item{randPointItem, randRectItem} {
+		var items []Item
+		tr := NewWithCapacity(8)
+		for i := 0; i < 1200; i++ {
+			it := gen(rng, int64(i))
+			items = append(items, it)
+			tr.Insert(it)
+		}
+		for trial := 0; trial < 80; trial++ {
+			q := geom.Pt(rng.Float64()*1200-100, rng.Float64()*1200-100)
+			k := 1 + rng.Intn(16)
+			m := MinDist
+			if trial%2 == 1 {
+				m = MaxDist
+			}
+			pruned := tr.NearestK(q, k, m)
+			unpruned := tr.NearestKNoPrune(q, k, m)
+			if len(pruned) != len(unpruned) {
+				t.Fatalf("trial %d: pruned %d results, unpruned %d", trial, len(pruned), len(unpruned))
+			}
+			for i := range pruned {
+				if pruned[i] != unpruned[i] {
+					t.Fatalf("trial %d rank %d: pruned %+v != unpruned %+v",
+						trial, i, pruned[i], unpruned[i])
+				}
+			}
+		}
+	}
+}
+
+func TestSearchAppendReusesBuffer(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	var items []Item
+	tr := New()
+	for i := 0; i < 400; i++ {
+		it := randPointItem(rng, int64(i))
+		items = append(items, it)
+		tr.Insert(it)
+	}
+	buf := make([]Item, 0, 512)
+	base := &buf[:1][0]
+	for trial := 0; trial < 20; trial++ {
+		q := geom.R(rng.Float64()*500, rng.Float64()*500,
+			rng.Float64()*1000, rng.Float64()*1000)
+		buf = tr.SearchAppend(q, buf[:0])
+		want := bruteRange(items, q)
+		if len(buf) != len(want) {
+			t.Fatalf("trial %d: got %d, want %d", trial, len(buf), len(want))
+		}
+		for _, it := range buf {
+			if !want[it.ID] {
+				t.Fatalf("trial %d: unexpected item %d", trial, it.ID)
+			}
+		}
+		// Results fit in the preallocated capacity, so the backing
+		// array must be reused, not reallocated.
+		if len(buf) > 0 && len(buf) <= 512 && &buf[0] != base {
+			t.Fatalf("trial %d: SearchAppend reallocated despite capacity", trial)
+		}
+	}
+	// Appending into a nil buffer behaves like Search.
+	got := tr.SearchAppend(geom.R(0, 0, 1000, 1000), nil)
+	if len(got) != 400 {
+		t.Fatalf("nil-buf SearchAppend = %d items", len(got))
+	}
+}
+
+func TestNearestKIntoReusesScratch(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	tr := New()
+	var items []Item
+	for i := 0; i < 600; i++ {
+		it := randPointItem(rng, int64(i))
+		items = append(items, it)
+		tr.Insert(it)
+	}
+	h := &NNHeap{}
+	var out []Neighbor
+	for trial := 0; trial < 40; trial++ {
+		q := geom.Pt(rng.Float64()*1000, rng.Float64()*1000)
+		k := 1 + rng.Intn(8)
+		out = tr.NearestKInto(q, k, MinDist, h, out)
+		want := bruteNearestK(items, q, k, MinDist)
+		if len(out) != len(want) {
+			t.Fatalf("trial %d: got %d, want %d", trial, len(out), len(want))
+		}
+		for i := range out {
+			if math.Abs(out[i].Dist-want[i].Dist) > 1e-9 {
+				t.Fatalf("trial %d rank %d: %v want %v", trial, i, out[i].Dist, want[i].Dist)
+			}
+		}
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	rng := rand.New(rand.NewSource(24))
+	tr := NewWithCapacity(8)
+	var items []Item
+	for i := 0; i < 1000; i++ {
+		it := randRectItem(rng, int64(i))
+		items = append(items, it)
+		tr.Insert(it)
+	}
+	snap := tr.Clone()
+	if err := snap.CheckInvariants(); err != nil {
+		t.Fatalf("clone invariants: %v", err)
+	}
+	if snap.Len() != tr.Len() {
+		t.Fatalf("clone Len = %d, want %d", snap.Len(), tr.Len())
+	}
+	// Mutating the original must not affect the clone, and vice versa.
+	for i := 0; i < 500; i++ {
+		tr.Delete(items[i].ID, items[i].Rect)
+		tr.Insert(randRectItem(rng, int64(2000+i)))
+	}
+	for i := 500; i < 600; i++ {
+		snap.Delete(items[i].ID, items[i].Rect)
+	}
+	if snap.Len() != 900 {
+		t.Fatalf("clone Len after divergence = %d", snap.Len())
+	}
+	if tr.Len() != 1000 {
+		t.Fatalf("original Len after divergence = %d", tr.Len())
+	}
+	// The clone still finds every item that was live at clone time and
+	// not deleted from it.
+	q := geom.R(-100, -100, 2000, 2000)
+	got := map[int64]bool{}
+	for _, it := range snap.Search(q) {
+		got[it.ID] = true
+	}
+	for i, it := range items {
+		wantPresent := i < 500 || i >= 600
+		if got[it.ID] != wantPresent {
+			t.Fatalf("item %d (idx %d): present=%v, want %v", it.ID, i, got[it.ID], wantPresent)
+		}
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatalf("original invariants after divergence: %v", err)
+	}
+	if err := snap.CheckInvariants(); err != nil {
+		t.Fatalf("clone invariants after divergence: %v", err)
+	}
+}
+
 func BenchmarkInsert(b *testing.B) {
 	rng := rand.New(rand.NewSource(1))
 	tr := New()

@@ -1,6 +1,8 @@
 package server
 
 import (
+	"sync"
+	"sync/atomic"
 	"testing"
 
 	"casper/internal/geom"
@@ -39,7 +41,7 @@ func TestCachePurgesStaleVersionsFirst(t *testing.T) {
 			t.Fatalf("stale entry %d still serving", i)
 		}
 	}
-	if got := len(c.entries); got != 3 {
+	if got := c.len(); got != 3 {
 		t.Fatalf("cache holds %d entries, want 3 (stale purged)", got)
 	}
 }
@@ -51,13 +53,114 @@ func TestCacheEvictsWhenAllCurrent(t *testing.T) {
 	res := privacyqp.Result{}
 	for i := 0; i < 10; i++ {
 		c.put(cacheKeyN(i), res, 7)
-		if got := len(c.entries); got > 4 {
+		if got := c.len(); got > 4 {
 			t.Fatalf("cache grew to %d entries, max 4", got)
 		}
 	}
 	// The newest entry always survives its own insert.
 	if _, ok := c.get(cacheKeyN(9), 7); !ok {
 		t.Fatal("just-inserted entry missing")
+	}
+}
+
+// TestConcurrentColdMissSingleFlight: N goroutines issuing the same
+// cold key concurrently must trigger exactly one underlying
+// computation; the other N-1 wait for the leader and share its result.
+func TestConcurrentColdMissSingleFlight(t *testing.T) {
+	c := newQueryCache(64)
+	key := cacheKeyN(0)
+	want := privacyqp.Result{Candidates: []rtree.Item{{ID: 42}}}
+
+	var computes atomic.Int64
+	release := make(chan struct{})
+	compute := func() (privacyqp.Result, error) {
+		computes.Add(1)
+		<-release // hold every would-be leader until all callers queued
+		return want, nil
+	}
+
+	const n = 32
+	var started, done sync.WaitGroup
+	started.Add(n)
+	done.Add(n)
+	for i := 0; i < n; i++ {
+		go func() {
+			defer done.Done()
+			started.Done()
+			res, err := c.do(key, 1, compute)
+			if err != nil {
+				t.Errorf("do: %v", err)
+			}
+			if len(res.Candidates) != 1 || res.Candidates[0].ID != 42 {
+				t.Errorf("res = %+v", res)
+			}
+		}()
+	}
+	started.Wait()
+	close(release)
+	done.Wait()
+
+	if got := computes.Load(); got != 1 {
+		t.Fatalf("%d computations for one cold key, want 1", got)
+	}
+	hits, misses := c.stats()
+	if misses != 1 || hits != n-1 {
+		t.Fatalf("stats = (%d hits, %d misses), want (%d, 1)", hits, misses, n-1)
+	}
+}
+
+// TestSingleFlightErrorNotCached: a failed leader must not leave a
+// poisoned entry behind — the next call recomputes.
+func TestSingleFlightErrorNotCached(t *testing.T) {
+	c := newQueryCache(64)
+	key := cacheKeyN(0)
+	var computes atomic.Int64
+	boom := func() (privacyqp.Result, error) {
+		computes.Add(1)
+		return privacyqp.Result{}, privacyqp.ErrNoTargets
+	}
+	if _, err := c.do(key, 1, boom); err == nil {
+		t.Fatal("expected error")
+	}
+	if c.len() != 0 {
+		t.Fatalf("error left %d entries cached", c.len())
+	}
+	ok := func() (privacyqp.Result, error) {
+		computes.Add(1)
+		return privacyqp.Result{Candidates: []rtree.Item{{ID: 1}}}, nil
+	}
+	res, err := c.do(key, 1, ok)
+	if err != nil || len(res.Candidates) != 1 {
+		t.Fatalf("recompute after error: %v %+v", err, res)
+	}
+	if computes.Load() != 2 {
+		t.Fatalf("computes = %d, want 2", computes.Load())
+	}
+}
+
+// TestSingleFlightStaleVersionReplaced: a caller at a newer table
+// version replaces the stale entry and becomes the new leader.
+func TestSingleFlightStaleVersionReplaced(t *testing.T) {
+	c := newQueryCache(64)
+	key := cacheKeyN(0)
+	mk := func(id int64) func() (privacyqp.Result, error) {
+		return func() (privacyqp.Result, error) {
+			return privacyqp.Result{Candidates: []rtree.Item{{ID: id}}}, nil
+		}
+	}
+	if res, _ := c.do(key, 1, mk(1)); res.Candidates[0].ID != 1 {
+		t.Fatalf("v1 fill: %+v", res)
+	}
+	// Same key at version 2: the v1 entry must not serve.
+	if res, _ := c.do(key, 2, mk(2)); res.Candidates[0].ID != 2 {
+		t.Fatalf("v2 served stale result: %+v", res)
+	}
+	// And the replacement is now cached at v2.
+	if res, ok := c.get(key, 2); !ok || res.Candidates[0].ID != 2 {
+		t.Fatalf("v2 entry missing: %v %+v", ok, res)
+	}
+	if c.len() != 1 {
+		t.Fatalf("len = %d, want 1 (replacement, not addition)", c.len())
 	}
 }
 

@@ -30,6 +30,10 @@ var (
 		"casper_query_cache_misses_total", "",
 		"Public-table candidate-cache misses (including version invalidations).")
 
+	snapshotPublishes = metrics.Default.Counter(
+		"casper_snapshot_publishes_total", "",
+		"Index snapshots published by the write path (one per mutation batch).")
+
 	walAppends = metrics.Default.Counter(
 		"casper_wal_appends_total", "",
 		"Records appended to the write-ahead log.")
@@ -111,4 +115,7 @@ func registerServerGauges(s *Server) {
 			}
 			return float64(hits) / float64(hits+misses)
 		})
+	metrics.Default.GaugeFunc("casper_snapshot_age_seconds", "",
+		"Seconds since the current index snapshot was published.",
+		func() float64 { return time.Since(s.snap.Load().published).Seconds() })
 }

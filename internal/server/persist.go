@@ -237,7 +237,7 @@ func (p *Persistent) compactSwapLocked() error {
 		os.Remove(tmpPath)
 		return err
 	}
-	p.mu.RLock()
+	p.idxMu.RLock()
 	pubs := make([]PublicObject, 0, len(p.pubIdx))
 	for _, o := range p.pubIdx {
 		pubs = append(pubs, o)
@@ -246,7 +246,7 @@ func (p *Persistent) compactSwapLocked() error {
 	for _, o := range p.privIdx {
 		privs = append(privs, o)
 	}
-	p.mu.RUnlock()
+	p.idxMu.RUnlock()
 	for _, o := range pubs {
 		if err := tmp.Append(wal.Record{
 			Type: wal.PublicAdd, ID: o.ID, X0: o.Pos.X, Y0: o.Pos.Y, Name: o.Name,

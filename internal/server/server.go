@@ -13,13 +13,18 @@
 // The server never sees exact user locations or user identities; the
 // anonymizer forwards only (pseudonym, cloaked region) pairs.
 //
-// All methods are safe for concurrent use.
+// All methods are safe for concurrent use. Queries never block behind
+// location updates: the spatial indexes are published as immutable
+// snapshots (see indexSnapshot), so the query hot path acquires zero
+// mutexes — a single atomic pointer load pins a consistent view of
+// both tables for the query's duration.
 package server
 
 import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"casper/internal/geom"
@@ -48,75 +53,142 @@ var (
 	ErrDuplicateObject = errors.New("server: object already exists")
 )
 
-// Server is the location-based database server.
-type Server struct {
-	mu      sync.RWMutex
+// indexSnapshot is one immutable, consistent view of both spatial
+// tables. Writers never mutate a published snapshot: they clone the
+// tree they are changing, apply the whole batch to the clone, and
+// publish a new snapshot with a single atomic store (RCU). Readers
+// that loaded an older snapshot keep traversing it safely; the Go
+// garbage collector provides the grace period — an old snapshot is
+// reclaimed when the last query holding it returns.
+type indexSnapshot struct {
 	public  *rtree.Tree
 	private *rtree.Tree
+	// pubVersion stamps the public table for the query cache;
+	// privVersion exists for diagnostics and tests (every private
+	// batch bumps it).
+	pubVersion  int64
+	privVersion int64
+	// published is when this snapshot became current (drives the
+	// casper_snapshot_age_seconds gauge).
+	published time.Time
+}
+
+// Server is the location-based database server.
+type Server struct {
+	// writeMu serializes writers. Queries NEVER take it — they load
+	// snap and run against the immutable trees it points to.
+	writeMu sync.Mutex
+
+	// snap is the current index snapshot; the only synchronization on
+	// the query hot path is this pointer's atomic load.
+	snap atomic.Pointer[indexSnapshot]
+
+	// idxMu guards the id → object lookup maps. Spatial queries do not
+	// touch them; only Get*/compaction/writers do.
+	idxMu   sync.RWMutex
 	pubIdx  map[int64]PublicObject
 	privIdx map[int64]PrivateObject
 
 	// queries counts processed private queries (diagnostics).
-	queries int64
+	queries atomic.Int64
 
-	// cache memoizes public-table candidate lists; pubVersion
-	// invalidates it wholesale on public-table mutations.
-	cache      *queryCache
-	pubVersion int64
+	// cache memoizes public-table candidate lists, validated against
+	// the snapshot's pubVersion.
+	cache *queryCache
 }
 
 // New returns an empty server.
 func New() *Server {
 	s := &Server{
-		public:  rtree.New(),
-		private: rtree.New(),
 		pubIdx:  make(map[int64]PublicObject),
 		privIdx: make(map[int64]PrivateObject),
 		cache:   newQueryCache(4096),
 	}
+	s.snap.Store(&indexSnapshot{
+		public:    rtree.New(),
+		private:   rtree.New(),
+		published: time.Now(),
+	})
 	registerServerGauges(s)
 	return s
+}
+
+// publish installs next as the current snapshot. Callers hold writeMu
+// and have already stamped versions; publish adds the timestamp and
+// the metric.
+func (s *Server) publish(next *indexSnapshot) {
+	next.published = time.Now()
+	s.snap.Store(next)
+	snapshotPublishes.Inc()
 }
 
 // LoadPublic bulk-loads the public table, replacing its contents.
 // Use at startup; incremental changes go through AddPublic.
 func (s *Server) LoadPublic(objs []PublicObject) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.writeMu.Lock()
+	defer s.writeMu.Unlock()
 	items := make([]rtree.Item, len(objs))
-	s.pubIdx = make(map[int64]PublicObject, len(objs))
+	pubIdx := make(map[int64]PublicObject, len(objs))
 	for i, o := range objs {
 		items[i] = rtree.Item{Rect: geom.Rect{Min: o.Pos, Max: o.Pos}, ID: o.ID, Data: o.Name}
-		s.pubIdx[o.ID] = o
+		pubIdx[o.ID] = o
 	}
-	s.public = rtree.BulkLoad(items)
-	s.pubVersion++
+	s.idxMu.Lock()
+	s.pubIdx = pubIdx
+	s.idxMu.Unlock()
+	cur := s.snap.Load()
+	s.publish(&indexSnapshot{
+		public:      rtree.BulkLoad(items),
+		private:     cur.private,
+		pubVersion:  cur.pubVersion + 1,
+		privVersion: cur.privVersion,
+	})
 }
 
 // AddPublic inserts one public object.
 func (s *Server) AddPublic(o PublicObject) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.writeMu.Lock()
+	defer s.writeMu.Unlock()
+	s.idxMu.Lock()
 	if _, ok := s.pubIdx[o.ID]; ok {
+		s.idxMu.Unlock()
 		return fmt.Errorf("%w: public %d", ErrDuplicateObject, o.ID)
 	}
 	s.pubIdx[o.ID] = o
-	s.public.Insert(rtree.Item{Rect: geom.Rect{Min: o.Pos, Max: o.Pos}, ID: o.ID, Data: o.Name})
-	s.pubVersion++
+	s.idxMu.Unlock()
+	cur := s.snap.Load()
+	pub := cur.public.Clone()
+	pub.Insert(rtree.Item{Rect: geom.Rect{Min: o.Pos, Max: o.Pos}, ID: o.ID, Data: o.Name})
+	s.publish(&indexSnapshot{
+		public:      pub,
+		private:     cur.private,
+		pubVersion:  cur.pubVersion + 1,
+		privVersion: cur.privVersion,
+	})
 	return nil
 }
 
 // RemovePublic deletes a public object.
 func (s *Server) RemovePublic(id int64) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.writeMu.Lock()
+	defer s.writeMu.Unlock()
+	s.idxMu.Lock()
 	o, ok := s.pubIdx[id]
 	if !ok {
+		s.idxMu.Unlock()
 		return fmt.Errorf("%w: public %d", ErrUnknownObject, id)
 	}
 	delete(s.pubIdx, id)
-	s.public.Delete(id, geom.Rect{Min: o.Pos, Max: o.Pos})
-	s.pubVersion++
+	s.idxMu.Unlock()
+	cur := s.snap.Load()
+	pub := cur.public.Clone()
+	pub.Delete(id, geom.Rect{Min: o.Pos, Max: o.Pos})
+	s.publish(&indexSnapshot{
+		public:      pub,
+		private:     cur.private,
+		pubVersion:  cur.pubVersion + 1,
+		privVersion: cur.privVersion,
+	})
 	return nil
 }
 
@@ -127,21 +199,15 @@ func (s *Server) UpsertPrivate(o PrivateObject) error {
 	if !o.Region.IsValid() {
 		return fmt.Errorf("server: invalid cloaked region %v", o.Region)
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if old, ok := s.privIdx[o.ID]; ok {
-		s.private.Delete(o.ID, old.Region)
-	}
-	s.privIdx[o.ID] = o
-	s.private.Insert(rtree.Item{Rect: o.Region, ID: o.ID})
-	return nil
+	return s.UpsertPrivateBatch([]PrivateObject{o})
 }
 
 // UpsertPrivateBatch stores or refreshes many cloaked regions under a
-// single write-lock acquisition — the server half of the batched
-// location-update path. The whole batch is validated up front so a
-// bad region rejects the batch before any of it is applied; within a
-// batch, a later entry for the same ID wins.
+// single write-lock acquisition and a single snapshot publication —
+// the server half of the batched location-update path. The whole
+// batch is validated up front so a bad region rejects the batch
+// before any of it is applied; within a batch, a later entry for the
+// same ID wins.
 func (s *Server) UpsertPrivateBatch(objs []PrivateObject) error {
 	for _, o := range objs {
 		if !o.Region.IsValid() {
@@ -151,51 +217,64 @@ func (s *Server) UpsertPrivateBatch(objs []PrivateObject) error {
 	if len(objs) == 0 {
 		return nil
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.writeMu.Lock()
+	defer s.writeMu.Unlock()
+	cur := s.snap.Load()
+	priv := cur.private.Clone()
+	s.idxMu.Lock()
 	for _, o := range objs {
 		if old, ok := s.privIdx[o.ID]; ok {
-			s.private.Delete(o.ID, old.Region)
+			priv.Delete(o.ID, old.Region)
 		}
 		s.privIdx[o.ID] = o
-		s.private.Insert(rtree.Item{Rect: o.Region, ID: o.ID})
+		priv.Insert(rtree.Item{Rect: o.Region, ID: o.ID})
 	}
+	s.idxMu.Unlock()
+	s.publish(&indexSnapshot{
+		public:      cur.public,
+		private:     priv,
+		pubVersion:  cur.pubVersion,
+		privVersion: cur.privVersion + 1,
+	})
 	return nil
 }
 
 // RemovePrivate deletes a private object (user quit).
 func (s *Server) RemovePrivate(id int64) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.writeMu.Lock()
+	defer s.writeMu.Unlock()
+	s.idxMu.Lock()
 	o, ok := s.privIdx[id]
 	if !ok {
+		s.idxMu.Unlock()
 		return fmt.Errorf("%w: private %d", ErrUnknownObject, id)
 	}
 	delete(s.privIdx, id)
-	s.private.Delete(id, o.Region)
+	s.idxMu.Unlock()
+	cur := s.snap.Load()
+	priv := cur.private.Clone()
+	priv.Delete(id, o.Region)
+	s.publish(&indexSnapshot{
+		public:      cur.public,
+		private:     priv,
+		pubVersion:  cur.pubVersion,
+		privVersion: cur.privVersion + 1,
+	})
 	return nil
 }
 
-// PublicCount and PrivateCount return table sizes.
+// PublicCount returns the public table size.
 func (s *Server) PublicCount() int {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.public.Len()
+	return s.snap.Load().public.Len()
 }
 
 // PrivateCount returns the number of stored private objects.
 func (s *Server) PrivateCount() int {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.private.Len()
+	return s.snap.Load().private.Len()
 }
 
 // Queries returns the number of private queries processed.
-func (s *Server) Queries() int64 {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.queries
-}
+func (s *Server) Queries() int64 { return s.queries.Load() }
 
 // NNPublic answers a private nearest-neighbor query over the public
 // table: only the cloaked region of the asker is known. The result's
@@ -204,21 +283,12 @@ func (s *Server) Queries() int64 {
 // them as read-only.
 func (s *Server) NNPublic(cloak geom.Rect, opt privacyqp.Options) (privacyqp.Result, error) {
 	start := time.Now()
-	s.mu.Lock()
-	s.queries++
-	version := s.pubVersion
-	s.mu.Unlock()
+	s.queries.Add(1)
+	snap := s.snap.Load()
 	key := cacheKey{region: cloak, filters: opt.Filters, k: 1}
-	if res, ok := s.cache.get(key, version); ok {
-		qiNNPublic.observe(start, len(res.Candidates), nil)
-		return res, nil
-	}
-	s.mu.RLock()
-	res, err := privacyqp.PrivateNN(s.public, cloak, privacyqp.PublicData, opt)
-	s.mu.RUnlock()
-	if err == nil {
-		s.cache.put(key, res, version)
-	}
+	res, err := s.cache.do(key, snap.pubVersion, func() (privacyqp.Result, error) {
+		return privacyqp.PrivateNN(snap.public, cloak, privacyqp.PublicData, opt)
+	})
 	qiNNPublic.observe(start, len(res.Candidates), err)
 	return res, err
 }
@@ -229,12 +299,9 @@ func (s *Server) NNPublic(cloak geom.Rect, opt privacyqp.Options) (privacyqp.Res
 // everything.
 func (s *Server) NNPrivate(cloak geom.Rect, excludeID int64, opt privacyqp.Options) (privacyqp.Result, error) {
 	start := time.Now()
-	s.mu.Lock()
-	s.queries++
-	s.mu.Unlock()
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	res, err := privacyqp.PrivateNN(s.private, cloak, privacyqp.PrivateData, opt)
+	s.queries.Add(1)
+	snap := s.snap.Load()
+	res, err := privacyqp.PrivateNN(snap.private, cloak, privacyqp.PrivateData, opt)
 	if err != nil {
 		qiNNPrivate.observe(start, 0, err)
 		return res, err
@@ -257,21 +324,12 @@ func (s *Server) NNPrivate(cloak geom.Rect, excludeID int64, opt privacyqp.Optio
 // every possible user position in the cloak.
 func (s *Server) KNNPublic(cloak geom.Rect, k int, opt privacyqp.Options) (privacyqp.Result, error) {
 	start := time.Now()
-	s.mu.Lock()
-	s.queries++
-	version := s.pubVersion
-	s.mu.Unlock()
+	s.queries.Add(1)
+	snap := s.snap.Load()
 	key := cacheKey{region: cloak, filters: opt.Filters, k: k}
-	if res, ok := s.cache.get(key, version); ok {
-		qiKNNPublic.observe(start, len(res.Candidates), nil)
-		return res, nil
-	}
-	s.mu.RLock()
-	res, err := privacyqp.PrivateKNN(s.public, cloak, k, privacyqp.PublicData, opt)
-	s.mu.RUnlock()
-	if err == nil {
-		s.cache.put(key, res, version)
-	}
+	res, err := s.cache.do(key, snap.pubVersion, func() (privacyqp.Result, error) {
+		return privacyqp.PrivateKNN(snap.public, cloak, k, privacyqp.PublicData, opt)
+	})
 	qiKNNPublic.observe(start, len(res.Candidates), err)
 	return res, err
 }
@@ -281,12 +339,9 @@ func (s *Server) KNNPublic(cloak geom.Rect, k int, opt privacyqp.Options) (priva
 // k is validated against the table size net of the exclusion.
 func (s *Server) KNNPrivate(cloak geom.Rect, k int, excludeID int64, opt privacyqp.Options) (privacyqp.Result, error) {
 	start := time.Now()
-	s.mu.Lock()
-	s.queries++
-	s.mu.Unlock()
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	res, err := privacyqp.PrivateKNN(s.private, cloak, k, privacyqp.PrivateData, opt)
+	s.queries.Add(1)
+	snap := s.snap.Load()
+	res, err := privacyqp.PrivateKNN(snap.private, cloak, k, privacyqp.PrivateData, opt)
 	if err != nil {
 		qiKNNPrivate.observe(start, 0, err)
 		return res, err
@@ -307,12 +362,9 @@ func (s *Server) KNNPrivate(cloak geom.Rect, k int, excludeID int64, opt privacy
 // RangePublic answers a private range query over the public table.
 func (s *Server) RangePublic(cloak geom.Rect, radius float64) (privacyqp.Result, error) {
 	start := time.Now()
-	s.mu.Lock()
-	s.queries++
-	s.mu.Unlock()
-	s.mu.RLock()
-	res, err := privacyqp.PrivateRange(s.public, cloak, radius, privacyqp.PublicData)
-	s.mu.RUnlock()
+	s.queries.Add(1)
+	snap := s.snap.Load()
+	res, err := privacyqp.PrivateRange(snap.public, cloak, radius, privacyqp.PublicData)
 	qiRange.observe(start, len(res.Candidates), err)
 	return res, err
 }
@@ -320,25 +372,19 @@ func (s *Server) RangePublic(cloak geom.Rect, radius float64) (privacyqp.Result,
 // CountPrivate answers a public range query over the private table:
 // how many mobile users are in region r, under the given policy.
 func (s *Server) CountPrivate(r geom.Rect, policy privacyqp.CountPolicy) (float64, error) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return privacyqp.PublicRangeCount(s.private, r, policy)
+	return privacyqp.PublicRangeCount(s.snap.Load().private, r, policy)
 }
 
 // DensityPrivate computes the n x n expected-count density grid of the
 // private table over the given universe (see privacyqp.DensityGrid).
 func (s *Server) DensityPrivate(universe geom.Rect, n int) ([][]float64, error) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return privacyqp.DensityGrid(s.private, universe, n)
+	return privacyqp.DensityGrid(s.snap.Load().private, universe, n)
 }
 
 // ListPrivateIn lists the cloaked objects overlapping region r by at
 // least minOverlap of their area.
 func (s *Server) ListPrivateIn(r geom.Rect, minOverlap float64) ([]rtree.Item, error) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return privacyqp.PublicRangeObjects(s.private, r, minOverlap)
+	return privacyqp.PublicRangeObjects(s.snap.Load().private, r, minOverlap)
 }
 
 // CacheStats returns the public-query cache's (hits, misses).
@@ -347,23 +393,21 @@ func (s *Server) CacheStats() (int64, int64) { return s.cache.stats() }
 // PublicItems snapshots the public table as index items (used to seed
 // the continuous monitor).
 func (s *Server) PublicItems() []rtree.Item {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.public.All()
+	return s.snap.Load().public.All()
 }
 
 // GetPublic looks up a public object by ID.
 func (s *Server) GetPublic(id int64) (PublicObject, bool) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
+	s.idxMu.RLock()
+	defer s.idxMu.RUnlock()
 	o, ok := s.pubIdx[id]
 	return o, ok
 }
 
 // GetPrivate looks up a private object by pseudonym.
 func (s *Server) GetPrivate(id int64) (PrivateObject, bool) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
+	s.idxMu.RLock()
+	defer s.idxMu.RUnlock()
 	o, ok := s.privIdx[id]
 	return o, ok
 }
