@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race check bench bench-updates bench-queries bench-smoke race-stress
+.PHONY: all build vet test race check bench bench-updates bench-queries bench-smoke bench-allocs race-stress
 
 all: check
 
@@ -10,11 +10,13 @@ build:
 vet:
 	$(GO) vet ./...
 
+# -shuffle=on randomizes test order within each package, so hidden
+# order dependencies fail fast instead of lurking.
 test:
-	$(GO) test ./...
+	$(GO) test -shuffle=on ./...
 
 race:
-	$(GO) test -race ./...
+	$(GO) test -race -shuffle=on ./...
 
 # check is the CI gate: everything must build, vet clean, and pass the
 # full suite under the race detector (the framework is concurrent).
@@ -67,8 +69,20 @@ bench-queries:
 bench-smoke:
 	$(GO) test -run XXX -bench . -benchtime=1x ./...
 
+# bench-allocs asserts the query kernel's allocation budget: with
+# tracing compiled in but no trace attached, BenchmarkNN must stay at
+# or below 5 allocs/op (the PR 4 scratch-arena baseline is 3; the
+# margin absorbs harness noise, not regressions). A tracing change
+# that makes the disabled path allocate fails CI here.
+bench-allocs:
+	$(GO) test -run XXX -bench 'BenchmarkNN$$' -benchmem . | tee /tmp/bench-allocs.txt
+	@awk '/^BenchmarkNN\// || /^BenchmarkNN-/ || /^BenchmarkNN / { \
+	  if ($$7+0 > 5) { printf "FAIL: %s allocates %s allocs/op (budget 5)\n", $$1, $$7; exit 1 } \
+	  else { printf "ok: %s at %s allocs/op (budget 5)\n", $$1, $$7 } }' /tmp/bench-allocs.txt
+
 # race-stress runs the concurrency stress suites repeatedly under the
 # race detector: striped/batched anonymizer stress, the core batch
-# workload, and the server/WAL interleavings.
+# workload, the server/WAL interleavings, and the casperd
+# scrape-under-traffic trace-ring stress.
 race-stress:
-	$(GO) test -race -count=3 -run 'Stress|Concurrent|Batch' ./internal/anonymizer ./internal/core ./internal/server ./internal/protocol
+	$(GO) test -race -count=3 -run 'Stress|Concurrent|Batch' ./internal/anonymizer ./internal/core ./internal/server ./internal/protocol ./cmd/casperd

@@ -17,9 +17,12 @@
 //	count    <x0> <y0> <x1> <y1> [policy]  users in a region
 //	density  [n]                        ASCII density heatmap
 //	add-public <id> <x> <y> <name>      add a public object
-//	stats [debug-addr]                  deployment statistics; with the
+//	stats [debug-addr] [-watch interval]  deployment statistics; with the
 //	                                    host:port of casperd -debug-addr,
-//	                                    fetch and pretty-print /metrics
+//	                                    fetch health, readiness and /metrics;
+//	                                    -watch prints per-second counter rates
+//	trace <debug-addr> [trace-id]       list recent request traces, or render
+//	                                    one trace's span waterfall
 package main
 
 import (
@@ -52,11 +55,28 @@ func main() {
 		defer cancel()
 	}
 
-	// `stats <debug-addr>` talks to the observability endpoint, not the
-	// protocol port, so it needs no protocol connection at all.
+	// `stats <debug-addr>` and `trace <debug-addr>` talk to the
+	// observability endpoint, not the protocol port, so they need no
+	// protocol connection at all.
 	if args[0] == "stats" && len(args) > 1 {
-		if err := statsFromDebug(args[1]); err != nil {
+		fs := flag.NewFlagSet("stats", flag.ExitOnError)
+		watch := fs.Duration("watch", 0, "scrape twice, this far apart, and print per-second counter rates")
+		fs.Parse(args[2:])
+		if err := statsFromDebug(args[1], *watch); err != nil {
 			fatal("stats: %v", err)
+		}
+		return
+	}
+	if args[0] == "trace" {
+		if len(args) < 2 {
+			fatal("trace: need the casperd -debug-addr (host:port)")
+		}
+		id := ""
+		if len(args) > 2 {
+			id = args[2]
+		}
+		if err := traceFromDebug(args[1], id); err != nil {
+			fatal("trace: %v", err)
 		}
 		return
 	}
@@ -248,8 +268,12 @@ commands:
   count    <x0> <y0> <x1> <y1> [policy]  users in a region
   density  [n]                           ASCII density heatmap (n x n)
   add-public <id> <x> <y> <name>         add a public object
-  stats [debug-addr]                     deployment statistics; with the
+  stats [debug-addr] [-watch interval]   deployment statistics; with the
                                          host:port of casperd -debug-addr,
-                                         fetch and pretty-print /metrics
+                                         fetch health, readiness and
+                                         /metrics; -watch prints per-second
+                                         counter rates over the interval
+  trace <debug-addr> [trace-id]          list recent request traces, or
+                                         render one trace's span waterfall
 `)
 }

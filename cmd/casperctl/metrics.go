@@ -16,27 +16,125 @@ import (
 // and pretty-prints it: plain counters and gauges as name/value rows,
 // histograms reduced to count, mean, and p50/p95/p99 computed from
 // the exposed buckets — the at-a-glance view the raw exposition
-// format buries.
-func statsFromDebug(addr string) error {
+// format buries. It also reports liveness (/healthz) and readiness
+// (/readyz) up front. With watch > 0 it scrapes twice, watch apart,
+// and prints per-second rates for every counter instead of totals.
+func statsFromDebug(addr string, watch time.Duration) error {
 	if !strings.Contains(addr, "://") {
 		addr = "http://" + addr
 	}
-	url := strings.TrimSuffix(addr, "/") + "/metrics"
+	base := strings.TrimSuffix(addr, "/")
 	cl := &http.Client{Timeout: 10 * time.Second}
-	resp, err := cl.Get(url)
-	if err != nil {
-		return err
+	fmt.Printf("%-58s %s\n", "liveness (/healthz)", probeHealth(cl, base+"/healthz"))
+	fmt.Printf("%-58s %s\n", "readiness (/readyz)", probeHealth(cl, base+"/readyz"))
+	if watch > 0 {
+		return statsWatch(cl, base, watch)
 	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		return fmt.Errorf("GET %s: %s", url, resp.Status)
-	}
-	fams, order, err := parseExposition(resp.Body)
+	fams, order, err := scrapeMetrics(cl, base)
 	if err != nil {
 		return err
 	}
 	for _, name := range order {
 		printFamily(name, fams[name])
+	}
+	return nil
+}
+
+// probeHealth summarizes one health endpoint's answer.
+func probeHealth(cl *http.Client, url string) string {
+	resp, err := cl.Get(url)
+	if err != nil {
+		return fmt.Sprintf("unreachable (%v)", err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusOK:
+		return "ok"
+	case http.StatusNotFound:
+		return "not supported by this casperd"
+	default:
+		return fmt.Sprintf("NOT READY (%s): %s", resp.Status, strings.TrimSpace(string(body)))
+	}
+}
+
+// scrapeMetrics fetches and parses one /metrics exposition.
+func scrapeMetrics(cl *http.Client, base string) (map[string]*family, []string, error) {
+	url := base + "/metrics"
+	resp, err := cl.Get(url)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, nil, fmt.Errorf("GET %s: %s", url, resp.Status)
+	}
+	return parseExposition(resp.Body)
+}
+
+// statsWatch scrapes twice, interval apart, and prints the per-second
+// rate of every counter (and histogram observation count) that moved,
+// answering "what is this deployment doing right now" instead of
+// "what has it done since boot".
+func statsWatch(cl *http.Client, base string, interval time.Duration) error {
+	first, _, err := scrapeMetrics(cl, base)
+	if err != nil {
+		return err
+	}
+	t0 := time.Now()
+	time.Sleep(interval)
+	second, order, err := scrapeMetrics(cl, base)
+	if err != nil {
+		return err
+	}
+	secs := time.Since(t0).Seconds()
+	fmt.Printf("per-second rates over %s:\n", interval)
+	any := false
+	for _, name := range order {
+		f2 := second[name]
+		f1 := first[name]
+		if f1 == nil {
+			continue
+		}
+		switch f2.kind {
+		case "counter":
+			prev := make(map[string]float64, len(f1.samples))
+			for _, s := range f1.samples {
+				prev[s.labels] = s.value
+			}
+			for _, s := range f2.samples {
+				delta := s.value - prev[s.labels]
+				if delta <= 0 {
+					continue
+				}
+				any = true
+				label := name
+				if s.labels != "" {
+					label += "{" + s.labels + "}"
+				}
+				fmt.Printf("%-58s %10.1f/s\n", label, delta/secs)
+			}
+		case "histogram":
+			prev := make(map[string]float64, len(f1.hists))
+			for _, h := range f1.hists {
+				prev[h.labels] = h.count
+			}
+			for _, h := range f2.hists {
+				delta := h.count - prev[h.labels]
+				if delta <= 0 {
+					continue
+				}
+				any = true
+				label := name + "_count"
+				if h.labels != "" {
+					label += "{" + h.labels + "}"
+				}
+				fmt.Printf("%-58s %10.1f/s\n", label, delta/secs)
+			}
+		}
+	}
+	if !any {
+		fmt.Println("(no counter moved during the window)")
 	}
 	return nil
 }

@@ -1,14 +1,21 @@
 package main
 
 import (
+	"encoding/json"
+	"errors"
 	"io"
 	"net/http"
+	"path/filepath"
 	"strings"
+	"sync/atomic"
 	"testing"
+	"time"
+
+	"casper/internal/trace"
 )
 
 func TestDebugServerEndpoints(t *testing.T) {
-	addr, stop, err := startDebugServer("127.0.0.1:0")
+	addr, stop, err := startDebugServer("127.0.0.1:0", nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -55,5 +62,127 @@ func TestDebugServerEndpoints(t *testing.T) {
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("/debug/pprof/cmdline: %s", resp.Status)
+	}
+}
+
+func TestReadyzSplitFromHealthz(t *testing.T) {
+	var notReady atomic.Bool
+	ready := func() error {
+		if notReady.Load() {
+			return errors.New("wal directory not writable: probe failed")
+		}
+		return nil
+	}
+	addr, stop, err := startDebugServer("127.0.0.1:0", ready)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stop()
+	base := "http://" + addr.String()
+
+	get := func(path string) (int, string) {
+		t.Helper()
+		resp, err := http.Get(base + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		return resp.StatusCode, string(body)
+	}
+
+	if code, body := get("/readyz"); code != http.StatusOK || body != "ok\n" {
+		t.Fatalf("ready /readyz: %d %q", code, body)
+	}
+	notReady.Store(true)
+	code, body := get("/readyz")
+	if code != http.StatusServiceUnavailable {
+		t.Fatalf("not-ready /readyz: got %d, want 503", code)
+	}
+	if !strings.Contains(body, "wal directory not writable") {
+		t.Fatalf("/readyz body %q missing reason", body)
+	}
+	// Liveness must be unaffected by readiness.
+	if code, body := get("/healthz"); code != http.StatusOK || body != "ok\n" {
+		t.Fatalf("/healthz while not ready: %d %q", code, body)
+	}
+}
+
+func TestReadinessProbeWALDir(t *testing.T) {
+	dir := t.TempDir()
+	if err := probeDirWritable(dir); err != nil {
+		t.Fatalf("writable dir rejected: %v", err)
+	}
+	if err := probeDirWritable(filepath.Join(dir, "missing")); err == nil {
+		t.Fatal("missing dir accepted")
+	}
+}
+
+func TestDebugTracesEndpoint(t *testing.T) {
+	addr, stop, err := startDebugServer("127.0.0.1:0", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stop()
+	base := "http://" + addr.String()
+
+	tr := trace.New("nn_public", "debug-endpoint-test")
+	sp := tr.StartSpan("query")
+	sp.End(trace.Int("candidates", 3))
+	tr.Finish(5*time.Millisecond, "", "", true)
+	trace.Publish(tr)
+
+	resp, err := http.Get(base + "/debug/traces")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/debug/traces: %s", resp.Status)
+	}
+	var list []map[string]any
+	if err := json.Unmarshal(body, &list); err != nil {
+		t.Fatalf("list not JSON: %v\n%s", err, body)
+	}
+	found := false
+	for _, e := range list {
+		if e["trace_id"] == "debug-endpoint-test" {
+			found = true
+			if _, hasSpans := e["spans"]; hasSpans {
+				t.Error("list view should elide spans")
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("published trace missing from list: %s", body)
+	}
+
+	resp, err = http.Get(base + "/debug/traces?id=debug-endpoint-test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/debug/traces?id=: %s %s", resp.Status, body)
+	}
+	var detail map[string]any
+	if err := json.Unmarshal(body, &detail); err != nil {
+		t.Fatalf("detail not JSON: %v", err)
+	}
+	spans, ok := detail["spans"].([]any)
+	if !ok || len(spans) != 1 {
+		t.Fatalf("detail spans = %v, want 1 span", detail["spans"])
+	}
+
+	resp, err = http.Get(base + "/debug/traces?id=no-such-trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown id: got %s, want 404", resp.Status)
 	}
 }

@@ -16,12 +16,19 @@
 //	-wal         write-ahead log path          (default none)
 //	-debug-addr  observability HTTP endpoint   (default off)
 //	-slow-query  slow-query log threshold      (default off)
+//	-trace       request tracing on/off        (default on)
+//	-trace-sample  head-sample 1 in N requests (default 16)
+//	-ready-max-snapshot-age  /readyz staleness bound (default off)
 //
 // With -debug-addr set (e.g. ":6060"), casperd serves /metrics
-// (Prometheus text format), /healthz, and /debug/pprof/* on that
-// address; with -slow-query set (e.g. 50ms), every request slower
-// than the threshold is logged with its cloak/query/transmit
-// breakdown. See DESIGN.md §8 for the metric inventory.
+// (Prometheus text format), /healthz (liveness), /readyz (readiness:
+// 503 when the WAL directory is unwritable or the published query
+// snapshot is older than -ready-max-snapshot-age with writes
+// pending), /debug/traces (recent request traces; ?id= for a full
+// span listing), and /debug/pprof/* on that address; with -slow-query
+// set (e.g. 50ms), every request slower than the threshold is logged
+// with its cloak/query/transmit breakdown and its trace is always
+// retained in the ring regardless of sampling. See DESIGN.md §8.
 //
 // Try it with netcat:
 //
@@ -33,17 +40,25 @@ package main
 import (
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"os"
 	"os/signal"
+	"path/filepath"
+	"runtime"
 	"syscall"
+	"time"
 
 	"casper"
+	"casper/internal/metrics"
+	"casper/internal/trace"
 )
 
+// version identifies the build; override at link time with
+// -ldflags "-X main.version=v1.2.3".
+var version = "dev"
+
 func main() {
-	log.SetFlags(log.LstdFlags | log.Lmicroseconds)
-	log.SetPrefix("casperd: ")
+	slog.SetDefault(slog.New(slog.NewTextHandler(os.Stderr, nil)))
 
 	addr := flag.String("addr", "127.0.0.1:7467", "listen address")
 	extent := flag.Float64("extent", 40000, "universe side length in meters")
@@ -53,9 +68,21 @@ func main() {
 	targets := flag.Int("targets", 10000, "number of preloaded public target objects")
 	seed := flag.Int64("seed", 1, "seed for target placement")
 	walPath := flag.String("wal", "", "write-ahead log path; empty disables persistence")
-	debugAddr := flag.String("debug-addr", "", "address for /metrics, /healthz and /debug/pprof; empty disables")
+	debugAddr := flag.String("debug-addr", "", "address for /metrics, /healthz, /readyz, /debug/traces and /debug/pprof; empty disables")
 	slowQuery := flag.Duration("slow-query", 0, "log requests slower than this (e.g. 50ms); 0 disables")
+	traceOn := flag.Bool("trace", true, "record per-request traces into the /debug/traces ring")
+	traceSample := flag.Int("trace-sample", 16, "head-sample 1 in N successful requests (1 = all, 0 = none; slow and errored requests are always kept)")
+	readyMaxSnapAge := flag.Duration("ready-max-snapshot-age", 0, "/readyz fails when the query snapshot is older than this with writes pending; 0 disables")
 	flag.Parse()
+
+	metrics.RegisterBuildInfo(version)
+	slog.Info("casperd starting",
+		"version", version,
+		"goversion", runtime.Version(),
+		"gomaxprocs", runtime.GOMAXPROCS(0))
+
+	trace.SetEnabled(*traceOn)
+	trace.SetSampleEvery(int64(*traceSample))
 
 	cfg := casper.DefaultConfig()
 	cfg.Universe = casper.R(0, 0, *extent, *extent)
@@ -74,47 +101,102 @@ func main() {
 	cfg.WALPath = *walPath
 	c, err := casper.New(cfg)
 	if err != nil {
-		log.Fatalf("open: %v", err)
+		slog.Error("open", "err", err)
+		os.Exit(1)
 	}
 	defer c.Close()
 	if *walPath != "" {
-		log.Printf("durable server: WAL at %s (recovered %d public, %d private objects)",
-			*walPath, c.Server().PublicCount(), c.Server().PrivateCount())
+		slog.Info("durable server: WAL recovered",
+			"path", *walPath,
+			"public", c.Server().PublicCount(),
+			"private", c.Server().PrivateCount())
 	}
 	// Preload targets only when the (possibly recovered) table is empty.
 	if *targets > 0 && c.Server().PublicCount() == 0 {
 		if err := c.LoadPublicObjects(casper.UniformTargets(cfg.Universe, *targets, *seed)); err != nil {
-			log.Fatalf("load public targets: %v", err)
+			slog.Error("load public targets", "err", err)
+			os.Exit(1)
 		}
-		log.Printf("loaded %d public targets over %.0fm x %.0fm", *targets, *extent, *extent)
+		slog.Info("loaded public targets", "targets", *targets, "extent_m", *extent)
 	}
 
 	if *debugAddr != "" {
-		dbgBound, stopDebug, err := startDebugServer(*debugAddr)
+		ready := readiness(c, *walPath, *readyMaxSnapAge)
+		dbgBound, stopDebug, err := startDebugServer(*debugAddr, ready)
 		if err != nil {
-			log.Fatalf("debug listen: %v", err)
+			slog.Error("debug listen", "err", err)
+			os.Exit(1)
 		}
 		defer stopDebug()
-		log.Printf("observability on http://%s (/metrics, /healthz, /debug/pprof)", dbgBound)
+		slog.Info("observability endpoints up", "addr", dbgBound.String(),
+			"endpoints", "/metrics /healthz /readyz /debug/traces /debug/pprof")
 	}
 
 	srv := casper.NewProtocolServer(c)
 	srv.SlowQueryThreshold = *slowQuery
 	if *slowQuery > 0 {
-		log.Printf("slow-query log enabled at threshold %s", *slowQuery)
+		slog.Info("slow-query log enabled", "threshold", *slowQuery)
 	}
 	bound, err := srv.Listen(*addr)
 	if err != nil {
-		log.Fatalf("listen: %v", err)
+		slog.Error("listen", "err", err)
+		os.Exit(1)
 	}
-	log.Printf("serving on %s (pyramid H=%d, %s anonymizer, %d filters)",
-		bound, *levels, *anonKind, *filters)
+	slog.Info("serving",
+		"addr", bound.String(),
+		"pyramid_levels", *levels,
+		"anonymizer", *anonKind,
+		"filters", *filters,
+		"trace", *traceOn,
+		"trace_sample", *traceSample)
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
-	log.Printf("shutting down")
+	slog.Info("shutting down")
 	if err := srv.Close(); err != nil {
-		log.Printf("close: %v", err)
+		slog.Error("close", "err", err)
 	}
+}
+
+// readiness builds the /readyz check: the process should be taken out
+// of rotation when the WAL directory stops being writable (appends
+// are about to start failing) or when the published query snapshot
+// has fallen further than maxSnapAge behind attempted writes (the
+// batcher is wedged). Liveness is unaffected — a drained instance
+// still answers /healthz.
+func readiness(c *casper.Casper, walPath string, maxSnapAge time.Duration) func() error {
+	return func() error {
+		if walPath != "" {
+			if err := probeDirWritable(filepath.Dir(walPath)); err != nil {
+				return fmt.Errorf("wal directory not writable: %w", err)
+			}
+		}
+		if maxSnapAge > 0 {
+			if stale, age := c.Server().SnapshotStale(maxSnapAge); stale {
+				return fmt.Errorf("query snapshot is %s old with writes pending (bound %s)",
+					age.Round(time.Millisecond), maxSnapAge)
+			}
+		}
+		return nil
+	}
+}
+
+// probeDirWritable verifies dir accepts new files by creating and
+// removing a temp file — the same operation a WAL compaction swap
+// performs, so it fails exactly when durability would.
+func probeDirWritable(dir string) error {
+	f, err := os.CreateTemp(dir, ".readyz-probe-*")
+	if err != nil {
+		return err
+	}
+	name := f.Name()
+	if err := f.Close(); err != nil {
+		os.Remove(name)
+		return err
+	}
+	if err := os.Remove(name); err != nil {
+		return err
+	}
+	return nil
 }

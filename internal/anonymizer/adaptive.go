@@ -8,6 +8,7 @@ import (
 
 	"casper/internal/geom"
 	"casper/internal/pyramid"
+	"casper/internal/trace"
 )
 
 // Adaptive is the adaptive location anonymizer (Sec. 4.2): an
@@ -157,13 +158,24 @@ func (a *Adaptive) flushIfDueLocked() {
 // structure-dependent read, so batching stays invisible to callers:
 // a cloak issued after an update sees exactly the structure eager
 // maintenance would have produced.
-func (a *Adaptive) syncMaintenance() {
-	if a.pendingCount.Load() == 0 {
+func (a *Adaptive) syncMaintenance() { a.syncMaintenanceTraced(nil) }
+
+// syncMaintenanceTraced is syncMaintenance with an "adaptive_flush"
+// span recorded into tr when a flush actually runs — the pending
+// count it carries is why this particular read paid for
+// restructuring work.
+func (a *Adaptive) syncMaintenanceTraced(tr *trace.Trace) {
+	pending := a.pendingCount.Load()
+	if pending == 0 {
 		return
 	}
+	sp := tr.StartSpan("adaptive_flush")
 	a.mu.Lock()
 	a.flushMaintenanceLocked()
 	a.mu.Unlock()
+	if tr != nil {
+		sp.End(trace.Int("pending", pending))
+	}
 }
 
 // childIndex returns which of a node's four children (in
@@ -294,8 +306,15 @@ func (a *Adaptive) SetProfile(uid UserID, prof Profile) error {
 
 // Cloak implements Anonymizer.
 func (a *Adaptive) Cloak(uid UserID) (CloakedRegion, error) {
+	return a.CloakTraced(uid, nil)
+}
+
+// CloakTraced implements TracedCloaker: Cloak, with an
+// "adaptive_flush" span recorded into tr when this read had to flush
+// deferred split/merge maintenance first.
+func (a *Adaptive) CloakTraced(uid UserID, tr *trace.Trace) (CloakedRegion, error) {
 	start := time.Now()
-	a.syncMaintenance()
+	a.syncMaintenanceTraced(tr)
 	a.mu.RLock()
 	defer a.mu.RUnlock()
 	e, ok := a.users[uid]

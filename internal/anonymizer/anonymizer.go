@@ -35,6 +35,7 @@ import (
 
 	"casper/internal/geom"
 	"casper/internal/pyramid"
+	"casper/internal/trace"
 )
 
 // UserID identifies a registered mobile user at the anonymizer. The
@@ -128,6 +129,16 @@ type Anonymizer interface {
 	UpdateCost() int64
 	// ResetUpdateCost zeroes the accounting.
 	ResetUpdateCost()
+}
+
+// TracedCloaker is the optional tracing extension of Anonymizer:
+// CloakTraced behaves exactly like Cloak but records spans for the
+// interesting internal phases (stripe escalation in the basic
+// anonymizer, deferred-maintenance flushes in the adaptive one) into
+// tr. Callers type-assert; tr may be nil, in which case CloakTraced
+// is identical to Cloak.
+type TracedCloaker interface {
+	CloakTraced(uid UserID, tr *trace.Trace) (CloakedRegion, error)
 }
 
 // cellCounter abstracts "how many users are in this pyramid cell" so

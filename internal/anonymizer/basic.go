@@ -7,6 +7,7 @@ import (
 
 	"casper/internal/geom"
 	"casper/internal/pyramid"
+	"casper/internal/trace"
 )
 
 // Basic is the basic location anonymizer (Sec. 4.1): a complete grid
@@ -165,13 +166,20 @@ func (b *Basic) SetProfile(uid UserID, prof Profile) error {
 
 // Cloak implements Anonymizer.
 func (b *Basic) Cloak(uid UserID) (CloakedRegion, error) {
+	return b.CloakTraced(uid, nil)
+}
+
+// CloakTraced implements TracedCloaker: Cloak, with a
+// "stripe_escalation" span recorded into tr when the cloak climbs
+// past its quadrant boundary and reruns under the all-stripe lock.
+func (b *Basic) CloakTraced(uid UserID, tr *trace.Trace) (CloakedRegion, error) {
 	start := time.Now()
-	cr, err := b.cloakUser(uid, CloakOpts{})
+	cr, err := b.cloakUser(uid, CloakOpts{}, tr)
 	basicCloakMetrics.observe(start, cr, err)
 	return cr, err
 }
 
-func (b *Basic) cloakUser(uid UserID, opts CloakOpts) (CloakedRegion, error) {
+func (b *Basic) cloakUser(uid UserID, opts CloakOpts, tr *trace.Trace) (CloakedRegion, error) {
 	// Fast path: Algorithm 1 confined to the user's quadrant, under
 	// that single stripe's read lock.
 	for {
@@ -196,6 +204,8 @@ func (b *Basic) cloakUser(uid UserID, opts CloakOpts) (CloakedRegion, error) {
 	// consistent view of all four stripes and rerun Algorithm 1 from
 	// the leaf. The rerun is what the pre-striping implementation
 	// computed under its single lock, so results match bit-for-bit.
+	esc := tr.StartSpan("stripe_escalation")
+	defer esc.End()
 	b.stripes.rlockAll()
 	defer b.stripes.runlockAll()
 	e, ok := b.users.Get(int64(uid))

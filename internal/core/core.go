@@ -27,6 +27,7 @@ import (
 	"casper/internal/pyramid"
 	"casper/internal/rtree"
 	"casper/internal/server"
+	"casper/internal/trace"
 )
 
 // Sentinel errors returned by the framework API. They are stable: wrap
@@ -468,11 +469,15 @@ func (c *Casper) WatchRange(uid anonymizer.UserID, radius float64, kind privacyq
 // cloaked region to the server. The anonymizer's own duplicate check
 // is the atomicity point for concurrent registrations of the same ID.
 func (c *Casper) RegisterUser(uid anonymizer.UserID, pos geom.Point, prof anonymizer.Profile) error {
+	return c.registerUser(uid, pos, prof, nil)
+}
+
+func (c *Casper) registerUser(uid anonymizer.UserID, pos geom.Point, prof anonymizer.Profile, tr *trace.Trace) error {
 	if err := c.anon.Register(uid, pos, prof); err != nil {
 		return userErr(err)
 	}
 	c.pseudo.Store(int64(uid), c.newPseudonym())
-	if err := c.pushCloak(uid); err != nil {
+	if err := c.pushCloak(uid, tr); err != nil {
 		// Roll back so a failed registration leaves no ghost user; the
 		// caller can fix the profile and retry without hitting
 		// ErrAlreadyRegistered.
@@ -502,10 +507,14 @@ func (c *Casper) newPseudonym() int64 {
 // UpdateUser processes a location update and refreshes the user's
 // cloaked region at the server.
 func (c *Casper) UpdateUser(uid anonymizer.UserID, pos geom.Point) error {
+	return c.updateUser(uid, pos, nil)
+}
+
+func (c *Casper) updateUser(uid anonymizer.UserID, pos geom.Point, tr *trace.Trace) error {
 	if err := c.anon.Update(uid, pos); err != nil {
 		return userErr(err)
 	}
-	return c.pushCloak(uid)
+	return c.pushCloak(uid, tr)
 }
 
 // UserUpdate is one entry of a batched location-update call.
@@ -527,6 +536,10 @@ type UserUpdate struct {
 // anonymizer-applied updates; the anonymizer state keeps them, their
 // cloak refresh is lost (same contract as a failed UpdateUser).
 func (c *Casper) UpdateUsers(updates []UserUpdate) (int, error) {
+	return c.updateUsers(updates, nil)
+}
+
+func (c *Casper) updateUsers(updates []UserUpdate, tr *trace.Trace) (int, error) {
 	if len(updates) == 0 {
 		return 0, nil
 	}
@@ -551,7 +564,7 @@ func (c *Casper) UpdateUsers(updates []UserUpdate) (int, error) {
 			applied++
 			continue
 		}
-		cr, err := c.anon.Cloak(u.UID)
+		cr, err := c.cloakUID(u.UID, tr)
 		if err != nil {
 			// Unsatisfiable profile: the previous region stays in place,
 			// exactly like a failed UpdateUser push.
@@ -565,9 +578,11 @@ func (c *Casper) UpdateUsers(updates []UserUpdate) (int, error) {
 	if len(objs) > 0 {
 		var storeErr error
 		if c.persist != nil {
-			storeErr = c.persist.UpsertPrivateBatch(objs)
+			storeErr = c.persist.UpsertPrivateBatchTraced(objs, tr)
 		} else {
+			ssp := tr.StartSpan("store")
 			storeErr = c.srv.UpsertPrivateBatch(objs)
+			ssp.End()
 		}
 		if storeErr != nil {
 			return applied, storeErr
@@ -583,10 +598,14 @@ func (c *Casper) UpdateUsers(updates []UserUpdate) (int, error) {
 
 // SetProfile changes a user's privacy profile and re-cloaks.
 func (c *Casper) SetProfile(uid anonymizer.UserID, prof anonymizer.Profile) error {
+	return c.setProfile(uid, prof, nil)
+}
+
+func (c *Casper) setProfile(uid anonymizer.UserID, prof anonymizer.Profile, tr *trace.Trace) error {
 	if err := c.anon.SetProfile(uid, prof); err != nil {
 		return userErr(err)
 	}
-	return c.pushCloak(uid)
+	return c.pushCloak(uid, tr)
 }
 
 // DeregisterUser removes a user from both components, tearing down
@@ -624,23 +643,25 @@ func (c *Casper) DeregisterUser(uid anonymizer.UserID) error {
 // server (and the continuous monitor, when enabled) under the
 // pseudonym. An unsatisfiable profile leaves the previous region in
 // place and reports the error.
-func (c *Casper) pushCloak(uid anonymizer.UserID) error {
+func (c *Casper) pushCloak(uid anonymizer.UserID, tr *trace.Trace) error {
 	pid, ok := c.pseudo.Get(int64(uid))
 	if !ok {
 		// The user was deregistered between the anonymizer update and
 		// this push (concurrent update/deregister); nothing to store.
 		return fmt.Errorf("%w: user %d", ErrNotRegistered, uid)
 	}
-	cr, err := c.anon.Cloak(uid)
+	cr, err := c.cloakUID(uid, tr)
 	if err != nil {
 		return userErr(err)
 	}
 	obj := server.PrivateObject{ID: pid, Region: cr.Region}
 	var upsertErr error
 	if c.persist != nil {
-		upsertErr = c.persist.UpsertPrivate(obj)
+		upsertErr = c.persist.UpsertPrivateTraced(obj, tr)
 	} else {
+		ssp := tr.StartSpan("store")
 		upsertErr = c.srv.UpsertPrivate(obj)
+		ssp.End()
 	}
 	if upsertErr != nil {
 		return upsertErr
@@ -651,6 +672,29 @@ func (c *Casper) pushCloak(uid anonymizer.UserID) error {
 // notifyCloak propagates a freshly stored cloak to the continuous
 // monitor and the user's standing watches. It takes monMu only after
 // all anonymizer and server locks have been released.
+// cloakUID cloaks the user's location. When tr is non-nil it wraps
+// the cloak in a "cloak" span annotated with the pyramid level
+// reached, the anonymity actually found, and the stripe-escalation
+// steps taken; anonymizers that support it also record their own
+// sub-spans (stripe_escalation, adaptive_flush) into tr.
+func (c *Casper) cloakUID(uid anonymizer.UserID, tr *trace.Trace) (anonymizer.CloakedRegion, error) {
+	if tr == nil {
+		return c.anon.Cloak(uid)
+	}
+	sp := tr.StartSpan("cloak")
+	var cr anonymizer.CloakedRegion
+	var err error
+	if tc, ok := c.anon.(anonymizer.TracedCloaker); ok {
+		cr, err = tc.CloakTraced(uid, tr)
+	} else {
+		cr, err = c.anon.Cloak(uid)
+	}
+	sp.End(trace.Int("level", int64(cr.Level)),
+		trace.Int("k_found", int64(cr.KFound)),
+		trace.Int("steps_up", int64(cr.StepsUp)))
+	return cr, err
+}
+
 func (c *Casper) notifyCloak(uid anonymizer.UserID, pid int64, region geom.Rect) error {
 	c.monMu.RLock()
 	defer c.monMu.RUnlock()
@@ -689,21 +733,34 @@ type NNAnswer struct {
 // for a registered user: cloak the query location, compute the
 // candidate list server-side, ship it, refine locally.
 func (c *Casper) NearestPublic(uid anonymizer.UserID) (NNAnswer, error) {
+	return c.nearestPublic(uid, nil)
+}
+
+func (c *Casper) nearestPublic(uid anonymizer.UserID, tr *trace.Trace) (NNAnswer, error) {
 	pos, err := c.userPos(uid)
 	if err != nil {
 		return NNAnswer{}, err
 	}
 	t0 := time.Now()
-	cr, err := c.anon.Cloak(uid)
+	cr, err := c.cloakUID(uid, tr)
 	if err != nil {
 		return NNAnswer{}, userErr(err)
 	}
 	t1 := time.Now()
-	res, err := c.srv.NNPublic(cr.Region, c.cfg.Query)
+	opt := c.cfg.Query
+	opt.Trace = tr
+	qsp := tr.StartSpan("query")
+	res, err := c.srv.NNPublic(cr.Region, opt)
 	if err != nil {
+		qsp.End()
 		return NNAnswer{}, srvErr(err)
 	}
 	t2 := time.Now()
+	if tr != nil {
+		qsp.End(trace.Int("candidates", int64(len(res.Candidates))))
+		tr.RecordSpan("transmit", t2, c.cfg.Transmission.Time(len(res.Candidates)),
+			trace.Int("candidates", int64(len(res.Candidates))))
+	}
 	ans := NNAnswer{
 		Candidates:   res.Candidates,
 		CloakedQuery: cr.Region,
@@ -726,6 +783,10 @@ func (c *Casper) NearestPublic(uid anonymizer.UserID) (NNAnswer, error) {
 // candidate list holds cloaked regions of other users; the refined
 // answer minimizes the pessimistic (furthest-corner) distance.
 func (c *Casper) NearestBuddy(uid anonymizer.UserID) (NNAnswer, error) {
+	return c.nearestBuddy(uid, nil)
+}
+
+func (c *Casper) nearestBuddy(uid anonymizer.UserID, tr *trace.Trace) (NNAnswer, error) {
 	pos, err := c.userPos(uid)
 	if err != nil {
 		return NNAnswer{}, err
@@ -737,16 +798,25 @@ func (c *Casper) NearestBuddy(uid anonymizer.UserID) (NNAnswer, error) {
 		return NNAnswer{}, fmt.Errorf("%w: user %d", ErrNotRegistered, uid)
 	}
 	t0 := time.Now()
-	cr, err := c.anon.Cloak(uid)
+	cr, err := c.cloakUID(uid, tr)
 	if err != nil {
 		return NNAnswer{}, userErr(err)
 	}
 	t1 := time.Now()
-	res, err := c.srv.NNPrivate(cr.Region, pid, c.cfg.Query)
+	opt := c.cfg.Query
+	opt.Trace = tr
+	qsp := tr.StartSpan("query")
+	res, err := c.srv.NNPrivate(cr.Region, pid, opt)
 	if err != nil {
+		qsp.End()
 		return NNAnswer{}, err
 	}
 	t2 := time.Now()
+	if tr != nil {
+		qsp.End(trace.Int("candidates", int64(len(res.Candidates))))
+		tr.RecordSpan("transmit", t2, c.cfg.Transmission.Time(len(res.Candidates)),
+			trace.Int("candidates", int64(len(res.Candidates))))
+	}
 	ans := NNAnswer{
 		Candidates:   res.Candidates,
 		CloakedQuery: cr.Region,
@@ -769,21 +839,34 @@ func (c *Casper) NearestBuddy(uid anonymizer.UserID) (NNAnswer, error) {
 // server computes an inclusive candidate list from the cloak alone;
 // the client refines the exact k nearest, ascending.
 func (c *Casper) KNearestPublic(uid anonymizer.UserID, k int) ([]rtree.Item, Breakdown, error) {
+	return c.kNearestPublic(uid, k, nil)
+}
+
+func (c *Casper) kNearestPublic(uid anonymizer.UserID, k int, tr *trace.Trace) ([]rtree.Item, Breakdown, error) {
 	pos, err := c.userPos(uid)
 	if err != nil {
 		return nil, Breakdown{}, err
 	}
 	t0 := time.Now()
-	cr, err := c.anon.Cloak(uid)
+	cr, err := c.cloakUID(uid, tr)
 	if err != nil {
 		return nil, Breakdown{}, userErr(err)
 	}
 	t1 := time.Now()
-	res, err := c.srv.KNNPublic(cr.Region, k, c.cfg.Query)
+	opt := c.cfg.Query
+	opt.Trace = tr
+	qsp := tr.StartSpan("query")
+	res, err := c.srv.KNNPublic(cr.Region, k, opt)
 	if err != nil {
+		qsp.End()
 		return nil, Breakdown{}, srvErr(err)
 	}
 	t2 := time.Now()
+	if tr != nil {
+		qsp.End(trace.Int("candidates", int64(len(res.Candidates))))
+		tr.RecordSpan("transmit", t2, c.cfg.Transmission.Time(len(res.Candidates)),
+			trace.Int("candidates", int64(len(res.Candidates))))
+	}
 	bd := Breakdown{
 		Cloak:      t1.Sub(t0),
 		Query:      t2.Sub(t1),
@@ -796,21 +879,32 @@ func (c *Casper) KNearestPublic(uid anonymizer.UserID, k int) ([]rtree.Item, Bre
 // RangePublic runs a private range query over public data: all public
 // targets within radius of the user, refined exactly client-side.
 func (c *Casper) RangePublic(uid anonymizer.UserID, radius float64) ([]rtree.Item, Breakdown, error) {
+	return c.rangePublic(uid, radius, nil)
+}
+
+func (c *Casper) rangePublic(uid anonymizer.UserID, radius float64, tr *trace.Trace) ([]rtree.Item, Breakdown, error) {
 	pos, err := c.userPos(uid)
 	if err != nil {
 		return nil, Breakdown{}, err
 	}
 	t0 := time.Now()
-	cr, err := c.anon.Cloak(uid)
+	cr, err := c.cloakUID(uid, tr)
 	if err != nil {
 		return nil, Breakdown{}, userErr(err)
 	}
 	t1 := time.Now()
+	qsp := tr.StartSpan("query")
 	res, err := c.srv.RangePublic(cr.Region, radius)
 	if err != nil {
+		qsp.End()
 		return nil, Breakdown{}, srvErr(err)
 	}
 	t2 := time.Now()
+	if tr != nil {
+		qsp.End(trace.Int("candidates", int64(len(res.Candidates))))
+		tr.RecordSpan("transmit", t2, c.cfg.Transmission.Time(len(res.Candidates)),
+			trace.Int("candidates", int64(len(res.Candidates))))
+	}
 	bd := Breakdown{
 		Cloak:      t1.Sub(t0),
 		Query:      t2.Sub(t1),

@@ -1,0 +1,69 @@
+package core
+
+import (
+	"casper/internal/anonymizer"
+	"casper/internal/geom"
+	"casper/internal/rtree"
+	"casper/internal/trace"
+)
+
+// TracedOps is a zero-cost view of a Casper instance that threads one
+// request's trace through the pipeline: cloaking, query processing,
+// WAL persistence and index stores all record spans into tr as they
+// run. A nil tr makes every operation behave exactly like the plain
+// Casper method, so callers can hold one TracedOps value per request
+// without branching on whether tracing is on.
+//
+// The view holds no state of its own — it is two words, safe to copy,
+// and valid for exactly as long as tr is (i.e. until the request's
+// trace is finished and published or recycled).
+type TracedOps struct {
+	c  *Casper
+	tr *trace.Trace
+}
+
+// Traced returns a view of c whose operations record spans into tr.
+// tr may be nil, in which case the view is a plain pass-through.
+func (c *Casper) Traced(tr *trace.Trace) TracedOps {
+	return TracedOps{c: c, tr: tr}
+}
+
+// RegisterUser is Casper.RegisterUser with span recording.
+func (o TracedOps) RegisterUser(uid anonymizer.UserID, pos geom.Point, prof anonymizer.Profile) error {
+	return o.c.registerUser(uid, pos, prof, o.tr)
+}
+
+// UpdateUser is Casper.UpdateUser with span recording.
+func (o TracedOps) UpdateUser(uid anonymizer.UserID, pos geom.Point) error {
+	return o.c.updateUser(uid, pos, o.tr)
+}
+
+// UpdateUsers is Casper.UpdateUsers with span recording.
+func (o TracedOps) UpdateUsers(updates []UserUpdate) (int, error) {
+	return o.c.updateUsers(updates, o.tr)
+}
+
+// SetProfile is Casper.SetProfile with span recording.
+func (o TracedOps) SetProfile(uid anonymizer.UserID, prof anonymizer.Profile) error {
+	return o.c.setProfile(uid, prof, o.tr)
+}
+
+// NearestPublic is Casper.NearestPublic with span recording.
+func (o TracedOps) NearestPublic(uid anonymizer.UserID) (NNAnswer, error) {
+	return o.c.nearestPublic(uid, o.tr)
+}
+
+// NearestBuddy is Casper.NearestBuddy with span recording.
+func (o TracedOps) NearestBuddy(uid anonymizer.UserID) (NNAnswer, error) {
+	return o.c.nearestBuddy(uid, o.tr)
+}
+
+// KNearestPublic is Casper.KNearestPublic with span recording.
+func (o TracedOps) KNearestPublic(uid anonymizer.UserID, k int) ([]rtree.Item, Breakdown, error) {
+	return o.c.kNearestPublic(uid, k, o.tr)
+}
+
+// RangePublic is Casper.RangePublic with span recording.
+func (o TracedOps) RangePublic(uid anonymizer.UserID, radius float64) ([]rtree.Item, Breakdown, error) {
+	return o.c.rangePublic(uid, radius, o.tr)
+}

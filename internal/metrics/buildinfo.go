@@ -1,0 +1,18 @@
+package metrics
+
+import (
+	"fmt"
+	"runtime"
+)
+
+// RegisterBuildInfo registers casper_build_info on the default
+// registry: a constant-1 gauge whose labels identify the running
+// build (the conventional Prometheus idiom — join it onto any other
+// series to slice by version). Call it once at process startup with
+// the binary's version string.
+func RegisterBuildInfo(version string) {
+	labels := fmt.Sprintf(`version="%s",goversion="%s",gomaxprocs="%d"`,
+		escapeLabel(version), escapeLabel(runtime.Version()), runtime.GOMAXPROCS(0))
+	Default.Gauge("casper_build_info", labels,
+		"Build and runtime identification; the value is always 1.").Set(1)
+}

@@ -204,3 +204,52 @@ func TestBucketHelpers(t *testing.T) {
 		t.Fatalf("TimeBuckets shape wrong: %v", tb[:2])
 	}
 }
+
+func TestHistogramAllObservationsAboveTopBucket(t *testing.T) {
+	// Regression guard: when EVERY observation overflows into the
+	// implicit +Inf bucket, no finite bucket ever crosses the rank, so
+	// the quantile loop must fall through and clamp to the last finite
+	// bound — never return +Inf, NaN, or a mid-range interpolation.
+	h := newHistogram([]float64{0.5, 1, 2})
+	for i := 0; i < 50; i++ {
+		h.Observe(1000)
+	}
+	for _, p := range []float64{0, 0.25, 0.5, 0.95, 0.99, 1} {
+		if got := h.Quantile(p); got != 2 {
+			t.Fatalf("q%v = %v, want clamp to top finite bound 2", p, got)
+		}
+	}
+	if h.Count() != 50 {
+		t.Fatalf("count = %d, want 50", h.Count())
+	}
+}
+
+func TestRegisterBuildInfo(t *testing.T) {
+	RegisterBuildInfo("v1.2.3-test")
+	var b strings.Builder
+	if err := Default.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	text := b.String()
+	if !strings.Contains(text, "# TYPE casper_build_info gauge") {
+		t.Fatalf("exposition missing build info TYPE line:\n%s", text)
+	}
+	line := ""
+	for _, l := range strings.Split(text, "\n") {
+		if strings.HasPrefix(l, "casper_build_info{") {
+			line = l
+			break
+		}
+	}
+	if line == "" {
+		t.Fatalf("exposition missing casper_build_info sample")
+	}
+	for _, want := range []string{`version="v1.2.3-test"`, `goversion="`, `gomaxprocs="`} {
+		if !strings.Contains(line, want) {
+			t.Errorf("build info sample %q missing %s", line, want)
+		}
+	}
+	if !strings.HasSuffix(line, " 1") {
+		t.Errorf("build info sample %q should have value 1", line)
+	}
+}

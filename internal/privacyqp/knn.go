@@ -6,6 +6,7 @@ import (
 
 	"casper/internal/geom"
 	"casper/internal/rtree"
+	"casper/internal/trace"
 )
 
 // This file extends the private nearest-neighbor query of Sec. 5 to
@@ -67,6 +68,7 @@ func PrivateKNN(db SpatialIndex, cloak geom.Rect, k int, kind DataKind, opt Opti
 	sc := getScratch()
 	defer putScratch(sc)
 
+	fsp := opt.Trace.StartSpan("query_filter")
 	corners := cloak.Corners()
 	// kthDist[i] is f(v_i): the distance from corner i to its k-th
 	// nearest target. With fewer filters, unsampled corners get a
@@ -114,7 +116,12 @@ func PrivateKNN(db SpatialIndex, cloak geom.Rect, k int, kind DataKind, opt Opti
 		expand[ei] = maxf(maxf(di, dj), (di+dj+edgeLen)/2)
 	}
 	res.AExt = cloak.ExpandSides(expand[2], expand[3], expand[0], expand[1])
+	if opt.Trace != nil {
+		fsp.End(trace.Int("nn_searches", int64(res.NNSearches)),
+			trace.Int("filters", int64(opt.Filters)))
+	}
 
+	rsp := opt.Trace.StartSpan("query_range")
 	sc.cand = sc.cand[:0]
 	if kind == PrivateData && opt.MinOverlap > 0 {
 		db.SearchFunc(res.AExt, func(it rtree.Item) bool {
@@ -127,6 +134,9 @@ func PrivateKNN(db SpatialIndex, cloak geom.Rect, k int, kind DataKind, opt Opti
 		sc.cand = db.SearchAppend(res.AExt, sc.cand)
 	}
 	res.Candidates = copyItems(sc.cand)
+	if opt.Trace != nil {
+		rsp.End(trace.Int("candidates", int64(len(res.Candidates))))
+	}
 	return res, nil
 }
 

@@ -27,6 +27,7 @@ import (
 
 	"casper/internal/geom"
 	"casper/internal/rtree"
+	"casper/internal/trace"
 )
 
 // DataKind says how targets are represented in the database.
@@ -62,6 +63,11 @@ type Options struct {
 	// A_EXT. Zero admits any overlap (the inclusive default; positive
 	// values trade inclusiveness for a shorter list).
 	MinOverlap float64
+	// Trace, when non-nil, receives spans for the filter step
+	// (query_filter) and the candidate-list range query (query_range)
+	// of this one evaluation. It never affects the result and is not
+	// part of any cache key.
+	Trace *trace.Trace
 }
 
 // DefaultOptions is the paper's full algorithm: four filters, any
@@ -130,6 +136,7 @@ func PrivateNN(db SpatialIndex, cloak geom.Rect, kind DataKind, opt Options) (Re
 	defer putScratch(sc)
 
 	// STEP 1 — the filter step: a filter object per vertex.
+	fsp := opt.Trace.StartSpan("query_filter")
 	corners := cloak.Corners()
 	var res Result
 	filters := [4]rtree.Item{} // per corner index
@@ -179,8 +186,13 @@ func PrivateNN(db SpatialIndex, cloak geom.Rect, kind DataKind, opt Options) (Re
 		)
 	}
 	res.AExt = cloak.ExpandSides(expand[2], expand[3], expand[0], expand[1])
+	if opt.Trace != nil {
+		fsp.End(trace.Int("nn_searches", int64(res.NNSearches)),
+			trace.Int("filters", int64(opt.Filters)))
+	}
 
 	// STEP 4 — the candidate list step: one range query over A_EXT.
+	rsp := opt.Trace.StartSpan("query_range")
 	sc.cand = sc.cand[:0]
 	if kind == PrivateData && opt.MinOverlap > 0 {
 		db.SearchFunc(res.AExt, func(it rtree.Item) bool {
@@ -193,6 +205,9 @@ func PrivateNN(db SpatialIndex, cloak geom.Rect, kind DataKind, opt Options) (Re
 		sc.cand = db.SearchAppend(res.AExt, sc.cand)
 	}
 	res.Candidates = copyItems(sc.cand)
+	if opt.Trace != nil {
+		rsp.End(trace.Int("candidates", int64(len(res.Candidates))))
+	}
 	return res, nil
 }
 

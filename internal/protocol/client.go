@@ -27,6 +27,12 @@ type Client struct {
 	dec  *json.Decoder
 	// err, once set, marks the stream unusable (see roundTrip).
 	err error
+	// nextTraceID, when non-empty, is stamped onto the next request's
+	// trace_id field and cleared (one-shot; see SetNextTraceID).
+	nextTraceID string
+	// lastTraceID is the trace_id the server echoed on the most recent
+	// response, whether client-chosen or server-generated.
+	lastTraceID string
 }
 
 // Dial connects to a Casper protocol server.
@@ -65,6 +71,26 @@ func newClient(conn net.Conn) *Client {
 // Close closes the connection.
 func (c *Client) Close() error { return c.conn.Close() }
 
+// SetNextTraceID asks the server to label the next RPC's trace with
+// id instead of generating one. It applies to exactly one request
+// (the next round trip consumes it); the server truncates IDs longer
+// than 64 bytes. Retrieve the echoed ID afterwards with LastTraceID.
+func (c *Client) SetNextTraceID(id string) {
+	c.mu.Lock()
+	c.nextTraceID = id
+	c.mu.Unlock()
+}
+
+// LastTraceID returns the trace ID the server assigned to (or echoed
+// for) the most recent completed round trip. Look the trace up at the
+// server's /debug/traces?id= endpoint. Empty until the first response
+// or when the server predates trace support.
+func (c *Client) LastTraceID() string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lastTraceID
+}
+
 // roundTrip sends one request and reads one response, honoring the
 // context's deadline and cancellation through connection deadlines.
 func (c *Client) roundTrip(ctx context.Context, req Request) (Response, error) {
@@ -75,6 +101,10 @@ func (c *Client) roundTrip(ctx context.Context, req Request) (Response, error) {
 	}
 	if err := ctx.Err(); err != nil {
 		return Response{}, err
+	}
+	if c.nextTraceID != "" {
+		req.TraceID = c.nextTraceID
+		c.nextTraceID = ""
 	}
 	if deadline, ok := ctx.Deadline(); ok {
 		_ = c.conn.SetDeadline(deadline)
@@ -124,6 +154,9 @@ func (c *Client) roundTrip(ctx context.Context, req Request) (Response, error) {
 	var resp Response
 	if err := c.dec.Decode(&resp); err != nil {
 		return fail("recv", err)
+	}
+	if resp.TraceID != "" {
+		c.lastTraceID = resp.TraceID
 	}
 	return resp, nil
 }

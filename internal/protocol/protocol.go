@@ -73,6 +73,11 @@ type Request struct {
 	Policy string        `json:"policy,omitempty"` // any-overlap | center-in | fractional
 	Name   string        `json:"name,omitempty"`
 	PubID  int64         `json:"pub_id,omitempty"`
+	// TraceID, when set, is echoed in the response and names the
+	// server-side trace of this request (see internal/trace); when
+	// empty, the server generates one. Long IDs are truncated
+	// server-side.
+	TraceID string `json:"trace_id,omitempty"`
 }
 
 // BatchUpdate is one entry of an OpBatchUpdate frame.
@@ -138,6 +143,10 @@ type Response struct {
 	// Density is the row-major n x n expected-count grid returned by
 	// OpDensity ([0] is the bottom row).
 	Density [][]float64 `json:"density,omitempty"`
+	// TraceID names the server-side trace of this request: the
+	// client's correlation ID when one was sent, otherwise the
+	// server-generated one. Look it up at /debug/traces?id=.
+	TraceID string `json:"trace_id,omitempty"`
 }
 
 // errResponse builds an error frame.

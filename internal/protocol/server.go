@@ -2,11 +2,13 @@ package protocol
 
 import (
 	"bufio"
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
-	"log"
+	"log/slog"
 	"net"
+	"strings"
 	"sync"
 	"time"
 
@@ -16,6 +18,7 @@ import (
 	"casper/internal/privacyqp"
 	"casper/internal/rtree"
 	"casper/internal/server"
+	"casper/internal/trace"
 )
 
 // MaxFrameBytes is the hard per-request frame limit: a line longer
@@ -45,7 +48,7 @@ const DefaultWriteTimeout = 30 * time.Second
 type Server struct {
 	casper *core.Casper
 	ln     net.Listener
-	logf   func(string, ...any)
+	logger *slog.Logger
 
 	// IdleTimeout bounds how long a connection may stay silent; set
 	// before Listen. Zero disables it.
@@ -72,15 +75,41 @@ type Server struct {
 func NewServer(c *core.Casper) *Server {
 	return &Server{
 		casper:       c,
-		logf:         log.Printf,
+		logger:       slog.Default(),
 		IdleTimeout:  DefaultIdleTimeout,
 		WriteTimeout: DefaultWriteTimeout,
 		closed:       make(chan struct{}),
 	}
 }
 
-// SetLogf overrides the server's logger (tests silence it).
-func (s *Server) SetLogf(f func(string, ...any)) { s.logf = f }
+// SetLogger overrides the server's structured logger.
+func (s *Server) SetLogger(l *slog.Logger) { s.logger = l }
+
+// SetLogf overrides the server's logger with a printf-style sink
+// (tests silence or capture it). Structured records are rendered as
+// "msg key=value ..." and passed to f as a single string.
+func (s *Server) SetLogf(f func(string, ...any)) { s.logger = slog.New(logfHandler{f: f}) }
+
+// logfHandler adapts a printf-style function to slog.Handler for
+// SetLogf compatibility. Attributes attached via Logger.With are
+// dropped; this server always passes attrs inline at the call site.
+type logfHandler struct{ f func(string, ...any) }
+
+func (h logfHandler) Enabled(context.Context, slog.Level) bool { return true }
+
+func (h logfHandler) Handle(_ context.Context, r slog.Record) error {
+	var b strings.Builder
+	b.WriteString(r.Message)
+	r.Attrs(func(a slog.Attr) bool {
+		fmt.Fprintf(&b, " %s=%v", a.Key, a.Value.Any())
+		return true
+	})
+	h.f(b.String())
+	return nil
+}
+
+func (h logfHandler) WithAttrs([]slog.Attr) slog.Handler { return h }
+func (h logfHandler) WithGroup(string) slog.Handler      { return h }
 
 // Listen starts accepting on addr (e.g. "127.0.0.1:7467") and returns
 // the bound address, which is useful with a ":0" wildcard port.
@@ -118,7 +147,7 @@ func (s *Server) acceptLoop() {
 				return
 			default:
 			}
-			s.logf("casper/protocol: accept: %v", err)
+			s.logger.Error("casper/protocol: accept failed", "err", err)
 			return
 		}
 		s.wg.Add(1)
@@ -158,8 +187,8 @@ func (s *Server) handleConn(conn net.Conn) {
 			// end the session. Oversized frames are logged — they are
 			// misbehaving clients, not normal churn.
 			if err := sc.Err(); errors.Is(err, bufio.ErrTooLong) {
-				s.logf("casper/protocol: dropping %s: frame exceeds %d bytes",
-					conn.RemoteAddr(), MaxFrameBytes)
+				s.logger.Warn("casper/protocol: dropping connection: frame exceeds limit",
+					"remote", conn.RemoteAddr().String(), "max_bytes", MaxFrameBytes)
 			}
 			return
 		}
@@ -168,6 +197,7 @@ func (s *Server) handleConn(conn net.Conn) {
 			continue // tolerate keep-alive blank lines
 		}
 		var req Request
+		decodeStart := time.Now()
 		if err := json.Unmarshal(line, &req); err != nil {
 			rpcMalformed.Inc()
 			if err := s.writeFrame(conn, enc, errResponse("malformed request: %v", err)); err != nil {
@@ -175,14 +205,42 @@ func (s *Server) handleConn(conn net.Conn) {
 			}
 			continue
 		}
+		// The trace is anchored at decode start, so the decode span sits
+		// at offset 0 of the waterfall. When tracing is off the only
+		// cost on this path is one atomic load.
+		var tr *trace.Trace
+		if trace.Enabled() {
+			tr = trace.NewAt(req.Op, req.TraceID, decodeStart)
+			tr.RecordSpan("decode", decodeStart, time.Since(decodeStart))
+		}
 		start := time.Now()
-		resp := s.dispatch(req)
+		resp := s.dispatch(req, tr)
 		elapsed := time.Since(start)
 		observeRPC(req.Op, elapsed.Seconds(), resp)
-		if s.SlowQueryThreshold > 0 && elapsed > s.SlowQueryThreshold {
+		if tr != nil {
+			resp.TraceID = tr.ID
+		} else {
+			resp.TraceID = req.TraceID // still echo the correlation ID
+		}
+		slow := s.SlowQueryThreshold > 0 && elapsed > s.SlowQueryThreshold
+		if slow {
 			s.logSlow(req, resp, elapsed)
 		}
-		if err := s.writeFrame(conn, enc, resp); err != nil {
+		encStart := time.Now()
+		werr := s.writeFrame(conn, enc, resp)
+		if tr != nil {
+			tr.RecordSpan("encode", encStart, time.Since(encStart))
+			tr.Finish(time.Since(decodeStart), resp.Error, resp.Code, slow)
+			// Retention: every slow or errored request is kept; the rest
+			// are head-sampled. Published traces are immutable and never
+			// return to the pool.
+			if slow || !resp.OK || trace.HeadSample() {
+				trace.Publish(tr)
+			} else {
+				trace.Recycle(tr)
+			}
+		}
+		if werr != nil {
 			return
 		}
 	}
@@ -203,30 +261,34 @@ func (s *Server) writeFrame(conn net.Conn, enc *json.Encoder, resp Response) err
 		var nerr net.Error
 		if errors.As(err, &nerr) && nerr.Timeout() {
 			rpcErrors.With("write_timeout").Inc()
-			s.logf("casper/protocol: dropping %s: response write exceeded %s",
-				conn.RemoteAddr(), s.WriteTimeout)
+			s.logger.Warn("casper/protocol: dropping connection: response write exceeded deadline",
+				"remote", conn.RemoteAddr().String(), "timeout", s.WriteTimeout,
+				"trace_id", resp.TraceID)
 		}
 	}
 	return err
 }
 
-func (s *Server) dispatch(req Request) Response {
+func (s *Server) dispatch(req Request, tr *trace.Trace) Response {
+	// ops routes the anonymizer-path operations through a traced view
+	// of the framework; with tr == nil it is exactly the plain API.
+	ops := s.casper.Traced(tr)
 	switch req.Op {
 	case OpRegister:
-		err := s.casper.RegisterUser(
+		err := ops.RegisterUser(
 			anonymizer.UserID(req.UserID),
 			geom.Pt(req.X, req.Y),
 			anonymizer.Profile{K: req.K, AMin: req.AMin},
 		)
 		return okOrErr(err)
 	case OpUpdate:
-		return okOrErr(s.casper.UpdateUser(anonymizer.UserID(req.UserID), geom.Pt(req.X, req.Y)))
+		return okOrErr(ops.UpdateUser(anonymizer.UserID(req.UserID), geom.Pt(req.X, req.Y)))
 	case OpUpdateBatch, OpBatchUpdate:
 		updates := make([]core.UserUpdate, len(req.Batch))
 		for i, u := range req.Batch {
 			updates[i] = core.UserUpdate{UID: anonymizer.UserID(u.UserID), Pos: geom.Pt(u.X, u.Y)}
 		}
-		applied, err := s.casper.UpdateUsers(updates)
+		applied, err := ops.UpdateUsers(updates)
 		if err != nil {
 			resp := errFrom(err)
 			resp.Count = float64(applied)
@@ -236,30 +298,30 @@ func (s *Server) dispatch(req Request) Response {
 	case OpDeregister:
 		return okOrErr(s.casper.DeregisterUser(anonymizer.UserID(req.UserID)))
 	case OpSetProfile:
-		return okOrErr(s.casper.SetProfile(
+		return okOrErr(ops.SetProfile(
 			anonymizer.UserID(req.UserID),
 			anonymizer.Profile{K: req.K, AMin: req.AMin},
 		))
 	case OpNearestPublic:
-		ans, err := s.casper.NearestPublic(anonymizer.UserID(req.UserID))
+		ans, err := ops.NearestPublic(anonymizer.UserID(req.UserID))
 		if err != nil {
 			return errFrom(err)
 		}
 		return nnResponse(ans)
 	case OpNearestBuddy:
-		ans, err := s.casper.NearestBuddy(anonymizer.UserID(req.UserID))
+		ans, err := ops.NearestBuddy(anonymizer.UserID(req.UserID))
 		if err != nil {
 			return errFrom(err)
 		}
 		return nnResponse(ans)
 	case OpKNearestPublic:
-		items, cost, err := s.casper.KNearestPublic(anonymizer.UserID(req.UserID), req.NN)
+		items, cost, err := ops.KNearestPublic(anonymizer.UserID(req.UserID), req.NN)
 		if err != nil {
 			return errFrom(err)
 		}
 		return Response{OK: true, Cost: costWire(cost), Candidates: objectsWire(items)}
 	case OpRangePublic:
-		items, cost, err := s.casper.RangePublic(anonymizer.UserID(req.UserID), req.Radius)
+		items, cost, err := ops.RangePublic(anonymizer.UserID(req.UserID), req.Radius)
 		if err != nil {
 			return errFrom(err)
 		}
@@ -321,15 +383,18 @@ func (s *Server) logSlow(req Request, resp Response, elapsed time.Duration) {
 			outcome = resp.Code
 		}
 	}
+	attrs := make([]any, 0, 18)
+	attrs = append(attrs,
+		"op", req.Op, "uid", req.UserID, "took", elapsed, "outcome", outcome,
+		"trace_id", resp.TraceID)
 	if resp.Cost != nil {
-		s.logf("casper/protocol: slow query: op=%s uid=%d took=%s cloak=%s query=%s transmit=%s candidates=%d outcome=%s",
-			req.Op, req.UserID, elapsed,
-			time.Duration(resp.Cost.CloakNS), time.Duration(resp.Cost.QueryNS),
-			time.Duration(resp.Cost.TransmitNS), resp.Cost.Candidates, outcome)
-		return
+		attrs = append(attrs,
+			"cloak", time.Duration(resp.Cost.CloakNS),
+			"query", time.Duration(resp.Cost.QueryNS),
+			"transmit", time.Duration(resp.Cost.TransmitNS),
+			"candidates", resp.Cost.Candidates)
 	}
-	s.logf("casper/protocol: slow query: op=%s uid=%d took=%s outcome=%s",
-		req.Op, req.UserID, elapsed, outcome)
+	s.logger.Warn("casper/protocol: slow query", attrs...)
 }
 
 func okOrErr(err error) Response {

@@ -6,6 +6,7 @@ import (
 
 	"casper/internal/geom"
 	"casper/internal/privacyqp"
+	"casper/internal/trace"
 )
 
 // queryCache memoizes candidate lists for private queries over the
@@ -63,15 +64,25 @@ func newQueryCache(maxSize int) *queryCache {
 // do returns the result for key at the given table version, computing
 // it at most once across all concurrent callers: the first caller to
 // install the entry runs compute and fills it; everyone else waits on
-// the entry's ready channel and shares the result.
-func (c *queryCache) do(key cacheKey, version int64, compute func() (privacyqp.Result, error)) (privacyqp.Result, error) {
+// the entry's ready channel and shares the result. tr, when non-nil,
+// receives a "singleflight_wait" span if this caller had to block on
+// another caller's in-flight computation.
+func (c *queryCache) do(key cacheKey, version int64, tr *trace.Trace, compute func() (privacyqp.Result, error)) (privacyqp.Result, error) {
 	for {
 		fresh := &cacheEntry{version: version, ready: make(chan struct{})}
 		got, loaded := c.entries.LoadOrStore(key, fresh)
 		if loaded {
 			e := got.(*cacheEntry)
 			if e.version == version {
-				<-e.ready
+				select {
+				case <-e.ready:
+				default:
+					// The leader is still computing: this caller will
+					// actually block, which is worth a span of its own.
+					wsp := tr.StartSpan("singleflight_wait")
+					<-e.ready
+					wsp.End()
+				}
 				if e.err != nil {
 					// The leader failed. Errors are not cached (the
 					// leader removed the entry); compute independently

@@ -87,7 +87,7 @@ func TestConcurrentColdMissSingleFlight(t *testing.T) {
 		go func() {
 			defer done.Done()
 			started.Done()
-			res, err := c.do(key, 1, compute)
+			res, err := c.do(key, 1, nil, compute)
 			if err != nil {
 				t.Errorf("do: %v", err)
 			}
@@ -119,7 +119,7 @@ func TestSingleFlightErrorNotCached(t *testing.T) {
 		computes.Add(1)
 		return privacyqp.Result{}, privacyqp.ErrNoTargets
 	}
-	if _, err := c.do(key, 1, boom); err == nil {
+	if _, err := c.do(key, 1, nil, boom); err == nil {
 		t.Fatal("expected error")
 	}
 	if c.len() != 0 {
@@ -129,7 +129,7 @@ func TestSingleFlightErrorNotCached(t *testing.T) {
 		computes.Add(1)
 		return privacyqp.Result{Candidates: []rtree.Item{{ID: 1}}}, nil
 	}
-	res, err := c.do(key, 1, ok)
+	res, err := c.do(key, 1, nil, ok)
 	if err != nil || len(res.Candidates) != 1 {
 		t.Fatalf("recompute after error: %v %+v", err, res)
 	}
@@ -148,11 +148,11 @@ func TestSingleFlightStaleVersionReplaced(t *testing.T) {
 			return privacyqp.Result{Candidates: []rtree.Item{{ID: id}}}, nil
 		}
 	}
-	if res, _ := c.do(key, 1, mk(1)); res.Candidates[0].ID != 1 {
+	if res, _ := c.do(key, 1, nil, mk(1)); res.Candidates[0].ID != 1 {
 		t.Fatalf("v1 fill: %+v", res)
 	}
 	// Same key at version 2: the v1 entry must not serve.
-	if res, _ := c.do(key, 2, mk(2)); res.Candidates[0].ID != 2 {
+	if res, _ := c.do(key, 2, nil, mk(2)); res.Candidates[0].ID != 2 {
 		t.Fatalf("v2 served stale result: %+v", res)
 	}
 	// And the replacement is now cached at v2.

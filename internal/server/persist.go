@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"casper/internal/geom"
+	"casper/internal/trace"
 	"casper/internal/wal"
 )
 
@@ -123,26 +124,50 @@ func (p *Persistent) RemovePublic(id int64) error {
 
 // UpsertPrivate logs then applies.
 func (p *Persistent) UpsertPrivate(o PrivateObject) error {
+	return p.UpsertPrivateTraced(o, nil)
+}
+
+// UpsertPrivateTraced is UpsertPrivate with "wal_append" and "store"
+// spans recorded into tr (when non-nil) so a traced slow request
+// shows whether the log or the index rebuild dominated.
+func (p *Persistent) UpsertPrivateTraced(o PrivateObject, tr *trace.Trace) error {
 	p.walMu.Lock()
 	defer p.walMu.Unlock()
-	if err := p.append(wal.Record{
+	rec := wal.Record{
 		Type: wal.PrivateUpsert, ID: o.ID,
 		X0: o.Region.Min.X, Y0: o.Region.Min.Y,
 		X1: o.Region.Max.X, Y1: o.Region.Max.Y,
-	}); err != nil {
+	}
+	asp := tr.StartSpan("wal_append")
+	err := p.append(rec)
+	if tr != nil {
+		asp.End(trace.Int("bytes", int64(wal.RecordSize(rec))))
+	}
+	if err != nil {
 		return err
 	}
-	return p.Server.UpsertPrivate(o)
+	ssp := tr.StartSpan("store")
+	err = p.Server.UpsertPrivate(o)
+	ssp.End()
+	return err
 }
 
 // UpsertPrivateBatch logs the whole batch as one record (chunked only
 // past wal.MaxBatchEntries) and applies it under one server lock.
 func (p *Persistent) UpsertPrivateBatch(objs []PrivateObject) error {
+	return p.UpsertPrivateBatchTraced(objs, nil)
+}
+
+// UpsertPrivateBatchTraced is UpsertPrivateBatch with "wal_append"
+// and "store" spans recorded into tr (when non-nil).
+func (p *Persistent) UpsertPrivateBatchTraced(objs []PrivateObject, tr *trace.Trace) error {
 	if len(objs) == 0 {
 		return nil
 	}
 	p.walMu.Lock()
 	defer p.walMu.Unlock()
+	asp := tr.StartSpan("wal_append")
+	bytes := int64(0)
 	for start := 0; start < len(objs); start += wal.MaxBatchEntries {
 		end := min(start+wal.MaxBatchEntries, len(objs))
 		rec := wal.Record{Type: wal.PrivateUpsertBatch, Batch: make([]wal.BatchEntry, end-start)}
@@ -154,10 +179,20 @@ func (p *Persistent) UpsertPrivateBatch(objs []PrivateObject) error {
 			}
 		}
 		if err := p.append(rec); err != nil {
+			if tr != nil {
+				asp.End(trace.Int("bytes", bytes))
+			}
 			return err
 		}
+		bytes += int64(wal.RecordSize(rec))
 	}
-	return p.Server.UpsertPrivateBatch(objs)
+	if tr != nil {
+		asp.End(trace.Int("bytes", bytes), trace.Int("entries", int64(len(objs))))
+	}
+	ssp := tr.StartSpan("store")
+	err := p.Server.UpsertPrivateBatch(objs)
+	ssp.End()
+	return err
 }
 
 // RemovePrivate logs then applies.
@@ -185,6 +220,13 @@ func (p *Persistent) Sync() error {
 	p.walMu.Lock()
 	defer p.walMu.Unlock()
 	return p.syncLocked()
+}
+
+// SyncTraced is Sync with a "wal_sync" span recorded into tr.
+func (p *Persistent) SyncTraced(tr *trace.Trace) error {
+	sp := tr.StartSpan("wal_sync")
+	defer sp.End()
+	return p.Sync()
 }
 
 func (p *Persistent) syncLocked() error {

@@ -30,6 +30,7 @@ import (
 	"casper/internal/geom"
 	"casper/internal/privacyqp"
 	"casper/internal/rtree"
+	"casper/internal/trace"
 )
 
 // PublicObject is an exact-location object in the public table.
@@ -92,6 +93,14 @@ type Server struct {
 	// queries counts processed private queries (diagnostics).
 	queries atomic.Int64
 
+	// lastWriteAttempt is the UnixNano timestamp of the most recent
+	// mutation attempt (successful or not). Readiness probes compare
+	// it against the published snapshot's time: a snapshot older than
+	// the staleness bound is only unhealthy if a write has been
+	// attempted since it was published — an idle server aging
+	// gracefully is fine.
+	lastWriteAttempt atomic.Int64
+
 	// cache memoizes public-table candidate lists, validated against
 	// the snapshot's pubVersion.
 	cache *queryCache
@@ -122,9 +131,30 @@ func (s *Server) publish(next *indexSnapshot) {
 	snapshotPublishes.Inc()
 }
 
+// noteWrite records that a mutation is being attempted; called at the
+// entry of every write path, before anything can fail.
+func (s *Server) noteWrite() {
+	s.lastWriteAttempt.Store(time.Now().UnixNano())
+}
+
+// SnapshotStale reports whether the current snapshot is older than
+// bound with a write attempted since it was published — the signal
+// that the write path is wedged rather than merely idle. The returned
+// duration is the snapshot's age either way. bound <= 0 disables the
+// check.
+func (s *Server) SnapshotStale(bound time.Duration) (bool, time.Duration) {
+	snap := s.snap.Load()
+	age := time.Since(snap.published)
+	if bound <= 0 || age <= bound {
+		return false, age
+	}
+	return s.lastWriteAttempt.Load() > snap.published.UnixNano(), age
+}
+
 // LoadPublic bulk-loads the public table, replacing its contents.
 // Use at startup; incremental changes go through AddPublic.
 func (s *Server) LoadPublic(objs []PublicObject) {
+	s.noteWrite()
 	s.writeMu.Lock()
 	defer s.writeMu.Unlock()
 	items := make([]rtree.Item, len(objs))
@@ -147,6 +177,7 @@ func (s *Server) LoadPublic(objs []PublicObject) {
 
 // AddPublic inserts one public object.
 func (s *Server) AddPublic(o PublicObject) error {
+	s.noteWrite()
 	s.writeMu.Lock()
 	defer s.writeMu.Unlock()
 	s.idxMu.Lock()
@@ -170,6 +201,7 @@ func (s *Server) AddPublic(o PublicObject) error {
 
 // RemovePublic deletes a public object.
 func (s *Server) RemovePublic(id int64) error {
+	s.noteWrite()
 	s.writeMu.Lock()
 	defer s.writeMu.Unlock()
 	s.idxMu.Lock()
@@ -217,6 +249,7 @@ func (s *Server) UpsertPrivateBatch(objs []PrivateObject) error {
 	if len(objs) == 0 {
 		return nil
 	}
+	s.noteWrite()
 	s.writeMu.Lock()
 	defer s.writeMu.Unlock()
 	cur := s.snap.Load()
@@ -241,6 +274,7 @@ func (s *Server) UpsertPrivateBatch(objs []PrivateObject) error {
 
 // RemovePrivate deletes a private object (user quit).
 func (s *Server) RemovePrivate(id int64) error {
+	s.noteWrite()
 	s.writeMu.Lock()
 	defer s.writeMu.Unlock()
 	s.idxMu.Lock()
@@ -285,12 +319,31 @@ func (s *Server) NNPublic(cloak geom.Rect, opt privacyqp.Options) (privacyqp.Res
 	start := time.Now()
 	s.queries.Add(1)
 	snap := s.snap.Load()
+	tr := opt.Trace
+	csp := tr.StartSpan("cache_lookup")
 	key := cacheKey{region: cloak, filters: opt.Filters, k: 1}
-	res, err := s.cache.do(key, snap.pubVersion, func() (privacyqp.Result, error) {
+	computed := false
+	res, err := s.cache.do(key, snap.pubVersion, tr, func() (privacyqp.Result, error) {
+		computed = true
 		return privacyqp.PrivateNN(snap.public, cloak, privacyqp.PublicData, opt)
 	})
+	if tr != nil {
+		csp.End(trace.Str("outcome", cacheOutcome(computed)),
+			trace.Int("pub_version", snap.pubVersion),
+			trace.Int("candidates", int64(len(res.Candidates))))
+	}
 	qiNNPublic.observe(start, len(res.Candidates), err)
 	return res, err
+}
+
+// cacheOutcome names a cache_lookup span's result: "miss" when this
+// caller ran the compute (leader or error-fallback), "hit" when a
+// cached or single-flight-shared result was served.
+func cacheOutcome(computed bool) string {
+	if computed {
+		return "miss"
+	}
+	return "hit"
 }
 
 // NNPrivate answers a private nearest-neighbor query over the private
@@ -326,10 +379,19 @@ func (s *Server) KNNPublic(cloak geom.Rect, k int, opt privacyqp.Options) (priva
 	start := time.Now()
 	s.queries.Add(1)
 	snap := s.snap.Load()
+	tr := opt.Trace
+	csp := tr.StartSpan("cache_lookup")
 	key := cacheKey{region: cloak, filters: opt.Filters, k: k}
-	res, err := s.cache.do(key, snap.pubVersion, func() (privacyqp.Result, error) {
+	computed := false
+	res, err := s.cache.do(key, snap.pubVersion, tr, func() (privacyqp.Result, error) {
+		computed = true
 		return privacyqp.PrivateKNN(snap.public, cloak, k, privacyqp.PublicData, opt)
 	})
+	if tr != nil {
+		csp.End(trace.Str("outcome", cacheOutcome(computed)),
+			trace.Int("pub_version", snap.pubVersion),
+			trace.Int("candidates", int64(len(res.Candidates))))
+	}
 	qiKNNPublic.observe(start, len(res.Candidates), err)
 	return res, err
 }

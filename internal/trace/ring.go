@@ -1,0 +1,80 @@
+package trace
+
+import (
+	"sort"
+	"sync/atomic"
+)
+
+// Ring is a fixed-size lock-free buffer of completed traces. Writers
+// claim a slot with one atomic increment and publish with one atomic
+// pointer store; readers load slot pointers atomically and only ever
+// see fully-built immutable traces (Publish happens strictly after
+// the owning goroutine stops writing the trace). Overwrite is the
+// eviction policy: the ring always holds the most recent ~size
+// retained traces.
+type Ring struct {
+	slots []atomic.Pointer[Trace]
+	head  atomic.Uint64
+}
+
+// NewRing builds a ring with capacity n (minimum 1).
+func NewRing(n int) *Ring {
+	if n < 1 {
+		n = 1
+	}
+	return &Ring{slots: make([]atomic.Pointer[Trace], n)}
+}
+
+// Put retains a completed, immutable trace.
+func (r *Ring) Put(t *Trace) {
+	i := r.head.Add(1) - 1
+	r.slots[i%uint64(len(r.slots))].Store(t)
+}
+
+// Snapshot returns the currently retained traces, newest first. Two
+// writers can race a slot between our claim and store, so a slot may
+// briefly read as an older trace or nil; the result is simply what
+// was visible at each slot load.
+func (r *Ring) Snapshot() []*Trace {
+	out := make([]*Trace, 0, len(r.slots))
+	for i := range r.slots {
+		if t := r.slots[i].Load(); t != nil {
+			out = append(out, t)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Started.After(out[j].Started) })
+	return out
+}
+
+// Find returns the retained trace with the given ID, or nil.
+func (r *Ring) Find(id string) *Trace {
+	for i := range r.slots {
+		if t := r.slots[i].Load(); t != nil && t.ID == id {
+			return t
+		}
+	}
+	return nil
+}
+
+// Len returns the number of retained traces.
+func (r *Ring) Len() int {
+	n := 0
+	for i := range r.slots {
+		if r.slots[i].Load() != nil {
+			n++
+		}
+	}
+	return n
+}
+
+// Default is the process-wide ring that /debug/traces serves.
+var Default = NewRing(256)
+
+// Publish retains a completed trace in the default ring. The trace
+// must not be written (or recycled) afterwards.
+func Publish(t *Trace) {
+	if t == nil {
+		return
+	}
+	Default.Put(t)
+}
