@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race check bench bench-updates bench-queries bench-smoke bench-allocs race-stress
+.PHONY: all build vet test race check bench bench-updates bench-queries bench-smoke bench-allocs bench-e2e fuzz race-stress
 
 all: check
 
@@ -79,6 +79,30 @@ bench-allocs:
 	@awk '/^BenchmarkNN\// || /^BenchmarkNN-/ || /^BenchmarkNN / { \
 	  if ($$7+0 > 5) { printf "FAIL: %s allocates %s allocs/op (budget 5)\n", $$1, $$7; exit 1 } \
 	  else { printf "ok: %s at %s allocs/op (budget 5)\n", $$1, $$7 } }' /tmp/bench-allocs.txt
+
+# bench-e2e measures the wire protocol end to end and records the
+# numbers in BENCH_e2e.json. Two layers: the single-connection
+# microbenchmark pair (BenchmarkProtocolV1Serialized vs
+# BenchmarkProtocolV2Pipelined; the v2 redesign's acceptance bar is
+# >= 2x the serialized v1 requests/second) and a 10-second open-loop
+# casper-loadgen run against an in-process server (p50/p99/p99.9
+# latency, error and shed rates vs the SLO). The ratio is the robust
+# headline; the SLO grade is open-loop and therefore charges any
+# host-level stall to the tail, so on small shared CI machines it can
+# flip run to run at the same offered rate.
+bench-e2e:
+	$(GO) test -run XXX -bench 'BenchmarkProtocol(V1Serialized|V2Pipelined)$$' -benchmem ./internal/protocol | tee /tmp/bench-pipeline.txt
+	$(GO) run ./cmd/casper-loadgen -duration 10s -rate 1000 \
+	  -pipeline-bench /tmp/bench-pipeline.txt -out BENCH_e2e.json
+	@echo "wrote BENCH_e2e.json"
+
+# fuzz exercises the v2 frame decoder and codecs beyond the committed
+# seed corpus (internal/protocol/testdata/fuzz). Each fuzzer gets a
+# short budget; go only allows one -fuzz pattern per invocation.
+fuzz:
+	$(GO) test -run XXX -fuzz FuzzV2DecodeRequest -fuzztime 10s ./internal/protocol
+	$(GO) test -run XXX -fuzz FuzzV2DecodeResponse -fuzztime 10s ./internal/protocol
+	$(GO) test -run XXX -fuzz FuzzV2ReadFrame -fuzztime 10s ./internal/protocol
 
 # race-stress runs the concurrency stress suites repeatedly under the
 # race detector: striped/batched anonymizer stress, the core batch

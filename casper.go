@@ -47,6 +47,8 @@
 package casper
 
 import (
+	"context"
+
 	"casper/internal/anonymizer"
 	"casper/internal/continuous"
 	"casper/internal/core"
@@ -212,13 +214,55 @@ type (
 	// WireError is an application error received over the protocol;
 	// errors.Is sees through it to the sentinel it transports.
 	WireError = protocol.WireError
+	// ProtocolDialOption configures DialProtocolContext.
+	ProtocolDialOption = protocol.DialOption
 )
+
+// Wire protocol versions for WithProtocolVersion.
+const (
+	// ProtocolV1 is the newline-delimited JSON protocol (serialized
+	// requests; what servers before v2 speak).
+	ProtocolV1 = protocol.Version1
+	// ProtocolV2 is the pipelined length-prefixed binary protocol (the
+	// dial default).
+	ProtocolV2 = protocol.Version2
+)
+
+// Dial options, re-exported from internal/protocol.
+var (
+	// WithDialTimeout bounds connection establishment and the v2
+	// handshake.
+	WithDialTimeout = protocol.WithDialTimeout
+	// WithProtocolVersion pins the wire protocol version (ProtocolV1
+	// for old servers; ProtocolV2 is the default).
+	WithProtocolVersion = protocol.WithProtocolVersion
+	// WithMaxInFlight caps concurrent in-flight requests on one v2
+	// connection.
+	WithMaxInFlight = protocol.WithMaxInFlight
+)
+
+// ErrDeprecatedOp reports a request using a retired wire op (protocol
+// v2 rejects "batch_update"; use the update_batch op via
+// ProtocolClient.BatchUpdate). See DESIGN.md §9 for the removal
+// schedule.
+var ErrDeprecatedOp = protocol.ErrDeprecatedOp
 
 // NewProtocolServer wraps a framework instance for network serving.
 func NewProtocolServer(c *Casper) *ProtocolServer { return protocol.NewServer(c) }
 
+// DialProtocolContext connects to a running casperd. The context
+// bounds connection establishment and the protocol handshake; options
+// pin the protocol version, dial timeout, and in-flight cap.
+func DialProtocolContext(ctx context.Context, addr string, opts ...ProtocolDialOption) (*ProtocolClient, error) {
+	return protocol.DialContext(ctx, addr, opts...)
+}
+
 // DialProtocol connects to a running casperd.
-func DialProtocol(addr string) (*ProtocolClient, error) { return protocol.Dial(addr) }
+//
+// Deprecated: use DialProtocolContext.
+func DialProtocol(addr string, opts ...ProtocolDialOption) (*ProtocolClient, error) {
+	return protocol.Dial(addr, opts...)
+}
 
 // Workload generation, re-exported for examples and downstream
 // benchmarks.

@@ -1,0 +1,134 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// report is the BENCH_e2e.json payload: one open-loop run's capacity
+// numbers plus (optionally) the microbenchmark ratio backing the
+// protocol-v2 acceptance bar.
+type report struct {
+	Generated  string  `json:"generated"`
+	Protocol   int     `json:"protocol"`
+	Addr       string  `json:"addr,omitempty"`
+	InProcess  bool    `json:"in_process"`
+	Duration   float64 `json:"duration_seconds"`
+	TargetRate float64 `json:"target_rate_rps"`
+	Conns      int     `json:"connections"`
+	InFlight   int     `json:"in_flight_per_conn"`
+	Users      int     `json:"users"`
+	Targets    int     `json:"targets"`
+	Mix        string  `json:"mix"`
+	Seed       int64   `json:"seed"`
+
+	Scheduled    int64            `json:"scheduled"`
+	Completed    int64            `json:"completed"`
+	Errors       int64            `json:"errors"`
+	Shed         int64            `json:"shed"`
+	AchievedRate float64          `json:"achieved_rate_rps"`
+	ErrorRate    float64          `json:"error_rate"`
+	ShedRate     float64          `json:"shed_rate"`
+	P50Millis    float64          `json:"p50_ms"`
+	P99Millis    float64          `json:"p99_ms"`
+	P999Millis   float64          `json:"p999_ms"`
+	SLOMillis    float64          `json:"slo_p99_ms"`
+	SLOMet       bool             `json:"slo_met"`
+	PerOp        map[string]int64 `json:"completed_per_op"`
+
+	PipelineBench *pipelineBench `json:"pipeline_benchmark,omitempty"`
+}
+
+// pipelineBench is the single-connection microbenchmark pair from
+// `go test -bench Protocol`: serialized v1 vs 64-deep pipelined v2 on
+// the same RPC. SpeedupRPS is the acceptance headline (bar: >= 2).
+type pipelineBench struct {
+	V1NsPerOp  float64 `json:"v1_serialized_ns_per_op"`
+	V2NsPerOp  float64 `json:"v2_pipelined_ns_per_op"`
+	SpeedupRPS float64 `json:"v2_over_v1_rps"`
+	Bar        float64 `json:"acceptance_bar"`
+	BarMet     bool    `json:"acceptance_bar_met"`
+}
+
+// parsePipelineBench extracts ns/op for the two protocol benchmarks
+// from `go test -bench` output. Benchmark lines look like:
+//
+//	BenchmarkProtocolV2Pipelined-4   123456   6000 ns/op   ...
+func parsePipelineBench(path string) (*pipelineBench, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var v1, v2 float64
+	for _, line := range strings.Split(string(data), "\n") {
+		fields := strings.Fields(line)
+		if len(fields) < 3 {
+			continue
+		}
+		name := fields[0]
+		var target *float64
+		switch {
+		case strings.HasPrefix(name, "BenchmarkProtocolV1Serialized"):
+			target = &v1
+		case strings.HasPrefix(name, "BenchmarkProtocolV2Pipelined"):
+			target = &v2
+		default:
+			continue
+		}
+		// fields: name, iterations, ns/op value, "ns/op", ...
+		ns, err := strconv.ParseFloat(fields[2], 64)
+		if err != nil {
+			return nil, fmt.Errorf("%s: bad ns/op in %q", path, line)
+		}
+		*target = ns
+	}
+	if v1 == 0 || v2 == 0 {
+		return nil, fmt.Errorf("%s: missing BenchmarkProtocolV1Serialized or BenchmarkProtocolV2Pipelined", path)
+	}
+	pb := &pipelineBench{V1NsPerOp: v1, V2NsPerOp: v2, SpeedupRPS: v1 / v2, Bar: 2}
+	pb.BarMet = pb.SpeedupRPS >= pb.Bar
+	return pb, nil
+}
+
+func (r *report) write(path string) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+func (r *report) print(w io.Writer) {
+	mode := "remote " + r.Addr
+	if r.InProcess {
+		mode = "in-process"
+	}
+	fmt.Fprintf(w, "casper-loadgen: protocol v%d, %s, %d conns x %d in-flight\n",
+		r.Protocol, mode, r.Conns, r.InFlight)
+	fmt.Fprintf(w, "  offered  %.0f req/s for %.1fs -> %d scheduled\n",
+		r.TargetRate, r.Duration, r.Scheduled)
+	fmt.Fprintf(w, "  achieved %.0f req/s (%d completed, %d errors, %d shed)\n",
+		r.AchievedRate, r.Completed, r.Errors, r.Shed)
+	fmt.Fprintf(w, "  latency  p50 %.2fms  p99 %.2fms  p99.9 %.2fms  (SLO p99 <= %.0fms: %s)\n",
+		r.P50Millis, r.P99Millis, r.P999Millis, r.SLOMillis, passFail(r.SLOMet))
+	for _, op := range opNames {
+		if n := r.PerOp[op]; n > 0 {
+			fmt.Fprintf(w, "  %-7s %d\n", op, n)
+		}
+	}
+	if pb := r.PipelineBench; pb != nil {
+		fmt.Fprintf(w, "  pipeline bench: v1 %.0f ns/op, v2 %.0f ns/op -> %.2fx RPS (bar %.0fx: %s)\n",
+			pb.V1NsPerOp, pb.V2NsPerOp, pb.SpeedupRPS, pb.Bar, passFail(pb.BarMet))
+	}
+}
+
+func passFail(ok bool) string {
+	if ok {
+		return "pass"
+	}
+	return "FAIL"
+}

@@ -40,6 +40,8 @@ import (
 func main() {
 	addr := flag.String("addr", "127.0.0.1:7467", "casperd address")
 	timeout := flag.Duration("timeout", 10*time.Second, "per-command deadline (0 disables)")
+	protoVersion := flag.Int("protocol", casper.ProtocolV2,
+		"wire protocol version (2 = pipelined binary, 1 = JSON for old servers)")
 	flag.Usage = usage
 	flag.Parse()
 	args := flag.Args()
@@ -81,7 +83,8 @@ func main() {
 		return
 	}
 
-	cl, err := casper.DialProtocol(*addr)
+	cl, err := casper.DialProtocolContext(ctx, *addr,
+		casper.WithProtocolVersion(*protoVersion))
 	if err != nil {
 		fatal("%v", err)
 	}

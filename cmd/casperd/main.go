@@ -73,6 +73,7 @@ func main() {
 	traceOn := flag.Bool("trace", true, "record per-request traces into the /debug/traces ring")
 	traceSample := flag.Int("trace-sample", 16, "head-sample 1 in N successful requests (1 = all, 0 = none; slow and errored requests are always kept)")
 	readyMaxSnapAge := flag.Duration("ready-max-snapshot-age", 0, "/readyz fails when the query snapshot is older than this with writes pending; 0 disables")
+	maxInFlight := flag.Int("max-inflight", 0, "per-connection cap on concurrently dispatched protocol v2 requests (0 = default)")
 	flag.Parse()
 
 	metrics.RegisterBuildInfo(version)
@@ -134,6 +135,7 @@ func main() {
 
 	srv := casper.NewProtocolServer(c)
 	srv.SlowQueryThreshold = *slowQuery
+	srv.MaxInFlight = *maxInFlight
 	if *slowQuery > 0 {
 		slog.Info("slow-query log enabled", "threshold", *slowQuery)
 	}

@@ -48,7 +48,7 @@ func main() {
 	// Client side: three phones and one admin console.
 	phones := make([]*casper.ProtocolClient, 3)
 	for i := range phones {
-		cl, err := casper.DialProtocol(addr.String())
+		cl, err := casper.DialProtocolContext(ctx, addr.String())
 		if err != nil {
 			log.Fatalf("dial: %v", err)
 		}
@@ -85,7 +85,10 @@ func main() {
 		buddy.Exact.Rect.MinY, buddy.Exact.Rect.MaxY)
 
 	// The admin console counts users without any anonymizer involved.
-	admin, err := casper.DialProtocol(addr.String())
+	// The admin console pins protocol v1 — exercising the JSON path the
+	// fleet's oldest clients still speak against the same listener.
+	admin, err := casper.DialProtocolContext(ctx, addr.String(),
+		casper.WithProtocolVersion(casper.ProtocolV1))
 	if err != nil {
 		log.Fatalf("dial admin: %v", err)
 	}

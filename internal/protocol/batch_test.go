@@ -89,9 +89,15 @@ func TestWriteTimeoutDropsStalledClient(t *testing.T) {
 	// ever reading until the server's write stalls and times out.
 	req, _ := json.Marshal(Request{Op: OpDensity, NN: 64})
 	req = append(req, '\n')
+	// The client's own write deadline spans the whole budget: on a
+	// slow (race-instrumented, loaded) machine the server can take
+	// seconds to reach its first blocked write, and breaking early on
+	// a short client-side deadline would skip the very stall this
+	// test exists to provoke. Only a real error — the server dropping
+	// the connection — ends the loop.
 	deadline := time.Now().Add(10 * time.Second)
+	conn.SetWriteDeadline(deadline)
 	for time.Now().Before(deadline) {
-		conn.SetWriteDeadline(time.Now().Add(time.Second))
 		if _, err := conn.Write(req); err != nil {
 			break // server gave up on us: deadline fired
 		}

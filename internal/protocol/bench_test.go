@@ -1,0 +1,99 @@
+package protocol
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"casper/internal/core"
+	"casper/internal/geom"
+	"casper/internal/server"
+)
+
+// benchServer is startServer for benchmarks: one world, 200 POIs, one
+// registered user to query against.
+func benchServer(b *testing.B) string {
+	b.Helper()
+	cfg := core.DefaultConfig()
+	cfg.Universe = geom.R(0, 0, 4096, 4096)
+	cfg.PyramidLevels = 7
+	c := core.MustNew(cfg)
+	rng := rand.New(rand.NewSource(1))
+	objs := make([]server.PublicObject, 200)
+	for i := range objs {
+		objs[i] = server.PublicObject{
+			ID:   int64(i),
+			Pos:  geom.Pt(rng.Float64()*4096, rng.Float64()*4096),
+			Name: fmt.Sprintf("poi-%d", i),
+		}
+	}
+	c.LoadPublicObjects(objs)
+	srv := NewServer(c)
+	srv.SetLogf(func(string, ...any) {})
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { srv.Close() })
+	return addr.String()
+}
+
+// BenchmarkProtocolV1Serialized measures the v1 JSON protocol's
+// single-connection ceiling: one request in flight at a time, which is
+// all the unframed stream permits.
+func BenchmarkProtocolV1Serialized(b *testing.B) {
+	addr := benchServer(b)
+	cl, err := DialContext(ctx, addr, WithProtocolVersion(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer cl.Close()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cl.Stats(ctx); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkProtocolV2Pipelined measures the same RPC on the same kind
+// of single connection, but with 64 concurrent requests in flight over
+// v2 framing. The acceptance bar for the protocol redesign is >=2x the
+// serialized v1 requests/second (see BENCH_e2e.json).
+func BenchmarkProtocolV2Pipelined(b *testing.B) {
+	addr := benchServer(b)
+	cl, err := DialContext(ctx, addr, WithProtocolVersion(2), WithMaxInFlight(64))
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer cl.Close()
+	const workers = 64
+	b.ReportAllocs()
+	b.ResetTimer()
+	var wg sync.WaitGroup
+	jobs := make(chan struct{}, workers)
+	var benchErr error
+	var once sync.Once
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for range jobs {
+				if _, err := cl.Stats(ctx); err != nil {
+					once.Do(func() { benchErr = err })
+					return
+				}
+			}
+		}()
+	}
+	for i := 0; i < b.N; i++ {
+		jobs <- struct{}{}
+	}
+	close(jobs)
+	wg.Wait()
+	if benchErr != nil {
+		b.Fatal(benchErr)
+	}
+}

@@ -1,0 +1,564 @@
+// binary.go is the v2 wire codec: a compact, allocation-conscious
+// binary encoding of Request and Response. Encoding appends to a
+// caller-supplied (pooled) buffer; decoding is strictly bounds-checked
+// and rejects trailing garbage, unknown field masks, and counts that
+// could not possibly fit the remaining bytes, so a hostile peer can
+// neither panic the decoder nor make it allocate unbounded memory
+// (see FuzzV2DecodeRequest / FuzzV2DecodeResponse).
+//
+// Field presence mirrors v1's JSON omitempty semantics bit for bit: a
+// zero-valued field is simply absent from the frame and decodes back
+// to its zero value, so the two codecs are interchangeable above the
+// transport.
+package protocol
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Opcodes for the known ops. Opcode 0 escapes to an explicit op
+// string so Raw requests with unknown ops still round-trip (and still
+// earn the server's "unknown op" response). Opcodes are wire-stable:
+// never renumber or reuse one.
+const (
+	opcodeStringOp byte = iota
+	opcodeRegister
+	opcodeUpdate
+	opcodeUpdateBatch
+	opcodeBatchUpdate
+	opcodeDeregister
+	opcodeSetProfile
+	opcodeNearestPublic
+	opcodeNearestBuddy
+	opcodeKNearestPublic
+	opcodeRangePublic
+	opcodeCountUsers
+	opcodeAddPublic
+	opcodeDensity
+	opcodeStats
+	opcodeEnd // one past the last valid opcode
+)
+
+// opByOpcode decodes an opcode; opcodeByOp is its inverse.
+var opByOpcode = [opcodeEnd]string{
+	opcodeRegister:       OpRegister,
+	opcodeUpdate:         OpUpdate,
+	opcodeUpdateBatch:    OpUpdateBatch,
+	opcodeBatchUpdate:    OpBatchUpdate,
+	opcodeDeregister:     OpDeregister,
+	opcodeSetProfile:     OpSetProfile,
+	opcodeNearestPublic:  OpNearestPublic,
+	opcodeNearestBuddy:   OpNearestBuddy,
+	opcodeKNearestPublic: OpKNearestPublic,
+	opcodeRangePublic:    OpRangePublic,
+	opcodeCountUsers:     OpCountUsers,
+	opcodeAddPublic:      OpAddPublic,
+	opcodeDensity:        OpDensity,
+	opcodeStats:          OpStats,
+}
+
+var opcodeByOp = func() map[string]byte {
+	m := make(map[string]byte, opcodeEnd)
+	for code, op := range opByOpcode {
+		if op != "" {
+			m[op] = byte(code)
+		}
+	}
+	return m
+}()
+
+// Request field-presence bits.
+const (
+	reqFUID uint32 = 1 << iota
+	reqFX
+	reqFY
+	reqFK
+	reqFNN
+	reqFAMin
+	reqFRadius
+	reqFRect
+	reqFBatch
+	reqFPolicy
+	reqFName
+	reqFPubID
+	reqFTraceID
+
+	reqFKnown = reqFTraceID<<1 - 1
+)
+
+// Response field-presence bits (Response.OK travels in a flags byte,
+// not the mask).
+const (
+	respFError uint32 = 1 << iota
+	respFCode
+	respFExact
+	respFCandidates
+	respFCount
+	respFCost
+	respFStats
+	respFDensity
+	respFTraceID
+
+	respFKnown = respFTraceID<<1 - 1
+)
+
+const respFlagOK byte = 1
+
+// --- append helpers -------------------------------------------------
+
+func appendU32(b []byte, v uint32) []byte { return binary.BigEndian.AppendUint32(b, v) }
+func appendU64(b []byte, v uint64) []byte { return binary.BigEndian.AppendUint64(b, v) }
+func appendI64(b []byte, v int64) []byte  { return appendU64(b, uint64(v)) }
+func appendF64(b []byte, v float64) []byte {
+	return appendU64(b, math.Float64bits(v))
+}
+
+func appendString(b []byte, s string) []byte {
+	b = appendU32(b, uint32(len(s)))
+	return append(b, s...)
+}
+
+func appendRect(b []byte, r Rect) []byte {
+	b = appendF64(b, r.MinX)
+	b = appendF64(b, r.MinY)
+	b = appendF64(b, r.MaxX)
+	return appendF64(b, r.MaxY)
+}
+
+func appendObject(b []byte, o *Object) []byte {
+	b = appendI64(b, o.ID)
+	b = appendRect(b, o.Rect)
+	return appendString(b, o.Name)
+}
+
+// appendRequest encodes req after the frame header.
+func appendRequest(b []byte, req *Request) ([]byte, error) {
+	code, known := opcodeByOp[req.Op]
+	if !known {
+		code = opcodeStringOp
+	}
+	b = append(b, code)
+	if !known {
+		if len(req.Op) > 255 {
+			return nil, fmt.Errorf("op name too long (%d bytes)", len(req.Op))
+		}
+		b = appendString(b, req.Op)
+	}
+	var mask uint32
+	if req.UserID != 0 {
+		mask |= reqFUID
+	}
+	if req.X != 0 {
+		mask |= reqFX
+	}
+	if req.Y != 0 {
+		mask |= reqFY
+	}
+	if req.K != 0 {
+		mask |= reqFK
+	}
+	if req.NN != 0 {
+		mask |= reqFNN
+	}
+	if req.AMin != 0 {
+		mask |= reqFAMin
+	}
+	if req.Radius != 0 {
+		mask |= reqFRadius
+	}
+	if req.Rect != nil {
+		mask |= reqFRect
+	}
+	if len(req.Batch) != 0 {
+		mask |= reqFBatch
+	}
+	if req.Policy != "" {
+		mask |= reqFPolicy
+	}
+	if req.Name != "" {
+		mask |= reqFName
+	}
+	if req.PubID != 0 {
+		mask |= reqFPubID
+	}
+	if req.TraceID != "" {
+		mask |= reqFTraceID
+	}
+	b = appendU32(b, mask)
+	if mask&reqFUID != 0 {
+		b = appendI64(b, req.UserID)
+	}
+	if mask&reqFX != 0 {
+		b = appendF64(b, req.X)
+	}
+	if mask&reqFY != 0 {
+		b = appendF64(b, req.Y)
+	}
+	if mask&reqFK != 0 {
+		b = appendI64(b, int64(req.K))
+	}
+	if mask&reqFNN != 0 {
+		b = appendI64(b, int64(req.NN))
+	}
+	if mask&reqFAMin != 0 {
+		b = appendF64(b, req.AMin)
+	}
+	if mask&reqFRadius != 0 {
+		b = appendF64(b, req.Radius)
+	}
+	if mask&reqFRect != 0 {
+		b = appendRect(b, *req.Rect)
+	}
+	if mask&reqFBatch != 0 {
+		b = appendU32(b, uint32(len(req.Batch)))
+		for i := range req.Batch {
+			u := &req.Batch[i]
+			b = appendI64(b, u.UserID)
+			b = appendF64(b, u.X)
+			b = appendF64(b, u.Y)
+		}
+	}
+	if mask&reqFPolicy != 0 {
+		b = appendString(b, req.Policy)
+	}
+	if mask&reqFName != 0 {
+		b = appendString(b, req.Name)
+	}
+	if mask&reqFPubID != 0 {
+		b = appendI64(b, req.PubID)
+	}
+	if mask&reqFTraceID != 0 {
+		b = appendString(b, req.TraceID)
+	}
+	return b, nil
+}
+
+// appendResponse encodes resp after the frame header. Response
+// encoding cannot fail: every representable Response has a frame.
+func appendResponse(b []byte, resp *Response) []byte {
+	var flags byte
+	if resp.OK {
+		flags |= respFlagOK
+	}
+	b = append(b, flags)
+	var mask uint32
+	if resp.Error != "" {
+		mask |= respFError
+	}
+	if resp.Code != "" {
+		mask |= respFCode
+	}
+	if resp.Exact != nil {
+		mask |= respFExact
+	}
+	if len(resp.Candidates) != 0 {
+		mask |= respFCandidates
+	}
+	if resp.Count != 0 {
+		mask |= respFCount
+	}
+	if resp.Cost != nil {
+		mask |= respFCost
+	}
+	if resp.Stats != nil {
+		mask |= respFStats
+	}
+	if resp.Density != nil {
+		mask |= respFDensity
+	}
+	if resp.TraceID != "" {
+		mask |= respFTraceID
+	}
+	b = appendU32(b, mask)
+	if mask&respFError != 0 {
+		b = appendString(b, resp.Error)
+	}
+	if mask&respFCode != 0 {
+		b = appendString(b, resp.Code)
+	}
+	if mask&respFExact != 0 {
+		b = appendObject(b, resp.Exact)
+	}
+	if mask&respFCandidates != 0 {
+		b = appendU32(b, uint32(len(resp.Candidates)))
+		for i := range resp.Candidates {
+			b = appendObject(b, &resp.Candidates[i])
+		}
+	}
+	if mask&respFCount != 0 {
+		b = appendF64(b, resp.Count)
+	}
+	if mask&respFCost != 0 {
+		b = appendI64(b, resp.Cost.CloakNS)
+		b = appendI64(b, resp.Cost.QueryNS)
+		b = appendI64(b, resp.Cost.TransmitNS)
+		b = appendI64(b, int64(resp.Cost.Candidates))
+	}
+	if mask&respFStats != 0 {
+		b = appendI64(b, int64(resp.Stats.Users))
+		b = appendI64(b, int64(resp.Stats.PublicObjs))
+		b = appendI64(b, resp.Stats.Queries)
+		b = appendI64(b, resp.Stats.UpdateCost)
+	}
+	if mask&respFDensity != 0 {
+		b = appendU32(b, uint32(len(resp.Density)))
+		for _, row := range resp.Density {
+			b = appendU32(b, uint32(len(row)))
+			for _, v := range row {
+				b = appendF64(b, v)
+			}
+		}
+	}
+	if mask&respFTraceID != 0 {
+		b = appendString(b, resp.TraceID)
+	}
+	return b
+}
+
+// --- bounds-checked reader ------------------------------------------
+
+// wireReader walks a frame payload. The first over-read latches bad;
+// every subsequent read returns zero values, so decode functions check
+// bad once at the end instead of after every field.
+type wireReader struct {
+	b   []byte
+	off int
+	bad bool
+}
+
+func (r *wireReader) remaining() int { return len(r.b) - r.off }
+
+func (r *wireReader) u8() byte {
+	if r.bad || r.remaining() < 1 {
+		r.bad = true
+		return 0
+	}
+	v := r.b[r.off]
+	r.off++
+	return v
+}
+
+func (r *wireReader) u32() uint32 {
+	if r.bad || r.remaining() < 4 {
+		r.bad = true
+		return 0
+	}
+	v := binary.BigEndian.Uint32(r.b[r.off:])
+	r.off += 4
+	return v
+}
+
+func (r *wireReader) u64() uint64 {
+	if r.bad || r.remaining() < 8 {
+		r.bad = true
+		return 0
+	}
+	v := binary.BigEndian.Uint64(r.b[r.off:])
+	r.off += 8
+	return v
+}
+
+func (r *wireReader) i64() int64   { return int64(r.u64()) }
+func (r *wireReader) f64() float64 { return math.Float64frombits(r.u64()) }
+
+// intField decodes an i64 and narrows it to int, rejecting values
+// that do not survive the round trip on 32-bit platforms.
+func (r *wireReader) intField() int {
+	v := r.i64()
+	n := int(v)
+	if int64(n) != v {
+		r.bad = true
+		return 0
+	}
+	return n
+}
+
+func (r *wireReader) str() string {
+	n := r.u32()
+	if r.bad || int(n) > r.remaining() {
+		r.bad = true
+		return ""
+	}
+	s := string(r.b[r.off : r.off+int(n)])
+	r.off += int(n)
+	return s
+}
+
+// count reads an element count and rejects any that could not fit in
+// the remaining bytes at minBytes per element — the guard that stops
+// a 12-byte frame from demanding a billion-entry allocation.
+func (r *wireReader) count(minBytes int) int {
+	n := r.u32()
+	if r.bad || int64(n)*int64(minBytes) > int64(r.remaining()) {
+		r.bad = true
+		return 0
+	}
+	return int(n)
+}
+
+func (r *wireReader) rect() Rect {
+	return Rect{MinX: r.f64(), MinY: r.f64(), MaxX: r.f64(), MaxY: r.f64()}
+}
+
+func (r *wireReader) object() Object {
+	o := Object{ID: r.i64(), Rect: r.rect()}
+	o.Name = r.str()
+	return o
+}
+
+// finish validates that the payload was consumed exactly.
+func (r *wireReader) finish(what string) error {
+	if r.bad {
+		return fmt.Errorf("truncated or malformed %s frame", what)
+	}
+	if r.off != len(r.b) {
+		return fmt.Errorf("%s frame has %d trailing bytes", what, len(r.b)-r.off)
+	}
+	return nil
+}
+
+// decodeRequest decodes a v2 request payload (the bytes after the
+// request id). It never panics and never over-reads, whatever b holds.
+func decodeRequest(b []byte) (Request, error) {
+	r := wireReader{b: b}
+	var req Request
+	code := r.u8()
+	switch {
+	case code == opcodeStringOp:
+		req.Op = r.str()
+	case code < opcodeEnd:
+		req.Op = opByOpcode[code]
+	default:
+		return Request{}, fmt.Errorf("unknown opcode %d", code)
+	}
+	mask := r.u32()
+	if mask&^reqFKnown != 0 {
+		return Request{}, fmt.Errorf("unknown request field mask %#x", mask&^reqFKnown)
+	}
+	if mask&reqFUID != 0 {
+		req.UserID = r.i64()
+	}
+	if mask&reqFX != 0 {
+		req.X = r.f64()
+	}
+	if mask&reqFY != 0 {
+		req.Y = r.f64()
+	}
+	if mask&reqFK != 0 {
+		req.K = r.intField()
+	}
+	if mask&reqFNN != 0 {
+		req.NN = r.intField()
+	}
+	if mask&reqFAMin != 0 {
+		req.AMin = r.f64()
+	}
+	if mask&reqFRadius != 0 {
+		req.Radius = r.f64()
+	}
+	if mask&reqFRect != 0 {
+		rect := r.rect()
+		req.Rect = &rect
+	}
+	if mask&reqFBatch != 0 {
+		n := r.count(24)
+		if n > 0 {
+			req.Batch = make([]BatchUpdate, n)
+			for i := range req.Batch {
+				req.Batch[i] = BatchUpdate{UserID: r.i64(), X: r.f64(), Y: r.f64()}
+			}
+		}
+	}
+	if mask&reqFPolicy != 0 {
+		req.Policy = r.str()
+	}
+	if mask&reqFName != 0 {
+		req.Name = r.str()
+	}
+	if mask&reqFPubID != 0 {
+		req.PubID = r.i64()
+	}
+	if mask&reqFTraceID != 0 {
+		req.TraceID = r.str()
+	}
+	if err := r.finish("request"); err != nil {
+		return Request{}, err
+	}
+	return req, nil
+}
+
+// decodeResponse decodes a v2 response payload; same guarantees as
+// decodeRequest.
+func decodeResponse(b []byte) (Response, error) {
+	r := wireReader{b: b}
+	var resp Response
+	flags := r.u8()
+	if flags&^respFlagOK != 0 {
+		return Response{}, fmt.Errorf("unknown response flags %#x", flags&^respFlagOK)
+	}
+	resp.OK = flags&respFlagOK != 0
+	mask := r.u32()
+	if mask&^respFKnown != 0 {
+		return Response{}, fmt.Errorf("unknown response field mask %#x", mask&^respFKnown)
+	}
+	if mask&respFError != 0 {
+		resp.Error = r.str()
+	}
+	if mask&respFCode != 0 {
+		resp.Code = r.str()
+	}
+	if mask&respFExact != 0 {
+		o := r.object()
+		resp.Exact = &o
+	}
+	if mask&respFCandidates != 0 {
+		// An object is at least id + rect + name length: 44 bytes.
+		n := r.count(44)
+		if n > 0 {
+			resp.Candidates = make([]Object, n)
+			for i := range resp.Candidates {
+				resp.Candidates[i] = r.object()
+			}
+		}
+	}
+	if mask&respFCount != 0 {
+		resp.Count = r.f64()
+	}
+	if mask&respFCost != 0 {
+		resp.Cost = &Cost{
+			CloakNS:    r.i64(),
+			QueryNS:    r.i64(),
+			TransmitNS: r.i64(),
+			Candidates: r.intField(),
+		}
+	}
+	if mask&respFStats != 0 {
+		resp.Stats = &Stats{
+			Users:      r.intField(),
+			PublicObjs: r.intField(),
+			Queries:    r.i64(),
+			UpdateCost: r.i64(),
+		}
+	}
+	if mask&respFDensity != 0 {
+		rows := r.count(4)
+		resp.Density = make([][]float64, 0, rows)
+		for i := 0; i < rows && !r.bad; i++ {
+			cols := r.count(8)
+			row := make([]float64, cols)
+			for j := range row {
+				row[j] = r.f64()
+			}
+			resp.Density = append(resp.Density, row)
+		}
+	}
+	if mask&respFTraceID != 0 {
+		resp.TraceID = r.str()
+	}
+	if err := r.finish("response"); err != nil {
+		return Response{}, err
+	}
+	return resp, nil
+}

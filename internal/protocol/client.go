@@ -1,80 +1,223 @@
 package protocol
 
 import (
+	"bufio"
 	"context"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net"
+	"runtime"
 	"sync"
 	"time"
 )
 
 // Client is a mobile-user (or administrator) connection to a Casper
-// protocol server. It is safe for concurrent use; requests are
-// serialized over the single connection (the protocol has no request
-// IDs, so one round trip must finish before the next starts).
+// protocol server. It is safe for concurrent use.
+//
+// On protocol v2 (the default), requests are pipelined: each carries a
+// request ID, any number (up to the in-flight cap) proceed
+// concurrently on the single connection, and responses are matched by
+// ID as they arrive — out of order when the server finishes them out
+// of order. A request whose context expires simply abandons its ID;
+// the connection stays usable for every other call.
+//
+// Pinned to protocol v1 (WithProtocolVersion(1), for old servers), the
+// wire has no request IDs, so requests serialize over the connection
+// and a cancelled or failed round trip poisons it — later calls fail
+// fast with the original error. Dial a fresh client to continue.
 //
 // Every RPC takes a context: its deadline bounds the whole round trip
-// via connection deadlines, and cancellation aborts in-flight I/O.
-// Because the stream then holds an abandoned request or half-read
-// response, a cancelled or failed round trip poisons the connection —
-// later calls fail fast with the original error. Dial a fresh client
-// to continue.
+// and cancellation abandons the wait (v2) or aborts in-flight I/O (v1).
 type Client struct {
-	mu   sync.Mutex
-	conn net.Conn
-	enc  *json.Encoder
-	dec  *json.Decoder
-	// err, once set, marks the stream unusable (see roundTrip).
+	conn    net.Conn
+	version int
+
+	// --- v1 state: one round trip at a time over enc/dec. ---
+	mu  sync.Mutex
+	enc *json.Encoder
+	dec *json.Decoder
+	// err, once set, marks a v1 stream unusable (see roundTripV1).
 	err error
+
 	// nextTraceID, when non-empty, is stamped onto the next request's
 	// trace_id field and cleared (one-shot; see SetNextTraceID).
-	nextTraceID string
 	// lastTraceID is the trace_id the server echoed on the most recent
-	// response, whether client-chosen or server-generated.
+	// response. Both are guarded by mu on either protocol version.
+	nextTraceID string
 	lastTraceID string
+
+	// --- v2 state: concurrent in-flight requests keyed by ID. ---
+	sem     chan struct{}          // in-flight cap
+	pending map[uint64]chan v2Resp // response routing, keyed by request ID
+	nextID  uint64                 // last assigned request ID (under mu)
+	fatal   error                  // transport-fatal error, fails all calls (under mu)
+
+	// wq feeds the write loop. Capacity equals the in-flight cap and
+	// every send happens with a sem slot held, so sends never block;
+	// closed (under mu) gates sends once Close has closed the channel.
+	wq     chan *[]byte
+	closed bool // under mu
 }
 
-// Dial connects to a Casper protocol server.
-func Dial(addr string) (*Client, error) {
-	return DialTimeout(addr, 5*time.Second)
+// v2Resp is one delivery from the read loop to a waiting caller.
+type v2Resp struct {
+	resp Response
+	err  error
 }
 
-// DialContext connects under a context (deadline and cancellation
-// bound the dial itself).
-func DialContext(ctx context.Context, addr string) (*Client, error) {
-	var d net.Dialer
+// respChPool recycles the buffered per-request response channels; a
+// pipelined client burns through one per call.
+var respChPool = sync.Pool{
+	New: func() any { return make(chan v2Resp, 1) },
+}
+
+// DialOption configures DialContext.
+type DialOption func(*dialConfig)
+
+type dialConfig struct {
+	timeout     time.Duration
+	version     int
+	maxInFlight int
+}
+
+// DefaultDialTimeout bounds connection establishment (and the v2
+// handshake) when neither the context nor WithDialTimeout imposes a
+// tighter deadline.
+const DefaultDialTimeout = 10 * time.Second
+
+// WithDialTimeout bounds connection establishment (and the v2
+// handshake); the context's deadline still applies if sooner.
+func WithDialTimeout(d time.Duration) DialOption {
+	return func(c *dialConfig) { c.timeout = d }
+}
+
+// WithProtocolVersion pins the wire protocol version: Version2 (the
+// default) for pipelined binary framing, Version1 for the
+// newline-delimited JSON protocol old servers speak.
+func WithProtocolVersion(v int) DialOption {
+	return func(c *dialConfig) { c.version = v }
+}
+
+// WithMaxInFlight caps concurrent in-flight requests on a v2
+// connection (DefaultMaxInFlight when unset). Callers beyond the cap
+// block in their RPC until a slot frees. No effect on v1.
+func WithMaxInFlight(n int) DialOption {
+	return func(c *dialConfig) { c.maxInFlight = n }
+}
+
+// DialContext connects to a Casper protocol server. The context (and
+// the dial timeout) bound connection establishment and, on v2, the
+// version handshake. This is the constructor every new caller should
+// use; Dial and DialTimeout remain as shims.
+func DialContext(ctx context.Context, addr string, opts ...DialOption) (*Client, error) {
+	cfg := dialConfig{
+		timeout:     DefaultDialTimeout,
+		version:     Version2,
+		maxInFlight: DefaultMaxInFlight,
+	}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	if cfg.version != Version1 && cfg.version != Version2 {
+		return nil, fmt.Errorf("protocol: unsupported protocol version %d", cfg.version)
+	}
+	if cfg.maxInFlight <= 0 {
+		cfg.maxInFlight = DefaultMaxInFlight
+	}
+	d := net.Dialer{Timeout: cfg.timeout}
 	conn, err := d.DialContext(ctx, "tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("protocol: dial %s: %w", addr, err)
 	}
-	return newClient(conn), nil
+	c := &Client{conn: conn, version: cfg.version}
+	if cfg.version == Version1 {
+		c.enc = json.NewEncoder(conn)
+		c.dec = json.NewDecoder(conn)
+		return c, nil
+	}
+	if err := c.handshake(ctx, cfg.timeout); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	c.sem = make(chan struct{}, cfg.maxInFlight)
+	c.pending = make(map[uint64]chan v2Resp)
+	c.wq = make(chan *[]byte, cfg.maxInFlight)
+	go c.readLoop()
+	go c.writeLoop()
+	return c, nil
 }
 
-// DialTimeout connects with an explicit timeout.
+// Dial connects with default options (protocol v2, default timeouts).
+//
+// Deprecated: use DialContext, which threads a context through
+// connection establishment and accepts the same options.
+func Dial(addr string, opts ...DialOption) (*Client, error) {
+	return DialContext(context.Background(), addr, opts...)
+}
+
+// DialTimeout connects with an explicit dial timeout.
+//
+// Deprecated: use DialContext with WithDialTimeout.
 func DialTimeout(addr string, timeout time.Duration) (*Client, error) {
-	conn, err := net.DialTimeout("tcp", addr, timeout)
-	if err != nil {
-		return nil, fmt.Errorf("protocol: dial %s: %w", addr, err)
-	}
-	return newClient(conn), nil
+	return DialContext(context.Background(), addr, WithDialTimeout(timeout))
 }
 
-func newClient(conn net.Conn) *Client {
-	return &Client{
-		conn: conn,
-		enc:  json.NewEncoder(conn),
-		dec:  json.NewDecoder(conn),
+// handshake negotiates v2: send magic + our highest version, expect
+// magic + the server's choice back. A v1-only server never answers
+// (it is waiting for a newline), so the deadline converts that into a
+// dial error; pin WithProtocolVersion(1) for such servers.
+func (c *Client) handshake(ctx context.Context, timeout time.Duration) error {
+	if timeout <= 0 {
+		timeout = DefaultDialTimeout
 	}
+	deadline := time.Now().Add(timeout)
+	if d, ok := ctx.Deadline(); ok && d.Before(deadline) {
+		deadline = d
+	}
+	if err := c.conn.SetDeadline(deadline); err != nil {
+		return fmt.Errorf("protocol: handshake: %w", err)
+	}
+	hello := [handshakeLen]byte{magicV2[0], magicV2[1], magicV2[2], magicV2[3], MaxVersion}
+	if _, err := c.conn.Write(hello[:]); err != nil {
+		return fmt.Errorf("protocol: handshake send: %w", err)
+	}
+	var reply [handshakeLen]byte
+	if _, err := io.ReadFull(c.conn, reply[:]); err != nil {
+		return fmt.Errorf("protocol: handshake recv (is the server v2-capable? pin WithProtocolVersion(1) for v1 servers): %w", err)
+	}
+	if [4]byte(reply[:4]) != magicV2 {
+		return fmt.Errorf("protocol: handshake reply lacks v2 magic (got %q)", reply[:4])
+	}
+	if reply[4] != Version2 {
+		return fmt.Errorf("protocol: server chose unsupported protocol version %d", reply[4])
+	}
+	return c.conn.SetDeadline(time.Time{})
 }
 
-// Close closes the connection.
-func (c *Client) Close() error { return c.conn.Close() }
+// Close closes the connection. On v2 any in-flight requests fail with
+// the close.
+func (c *Client) Close() error {
+	if c.version >= Version2 {
+		c.mu.Lock()
+		if !c.closed {
+			c.closed = true
+			close(c.wq) // write loop flushes anything queued and exits
+		}
+		c.mu.Unlock()
+	}
+	return c.conn.Close()
+}
+
+// ProtocolVersion reports the negotiated wire protocol version.
+func (c *Client) ProtocolVersion() int { return c.version }
 
 // SetNextTraceID asks the server to label the next RPC's trace with
 // id instead of generating one. It applies to exactly one request
 // (the next round trip consumes it); the server truncates IDs longer
 // than 64 bytes. Retrieve the echoed ID afterwards with LastTraceID.
+// With concurrent v2 callers, "next" is whichever request claims the
+// id first.
 func (c *Client) SetNextTraceID(id string) {
 	c.mu.Lock()
 	c.nextTraceID = id
@@ -82,18 +225,201 @@ func (c *Client) SetNextTraceID(id string) {
 }
 
 // LastTraceID returns the trace ID the server assigned to (or echoed
-// for) the most recent completed round trip. Look the trace up at the
-// server's /debug/traces?id= endpoint. Empty until the first response
-// or when the server predates trace support.
+// for) the most recently completed round trip. Look the trace up at
+// the server's /debug/traces?id= endpoint. Empty until the first
+// response or when the server predates trace support.
 func (c *Client) LastTraceID() string {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.lastTraceID
 }
 
-// roundTrip sends one request and reads one response, honoring the
-// context's deadline and cancellation through connection deadlines.
+// roundTrip sends one request and returns its response, honoring the
+// context's deadline and cancellation.
 func (c *Client) roundTrip(ctx context.Context, req Request) (Response, error) {
+	if c.version >= Version2 {
+		return c.roundTripV2(ctx, req)
+	}
+	return c.roundTripV1(ctx, req)
+}
+
+// --- v2 path ---------------------------------------------------------
+
+// roundTripV2 issues one pipelined request: claim an in-flight slot,
+// register the request ID, write the frame, and wait for the read
+// loop to deliver the matching response. Context expiry abandons the
+// ID (the eventual response is discarded) without poisoning the
+// connection.
+func (c *Client) roundTripV2(ctx context.Context, req Request) (Response, error) {
+	// An already-canceled context must fail before any bytes hit the
+	// wire: the select below picks randomly when both a free slot and
+	// ctx.Done() are ready, which would sometimes let a dead request
+	// reach the server (and have side effects there).
+	if err := ctx.Err(); err != nil {
+		return Response{}, err
+	}
+	select {
+	case c.sem <- struct{}{}:
+	case <-ctx.Done():
+		return Response{}, ctx.Err()
+	}
+	defer func() { <-c.sem }()
+
+	c.mu.Lock()
+	if c.fatal != nil {
+		err := c.fatal
+		c.mu.Unlock()
+		return Response{}, fmt.Errorf("protocol: connection unusable after earlier failure: %w", err)
+	}
+	if c.nextTraceID != "" {
+		req.TraceID = c.nextTraceID
+		c.nextTraceID = ""
+	}
+	c.nextID++
+	id := c.nextID
+	ch := respChPool.Get().(chan v2Resp)
+	c.pending[id] = ch
+	c.mu.Unlock()
+
+	bp, err := encodeRequestFrame(id, &req)
+	if err != nil {
+		c.abandon(id, ch)
+		return Response{}, fmt.Errorf("protocol: %s encode: %w", req.Op, err)
+	}
+	// Hand the frame to the write loop. The sem slot held above
+	// guarantees queue space, so this send never blocks; a write-path
+	// failure surfaces on ch via failAll like any transport error.
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		putFrameBuf(bp)
+		c.abandon(id, ch)
+		return Response{}, fmt.Errorf("protocol: send: client closed")
+	}
+	c.wq <- bp
+	c.mu.Unlock()
+
+	select {
+	case r := <-ch:
+		respChPool.Put(ch)
+		if r.err != nil {
+			return Response{}, fmt.Errorf("protocol: recv: %w", r.err)
+		}
+		if r.resp.TraceID != "" {
+			c.mu.Lock()
+			c.lastTraceID = r.resp.TraceID
+			c.mu.Unlock()
+		}
+		return r.resp, nil
+	case <-ctx.Done():
+		c.abandon(id, ch)
+		return Response{}, ctx.Err()
+	}
+}
+
+// writeLoop drains queued request frames onto the connection,
+// buffering and flushing only when no further frame is immediately
+// ready: a burst of concurrent callers (typically woken together by a
+// batch of responses) coalesces into one syscall. A write error is
+// transport-fatal — it fails every in-flight call and closes the
+// connection — after which the loop keeps draining so senders never
+// wedge. The loop exits when Close closes the queue.
+func (c *Client) writeLoop() {
+	bw := bufio.NewWriterSize(c.conn, 64*1024)
+	var dead bool
+	for bp := range c.wq {
+		if dead {
+			putFrameBuf(bp)
+			continue
+		}
+		_, err := bw.Write(*bp)
+		putFrameBuf(bp)
+		if err == nil && len(c.wq) == 0 {
+			// Yield once before flushing: callers woken by the same
+			// response burst are likely mid-enqueue, and letting them
+			// run first turns N flush syscalls into one.
+			runtime.Gosched()
+			if len(c.wq) == 0 {
+				err = bw.Flush()
+			}
+		}
+		if err != nil {
+			c.failAll(fmt.Errorf("send: %w", err))
+			c.conn.Close()
+			dead = true
+		}
+	}
+	if !dead {
+		_ = bw.Flush()
+	}
+}
+
+// abandon forgets a pending request ID (context expiry, encode or
+// write failure) and recycles its response channel. Deliveries happen
+// under mu (see readLoop and failAll), so once the entry is gone any
+// racing delivery is already buffered in ch — the drain below is
+// conclusive and the channel re-enters the pool empty. A response
+// arriving for a forgotten ID is simply dropped.
+func (c *Client) abandon(id uint64, ch chan v2Resp) {
+	c.mu.Lock()
+	delete(c.pending, id)
+	c.mu.Unlock()
+	select {
+	case <-ch:
+	default:
+	}
+	respChPool.Put(ch)
+}
+
+// failAll marks the connection fatally broken and delivers err to
+// every in-flight caller.
+func (c *Client) failAll(err error) {
+	c.mu.Lock()
+	if c.fatal == nil {
+		c.fatal = err
+	}
+	for id, ch := range c.pending {
+		delete(c.pending, id)
+		ch <- v2Resp{err: err} // buffered; never blocks
+	}
+	c.mu.Unlock()
+}
+
+// readLoop is the v2 demultiplexer: it decodes response frames as
+// they arrive and routes each to the caller that registered its
+// request ID. Any transport or decode error is fatal to the
+// connection (framing can no longer be trusted) and fails all
+// in-flight calls.
+func (c *Client) readLoop() {
+	br := bufio.NewReaderSize(c.conn, 64*1024)
+	var buf []byte
+	for {
+		id, payload, err := readFrame(br, &buf)
+		if err != nil {
+			c.failAll(err)
+			return
+		}
+		resp, derr := decodeResponse(payload)
+		if derr != nil {
+			c.failAll(fmt.Errorf("response frame %d: %w", id, derr))
+			c.conn.Close()
+			return
+		}
+		c.mu.Lock()
+		if ch, ok := c.pending[id]; ok {
+			delete(c.pending, id)
+			ch <- v2Resp{resp: resp} // buffered; never blocks
+		}
+		// else: the caller gave up (context expiry) — drop it.
+		c.mu.Unlock()
+	}
+}
+
+// --- v1 path ---------------------------------------------------------
+
+// roundTripV1 sends one request and reads one response, honoring the
+// context's deadline and cancellation through connection deadlines.
+func (c *Client) roundTripV1(ctx context.Context, req Request) (Response, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.err != nil {

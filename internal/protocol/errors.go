@@ -9,6 +9,13 @@ import (
 	"casper/internal/server"
 )
 
+// ErrDeprecatedOp reports a request using a retired op spelling.
+// Protocol v2 rejects the legacy "batch_update" op with this sentinel
+// (use "update_batch"); v1 still accepts it during the deprecation
+// window but counts it in casper_deprecated_op_total. See DESIGN.md
+// §9 for the removal schedule.
+var ErrDeprecatedOp = errors.New("deprecated wire op")
+
 // Stable wire error codes. The server maps the framework's sentinel
 // errors onto these strings (Response.Code); the client maps them back
 // to the same sentinels, so errors.Is works identically in-process and
@@ -31,6 +38,8 @@ const (
 	CodeUnknownObject = "unknown_object"
 	// CodeDuplicateObject maps server.ErrDuplicateObject.
 	CodeDuplicateObject = "duplicate_object"
+	// CodeDeprecatedOp maps ErrDeprecatedOp.
+	CodeDeprecatedOp = "deprecated_op"
 )
 
 // wireCodes orders the sentinel → code mapping. More specific
@@ -48,6 +57,7 @@ var wireCodes = []struct {
 	{anonymizer.ErrUnsatisfiable, CodeUnsatisfiable},
 	{server.ErrUnknownObject, CodeUnknownObject},
 	{server.ErrDuplicateObject, CodeDuplicateObject},
+	{ErrDeprecatedOp, CodeDeprecatedOp},
 }
 
 // codeOf returns the wire code for an error's sentinel, or "" when the

@@ -28,6 +28,20 @@ var (
 	connsTotal = metrics.Default.Counter(
 		"casper_connections_total", "",
 		"Client connections accepted since start.")
+	protoConns = metrics.Default.CounterVec(
+		"casper_protocol_connections_total", "version",
+		"Client connections by negotiated wire protocol version.")
+	wireBytes = metrics.Default.CounterVec(
+		"casper_wire_bytes_total", "dir",
+		"Bytes moved on protocol connections, by direction.")
+	bytesIn  = wireBytes.With("in")
+	bytesOut = wireBytes.With("out")
+	framesInFlight = metrics.Default.Gauge(
+		"casper_frames_inflight", "",
+		"v2 request frames dispatched and not yet answered.")
+	deprecatedOps = metrics.Default.Counter(
+		"casper_deprecated_op_total", "",
+		"Requests using deprecated op spellings (v1 tolerates them; v2 rejects with deprecated_op).")
 )
 
 // rpcInstruments bundles one op's counter and histogram.

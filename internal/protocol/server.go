@@ -2,12 +2,14 @@ package protocol
 
 import (
 	"bufio"
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"log/slog"
 	"net"
+	"runtime"
 	"strings"
 	"sync"
 	"time"
@@ -33,6 +35,11 @@ const DefaultIdleTimeout = 5 * time.Minute
 // flush; zero disables the deadline. A client that stops draining its
 // socket otherwise parks the serving goroutine forever in Encode.
 const DefaultWriteTimeout = 30 * time.Second
+
+// DefaultMaxInFlight bounds how many v2 requests one connection may
+// have dispatched concurrently; further frames queue in the socket
+// (back-pressure) rather than spawning unbounded work.
+const DefaultMaxInFlight = 64
 
 // Server serves the Casper protocol over TCP. One instance hosts both
 // roles of Fig. 1 — the anonymizer endpoint for mobile users and the
@@ -65,6 +72,11 @@ type Server struct {
 	// Timeouts close the connection and count as "write_timeout" in
 	// casper_rpc_errors_total.
 	WriteTimeout time.Duration
+
+	// MaxInFlight caps concurrently dispatched v2 requests per
+	// connection (DefaultMaxInFlight when zero); set before Listen.
+	// v1 connections are inherently serial and unaffected.
+	MaxInFlight int
 
 	wg       sync.WaitGroup
 	closed   chan struct{}
@@ -158,17 +170,74 @@ func (s *Server) acceptLoop() {
 	}
 }
 
-// handleConn serves one client connection: a stream of
-// newline-delimited JSON requests, each answered in order. Framing is
-// by line, so a malformed frame costs exactly one error response and
-// the stream stays synchronized. Frames above MaxFrameBytes and idle
-// connections are dropped.
-func (s *Server) handleConn(conn net.Conn) {
+// countedConn threads every read and write through the wire byte
+// counters, whichever protocol version the connection negotiates.
+type countedConn struct {
+	net.Conn
+}
+
+func (c *countedConn) Read(p []byte) (int, error) {
+	n, err := c.Conn.Read(p)
+	if n > 0 {
+		bytesIn.Add(int64(n))
+	}
+	return n, err
+}
+
+func (c *countedConn) Write(p []byte) (int, error) {
+	n, err := c.Conn.Write(p)
+	if n > 0 {
+		bytesOut.Add(int64(n))
+	}
+	return n, err
+}
+
+// handleConn serves one client connection. The protocol version is
+// sniffed from the first bytes: the v2 magic ("CSPR") starts a version
+// handshake and the pipelined frame loop; anything else — a '{', a
+// blank keep-alive line, or garbage — is served as v1 newline-
+// delimited JSON, bit-for-bit as before v2 existed.
+func (s *Server) handleConn(rawConn net.Conn) {
+	conn := &countedConn{Conn: rawConn}
 	defer conn.Close()
 	connsTotal.Inc()
 	connsOpen.Add(1)
 	defer connsOpen.Add(-1)
-	sc := bufio.NewScanner(conn)
+	br := bufio.NewReaderSize(conn, 64*1024)
+	if s.IdleTimeout > 0 {
+		if err := conn.SetReadDeadline(time.Now().Add(s.IdleTimeout)); err != nil {
+			return
+		}
+	}
+	first, err := br.Peek(1)
+	if err != nil {
+		return
+	}
+	if first[0] == magicV2[0] {
+		// Only commit to v2 once the whole magic matches; garbage that
+		// merely starts with 'C' falls through to the v1 loop, which
+		// answers it with a malformed-request frame as always.
+		hs, err := br.Peek(handshakeLen)
+		if err == nil && bytes.Equal(hs[:4], magicV2[:]) {
+			clientMax := hs[4]
+			if _, err := br.Discard(handshakeLen); err != nil {
+				return
+			}
+			s.serveV2(conn, br, clientMax)
+			return
+		}
+	}
+	protoConns.With("1").Inc()
+	s.serveV1(conn, br)
+}
+
+// serveV1 is the original protocol: a stream of newline-delimited
+// JSON requests, each answered in order. Framing is by line, so a
+// malformed frame costs exactly one error response and the stream
+// stays synchronized. Frames above MaxFrameBytes and idle connections
+// are dropped.
+func (s *Server) serveV1(conn net.Conn, br *bufio.Reader) {
+	sc := bufio.NewScanner(br)
 	sc.Buffer(make([]byte, 64*1024), MaxFrameBytes)
 	enc := json.NewEncoder(conn)
 	for {
@@ -214,7 +283,7 @@ func (s *Server) handleConn(conn net.Conn) {
 			tr.RecordSpan("decode", decodeStart, time.Since(decodeStart))
 		}
 		start := time.Now()
-		resp := s.dispatch(req, tr)
+		resp := s.dispatch(req, tr, Version1)
 		elapsed := time.Since(start)
 		observeRPC(req.Op, elapsed.Seconds(), resp)
 		if tr != nil {
@@ -246,6 +315,199 @@ func (s *Server) handleConn(conn net.Conn) {
 	}
 }
 
+// v2Out is one response headed for a v2 connection's writer.
+type v2Out struct {
+	id      uint64
+	resp    Response
+	tr      *trace.Trace
+	started time.Time // decode start, anchoring the trace total
+	slow    bool
+}
+
+// serveV2 speaks protocol v2 on one connection: length-prefixed
+// frames with per-request IDs. Up to MaxInFlight requests dispatch
+// concurrently and a dedicated writer returns responses as they
+// complete — out of order when queries finish out of order — so a
+// single connection pipelines. Frame boundaries are explicit, so a
+// malformed payload costs one error response (matched to its request
+// id) and the stream stays synchronized; oversized frames drop the
+// connection like v1's line limit.
+func (s *Server) serveV2(conn net.Conn, br *bufio.Reader, clientMax byte) {
+	if clientMax < Version2 {
+		// A framed connection cannot downgrade to JSON; v1 clients
+		// never send the magic at all.
+		s.logger.Warn("casper/protocol: rejecting v2 handshake with unsupported version",
+			"remote", conn.RemoteAddr().String(), "client_version", clientMax)
+		return
+	}
+	protoConns.With("2").Inc()
+	if s.WriteTimeout > 0 {
+		if err := conn.SetWriteDeadline(time.Now().Add(s.WriteTimeout)); err != nil {
+			return
+		}
+	}
+	reply := [handshakeLen]byte{magicV2[0], magicV2[1], magicV2[2], magicV2[3], Version2}
+	if _, err := conn.Write(reply[:]); err != nil {
+		return
+	}
+
+	maxInFlight := s.MaxInFlight
+	if maxInFlight <= 0 {
+		maxInFlight = DefaultMaxInFlight
+	}
+	out := make(chan v2Out, maxInFlight)
+	writerDone := make(chan struct{})
+	go s.v2Writer(conn, out, writerDone)
+	sem := make(chan struct{}, maxInFlight)
+	var wg sync.WaitGroup
+	var readBuf []byte
+	// Re-arming the idle deadline is a syscall; doing it per frame
+	// would dominate small-request pipelines. Re-arm at most once per
+	// second — idle timeouts are orders of magnitude coarser.
+	var lastArm time.Time
+readLoop:
+	for {
+		select {
+		case <-s.closed:
+			break readLoop
+		default:
+		}
+		if s.IdleTimeout > 0 {
+			if now := time.Now(); now.Sub(lastArm) >= time.Second {
+				if err := conn.SetReadDeadline(now.Add(s.IdleTimeout)); err != nil {
+					break readLoop
+				}
+				lastArm = now
+			}
+		}
+		id, payload, err := readFrame(br, &readBuf)
+		if err != nil {
+			if errors.Is(err, errFrameTooLarge) {
+				s.logger.Warn("casper/protocol: dropping connection: frame exceeds limit",
+					"remote", conn.RemoteAddr().String(), "max_bytes", MaxFrameBytes)
+			}
+			break readLoop
+		}
+		decodeStart := time.Now()
+		req, derr := decodeRequest(payload)
+		if derr != nil {
+			rpcMalformed.Inc()
+			out <- v2Out{id: id, resp: errResponse("malformed request: %v", derr), started: decodeStart}
+			continue
+		}
+		var tr *trace.Trace
+		if trace.Enabled() {
+			tr = trace.NewAt(req.Op, req.TraceID, decodeStart)
+			tr.RecordSpan("decode", decodeStart, time.Since(decodeStart))
+		}
+		sem <- struct{}{}
+		framesInFlight.Add(1)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer func() { <-sem; framesInFlight.Add(-1) }()
+			start := time.Now()
+			resp := s.dispatch(req, tr, Version2)
+			elapsed := time.Since(start)
+			observeRPC(req.Op, elapsed.Seconds(), resp)
+			if tr != nil {
+				resp.TraceID = tr.ID
+			} else {
+				resp.TraceID = req.TraceID // still echo the correlation ID
+			}
+			slow := s.SlowQueryThreshold > 0 && elapsed > s.SlowQueryThreshold
+			if slow {
+				s.logSlow(req, resp, elapsed)
+			}
+			out <- v2Out{id: id, resp: resp, tr: tr, started: decodeStart, slow: slow}
+		}()
+	}
+	wg.Wait()
+	close(out)
+	<-writerDone
+}
+
+// v2Writer drains completed responses onto the connection. Writes are
+// buffered and flushed only when no further response is immediately
+// ready, so a pipelined burst coalesces into few syscalls. On a write
+// failure it closes the connection (unblocking the read loop) and
+// keeps draining so dispatch goroutines never wedge on the channel.
+func (s *Server) v2Writer(conn net.Conn, out <-chan v2Out, done chan<- struct{}) {
+	defer close(done)
+	bw := bufio.NewWriterSize(conn, 64*1024)
+	var dead bool
+	// Like the read side, the write deadline is re-armed at most once
+	// per second (a frame's effective deadline is WriteTimeout plus up
+	// to a second), keeping the per-frame cost to buffered writes.
+	var lastArm time.Time
+	for o := range out {
+		if dead {
+			s.finishV2Trace(o, time.Time{})
+			continue
+		}
+		encStart := time.Now()
+		bp := encodeResponseFrame(o.id, &o.resp)
+		if s.WriteTimeout > 0 {
+			if now := time.Now(); now.Sub(lastArm) >= time.Second {
+				if err := conn.SetWriteDeadline(now.Add(s.WriteTimeout)); err != nil {
+					dead = true
+				}
+				lastArm = now
+			}
+		}
+		var werr error
+		if !dead {
+			_, werr = bw.Write(*bp)
+			if werr == nil && len(out) == 0 {
+				// Yield before flushing: dispatchers completing in the
+				// same burst get to enqueue their responses first, so
+				// the burst leaves in one syscall instead of N.
+				runtime.Gosched()
+				if len(out) == 0 {
+					werr = bw.Flush()
+				}
+			}
+		}
+		putFrameBuf(bp)
+		s.finishV2Trace(o, encStart)
+		if werr != nil {
+			var nerr net.Error
+			if errors.As(werr, &nerr) && nerr.Timeout() {
+				rpcErrors.With("write_timeout").Inc()
+				s.logger.Warn("casper/protocol: dropping connection: response write exceeded deadline",
+					"remote", conn.RemoteAddr().String(), "timeout", s.WriteTimeout,
+					"trace_id", o.resp.TraceID)
+			}
+			dead = true
+			conn.Close()
+		}
+	}
+	if !dead {
+		if s.WriteTimeout > 0 {
+			_ = conn.SetWriteDeadline(time.Now().Add(s.WriteTimeout))
+		}
+		_ = bw.Flush()
+	}
+}
+
+// finishV2Trace records the encode span and applies the retention
+// policy (slow and errored requests always kept, the rest
+// head-sampled), mirroring the v1 loop.
+func (s *Server) finishV2Trace(o v2Out, encStart time.Time) {
+	if o.tr == nil {
+		return
+	}
+	if !encStart.IsZero() {
+		o.tr.RecordSpan("encode", encStart, time.Since(encStart))
+	}
+	o.tr.Finish(time.Since(o.started), o.resp.Error, o.resp.Code, o.slow)
+	if o.slow || !o.resp.OK || trace.HeadSample() {
+		trace.Publish(o.tr)
+	} else {
+		trace.Recycle(o.tr)
+	}
+}
+
 // writeFrame encodes one response under the per-frame write deadline.
 // A deadline expiry means the client stopped draining its socket; the
 // connection is surrendered (the caller returns) and the stall is
@@ -269,7 +531,7 @@ func (s *Server) writeFrame(conn net.Conn, enc *json.Encoder, resp Response) err
 	return err
 }
 
-func (s *Server) dispatch(req Request, tr *trace.Trace) Response {
+func (s *Server) dispatch(req Request, tr *trace.Trace, proto int) Response {
 	// ops routes the anonymizer-path operations through a traced view
 	// of the framework; with tr == nil it is exactly the plain API.
 	ops := s.casper.Traced(tr)
@@ -284,6 +546,15 @@ func (s *Server) dispatch(req Request, tr *trace.Trace) Response {
 	case OpUpdate:
 		return okOrErr(ops.UpdateUser(anonymizer.UserID(req.UserID), geom.Pt(req.X, req.Y)))
 	case OpUpdateBatch, OpBatchUpdate:
+		if req.Op == OpBatchUpdate {
+			// The legacy spelling is on its way out: v2 rejects it with
+			// a wire-stable sentinel, v1 tolerates it for old clients
+			// but makes the remaining traffic measurable.
+			if proto >= Version2 {
+				return errFrom(fmt.Errorf("%w: %q (use %q)", ErrDeprecatedOp, OpBatchUpdate, OpUpdateBatch))
+			}
+			deprecatedOps.Inc()
+		}
 		updates := make([]core.UserUpdate, len(req.Batch))
 		for i, u := range req.Batch {
 			updates[i] = core.UserUpdate{UID: anonymizer.UserID(u.UserID), Pos: geom.Pt(u.X, u.Y)}
