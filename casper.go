@@ -239,6 +239,9 @@ var (
 	// WithMaxInFlight caps concurrent in-flight requests on one v2
 	// connection.
 	WithMaxInFlight = protocol.WithMaxInFlight
+	// WithTLSConfig dials the server over TLS (set Certificates for
+	// mutual TLS); nil leaves the connection plaintext.
+	WithTLSConfig = protocol.WithTLSConfig
 )
 
 // ErrDeprecatedOp reports a request using a retired wire op (protocol
@@ -246,6 +249,14 @@ var (
 // ProtocolClient.BatchUpdate). See DESIGN.md §9 for the removal
 // schedule.
 var ErrDeprecatedOp = protocol.ErrDeprecatedOp
+
+// ErrOverloaded reports a request shed by the server's admission
+// control (per-user rate limit or global in-flight ceiling) before any
+// work happened. It is retryable — back off briefly and resend.
+// Travels as the wire-stable "overloaded" code on both protocol
+// versions, so errors.Is(err, casper.ErrOverloaded) holds across a
+// ProtocolClient round trip.
+var ErrOverloaded = protocol.ErrOverloaded
 
 // NewProtocolServer wraps a framework instance for network serving.
 func NewProtocolServer(c *Casper) *ProtocolServer { return protocol.NewServer(c) }

@@ -29,9 +29,19 @@
 //	-out       BENCH_e2e.json   report path ("" prints only)
 //	-pipeline-bench FILE    `go test -bench` output to embed the
 //	                        v1-serialized vs v2-pipelined ratio from
+//	-shutdown-after 0s      in-process only: initiate graceful server
+//	                        shutdown this long into the run (0 = never)
+//	-drain-deadline 10s     drain budget handed to Shutdown
 //
 // The report (see report.go) records achieved throughput, p50/p99/p999
 // latency, error and shed rates, and whether the SLO held.
+//
+// With -shutdown-after the harness doubles as the shutdown-under-load
+// smoke: it calls Server.Shutdown mid-run and grades the drain — every
+// request completed (or server-shed) before the drain began must have
+// succeeded, and the drain must finish inside -drain-deadline without
+// force-closing connections. Failures exit nonzero, so `make
+// shutdown-smoke` and CI can gate on it.
 package main
 
 import (
@@ -68,6 +78,9 @@ type config struct {
 	out      string
 	raw      string
 	benchTxt string
+
+	shutdownAfter time.Duration
+	drainDeadline time.Duration
 }
 
 func main() {
@@ -86,6 +99,8 @@ func main() {
 	flag.StringVar(&cfg.out, "out", "BENCH_e2e.json", "report path (empty prints only)")
 	flag.StringVar(&cfg.raw, "raw", "", "also write per-request samples as CSV (offset_ms,latency_ms,op)")
 	flag.StringVar(&cfg.benchTxt, "pipeline-bench", "", "go-bench output file to embed the v1/v2 pipelining ratio from")
+	flag.DurationVar(&cfg.shutdownAfter, "shutdown-after", 0, "in-process only: initiate graceful shutdown this long into the run (0 = never)")
+	flag.DurationVar(&cfg.drainDeadline, "drain-deadline", 10*time.Second, "drain budget handed to Shutdown when -shutdown-after fires")
 	flag.Parse()
 
 	rep, err := run(cfg)
@@ -100,6 +115,11 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("wrote %s\n", cfg.out)
+	}
+	if s := rep.Shutdown; s != nil && !s.Clean {
+		fmt.Fprintf(os.Stderr, "casper-loadgen: shutdown smoke FAILED (forced=%v, errors before shutdown=%d)\n",
+			s.Forced, s.ErrorsBefore)
+		os.Exit(1)
 	}
 }
 
@@ -176,12 +196,17 @@ type connState struct {
 }
 
 // workerStats accumulates per-worker so the hot path never contends;
-// results are merged after the run.
+// results are merged after the run. Errors are split around the moment
+// graceful shutdown began: failures after that instant are expected
+// collateral (closed connections, server-shed requests) and must not
+// fail the run, while any failure before it is a real defect.
 type workerStats struct {
-	latencies []time.Duration
-	samples   []sample // only when cfg.raw is set
-	errs      int64
-	perOp     [numOps]int64
+	latencies  []time.Duration
+	samples    []sample // only when cfg.raw is set
+	errs       int64    // failures before shutdown began (all failures when no shutdown)
+	errsDrain  int64    // failures at/after the shutdown instant
+	shedServer int64    // ErrOverloaded responses: admission control, not failure
+	perOp      [numOps]int64
 }
 
 // sample is one completed request for the -raw CSV: when it was
@@ -200,6 +225,17 @@ func run(cfg config) (*report, error) {
 	if cfg.conns <= 0 || cfg.inflight <= 0 || cfg.users <= 0 || cfg.rate <= 0 {
 		return nil, fmt.Errorf("conns, inflight, users and rate must be positive")
 	}
+	if cfg.shutdownAfter > 0 {
+		if cfg.addr != "" {
+			return nil, fmt.Errorf("-shutdown-after needs the in-process server (leave -addr empty)")
+		}
+		if cfg.shutdownAfter >= cfg.duration {
+			return nil, fmt.Errorf("-shutdown-after (%s) must fall inside -duration (%s)", cfg.shutdownAfter, cfg.duration)
+		}
+		if cfg.drainDeadline <= 0 {
+			return nil, fmt.Errorf("-drain-deadline must be positive")
+		}
+	}
 
 	// World: users move on the synthetic county network; targets are
 	// uniform over its bounds (the paper's workload shape).
@@ -209,6 +245,7 @@ func run(cfg config) (*report, error) {
 	positions := gen.Positions()
 
 	addr := cfg.addr
+	var srv *casper.ProtocolServer // non-nil in self-contained mode
 	if addr == "" {
 		// Self-contained mode: serve an in-process instance sized to
 		// the road network so the harness needs no running casperd.
@@ -218,7 +255,7 @@ func run(cfg config) (*report, error) {
 		if err := c.LoadPublicObjects(casper.UniformTargets(bounds, cfg.targets, cfg.seed)); err != nil {
 			return nil, err
 		}
-		srv := casper.NewProtocolServer(c)
+		srv = casper.NewProtocolServer(c)
 		srv.SetLogf(func(string, ...any) {})
 		a, err := srv.Listen("127.0.0.1:0")
 		if err != nil {
@@ -267,11 +304,40 @@ func run(cfg config) (*report, error) {
 	rangeRadius := bounds.Width() / 20
 
 	var (
-		wg   sync.WaitGroup
-		shed atomic.Int64
+		wg            sync.WaitGroup
+		shed          atomic.Int64
+		shutdownStart atomic.Int64 // unixnano; 0 until the drain begins
 	)
 	stats := make([]*workerStats, 0, cfg.conns*cfg.inflight)
 	start := time.Now()
+
+	// Shutdown-under-load smoke: part-way into the run, drain the
+	// in-process server while the open-loop scheduler keeps offering
+	// load. The drain duration and whether it had to force-close
+	// connections land in the report; main exits nonzero on a dirty
+	// drain.
+	var (
+		shut     *shutdownReport
+		shutDone chan struct{}
+	)
+	if cfg.shutdownAfter > 0 {
+		shut = &shutdownReport{
+			AfterSeconds:    cfg.shutdownAfter.Seconds(),
+			DeadlineSeconds: cfg.drainDeadline.Seconds(),
+		}
+		shutDone = make(chan struct{})
+		go func() {
+			defer close(shutDone)
+			time.Sleep(time.Until(start.Add(cfg.shutdownAfter)))
+			shutdownStart.Store(time.Now().UnixNano())
+			dctx, dcancel := context.WithTimeout(context.Background(), cfg.drainDeadline)
+			defer dcancel()
+			t0 := time.Now()
+			err := srv.Shutdown(dctx)
+			shut.DrainSeconds = time.Since(t0).Seconds()
+			shut.Forced = err != nil
+		}()
+	}
 	for _, cs := range conns {
 		for w := 0; w < cfg.inflight; w++ {
 			ws := &workerStats{}
@@ -293,7 +359,14 @@ func run(cfg config) (*report, error) {
 						_, _, err = cs.cl.RangePublic(ctx, jb.uid, rangeRadius)
 					}
 					if err != nil {
-						ws.errs++
+						switch ss := shutdownStart.Load(); {
+						case errors.Is(err, casper.ErrOverloaded):
+							ws.shedServer++
+						case ss != 0 && time.Now().UnixNano() >= ss:
+							ws.errsDrain++
+						default:
+							ws.errs++
+						}
 					} else {
 						lat := time.Since(jb.scheduled)
 						ws.latencies = append(ws.latencies, lat)
@@ -350,17 +423,24 @@ func run(cfg config) (*report, error) {
 		close(cs.jobs)
 	}
 	wg.Wait()
+	if shutDone != nil {
+		<-shutDone
+	}
 	elapsed := time.Since(start)
 
 	// Merge per-worker results.
 	var (
-		all   []time.Duration
-		errs  int64
-		perOp [numOps]int64
+		all        []time.Duration
+		errs       int64
+		errsDrain  int64
+		shedServer int64
+		perOp      [numOps]int64
 	)
 	for _, ws := range stats {
 		all = append(all, ws.latencies...)
 		errs += ws.errs
+		errsDrain += ws.errsDrain
+		shedServer += ws.shedServer
 		for k := range ws.perOp {
 			perOp[k] += ws.perOp[k]
 		}
@@ -384,6 +464,7 @@ func run(cfg config) (*report, error) {
 		Completed:  int64(len(all)),
 		Errors:     errs,
 		Shed:       shed.Load(),
+		ShedServer: shedServer,
 		SLOMillis:  float64(cfg.slo) / float64(time.Millisecond),
 		PerOp:      make(map[string]int64, numOps),
 	}
@@ -400,6 +481,12 @@ func run(cfg config) (*report, error) {
 	rep.SLOMet = len(all) > 0 && rep.P99Millis <= rep.SLOMillis && errs == 0
 	for k := opKind(0); k < numOps; k++ {
 		rep.PerOp[opNames[k]] = perOp[k]
+	}
+	if shut != nil {
+		shut.ErrorsBefore = errs
+		shut.ErrorsAfter = errsDrain
+		shut.Clean = errs == 0 && !shut.Forced
+		rep.Shutdown = shut
 	}
 
 	if cfg.raw != "" {

@@ -30,6 +30,7 @@ type report struct {
 	Completed    int64            `json:"completed"`
 	Errors       int64            `json:"errors"`
 	Shed         int64            `json:"shed"`
+	ShedServer   int64            `json:"shed_by_server"`
 	AchievedRate float64          `json:"achieved_rate_rps"`
 	ErrorRate    float64          `json:"error_rate"`
 	ShedRate     float64          `json:"shed_rate"`
@@ -40,7 +41,24 @@ type report struct {
 	SLOMet       bool             `json:"slo_met"`
 	PerOp        map[string]int64 `json:"completed_per_op"`
 
-	PipelineBench *pipelineBench `json:"pipeline_benchmark,omitempty"`
+	PipelineBench *pipelineBench  `json:"pipeline_benchmark,omitempty"`
+	Shutdown      *shutdownReport `json:"shutdown,omitempty"`
+}
+
+// shutdownReport grades a mid-run graceful drain (-shutdown-after).
+// Clean means the drain is production-shaped: nothing failed before the
+// drain began, and the server finished inside the deadline without
+// force-closing connections. Errors after the drain instant are the
+// expected fate of requests racing the shutdown and are reported but
+// not graded.
+type shutdownReport struct {
+	AfterSeconds    float64 `json:"initiated_after_seconds"`
+	DeadlineSeconds float64 `json:"drain_deadline_seconds"`
+	DrainSeconds    float64 `json:"drain_seconds"`
+	Forced          bool    `json:"forced"`
+	ErrorsBefore    int64   `json:"errors_before_shutdown"`
+	ErrorsAfter     int64   `json:"errors_after_shutdown"`
+	Clean           bool    `json:"clean"`
 }
 
 // pipelineBench is the single-connection microbenchmark pair from
@@ -111,8 +129,12 @@ func (r *report) print(w io.Writer) {
 		r.Protocol, mode, r.Conns, r.InFlight)
 	fmt.Fprintf(w, "  offered  %.0f req/s for %.1fs -> %d scheduled\n",
 		r.TargetRate, r.Duration, r.Scheduled)
-	fmt.Fprintf(w, "  achieved %.0f req/s (%d completed, %d errors, %d shed)\n",
+	fmt.Fprintf(w, "  achieved %.0f req/s (%d completed, %d errors, %d shed",
 		r.AchievedRate, r.Completed, r.Errors, r.Shed)
+	if r.ShedServer > 0 {
+		fmt.Fprintf(w, ", %d shed by server", r.ShedServer)
+	}
+	fmt.Fprintf(w, ")\n")
 	fmt.Fprintf(w, "  latency  p50 %.2fms  p99 %.2fms  p99.9 %.2fms  (SLO p99 <= %.0fms: %s)\n",
 		r.P50Millis, r.P99Millis, r.P999Millis, r.SLOMillis, passFail(r.SLOMet))
 	for _, op := range opNames {
@@ -123,6 +145,10 @@ func (r *report) print(w io.Writer) {
 	if pb := r.PipelineBench; pb != nil {
 		fmt.Fprintf(w, "  pipeline bench: v1 %.0f ns/op, v2 %.0f ns/op -> %.2fx RPS (bar %.0fx: %s)\n",
 			pb.V1NsPerOp, pb.V2NsPerOp, pb.SpeedupRPS, pb.Bar, passFail(pb.BarMet))
+	}
+	if s := r.Shutdown; s != nil {
+		fmt.Fprintf(w, "  shutdown: drained in %.3fs of %.1fs budget (forced: %v, errors before/after: %d/%d) -> %s\n",
+			s.DrainSeconds, s.DeadlineSeconds, s.Forced, s.ErrorsBefore, s.ErrorsAfter, passFail(s.Clean))
 	}
 }
 

@@ -21,17 +21,22 @@ import (
 //	               should be taken out of rotation (see ready below)
 //	/debug/traces  recent request traces (JSON list; ?id= for detail)
 //	/debug/pprof/  the standard Go profiling handlers
+//	/-/reload      POST: re-read and apply the -config file (the
+//	               API-driven twin of SIGHUP); 500 with the parse or
+//	               validation error when the file is rejected
 //
 // ready, when non-nil, is consulted by /readyz: a non-nil error means
 // not-ready and its text becomes the response body. /healthz stays
 // 200 regardless — liveness and readiness are split so an unwritable
 // WAL directory drains traffic without triggering a restart loop.
+// reload, when non-nil, backs /-/reload; with no -config file the
+// endpoint answers 404.
 //
 // The debug listener is separate from the protocol port on purpose:
 // it can be bound to localhost or a management network while the
 // protocol endpoint faces clients. Returns the bound address and a
 // shutdown func.
-func startDebugServer(addr string, ready func() error) (net.Addr, func(), error) {
+func startDebugServer(addr string, ready func() error, reload func() error) (net.Addr, func(), error) {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
@@ -51,6 +56,26 @@ func startDebugServer(addr string, ready func() error) (net.Addr, func(), error)
 				io.WriteString(w, err.Error()+"\n")
 				return
 			}
+		}
+		io.WriteString(w, "ok\n")
+	})
+	mux.HandleFunc("/-/reload", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if reload == nil {
+			w.WriteHeader(http.StatusNotFound)
+			io.WriteString(w, "no -config file to reload\n")
+			return
+		}
+		if r.Method != http.MethodPost {
+			w.Header().Set("Allow", http.MethodPost)
+			w.WriteHeader(http.StatusMethodNotAllowed)
+			io.WriteString(w, "POST required\n")
+			return
+		}
+		if err := reload(); err != nil {
+			w.WriteHeader(http.StatusInternalServerError)
+			io.WriteString(w, err.Error()+"\n")
+			return
 		}
 		io.WriteString(w, "ok\n")
 	})

@@ -15,7 +15,7 @@ import (
 )
 
 func TestDebugServerEndpoints(t *testing.T) {
-	addr, stop, err := startDebugServer("127.0.0.1:0", nil)
+	addr, stop, err := startDebugServer("127.0.0.1:0", nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -73,7 +73,7 @@ func TestReadyzSplitFromHealthz(t *testing.T) {
 		}
 		return nil
 	}
-	addr, stop, err := startDebugServer("127.0.0.1:0", ready)
+	addr, stop, err := startDebugServer("127.0.0.1:0", ready, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -119,7 +119,7 @@ func TestReadinessProbeWALDir(t *testing.T) {
 }
 
 func TestDebugTracesEndpoint(t *testing.T) {
-	addr, stop, err := startDebugServer("127.0.0.1:0", nil)
+	addr, stop, err := startDebugServer("127.0.0.1:0", nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

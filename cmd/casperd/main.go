@@ -19,6 +19,22 @@
 //	-trace       request tracing on/off        (default on)
 //	-trace-sample  head-sample 1 in N requests (default 16)
 //	-ready-max-snapshot-age  /readyz staleness bound (default off)
+//	-tls-cert / -tls-key     serve TLS on the RPC port (default off)
+//	-tls-client-ca           require CA-signed client certs (mTLS)
+//	-config      runtime-reloadable config file (default none)
+//	-drain       graceful-shutdown drain deadline (default 10s)
+//	-rate-limit  per-user token-bucket req/s   (default off)
+//	-rate-burst  per-user bucket size          (default 2x rate)
+//	-max-concurrent  global in-flight ceiling  (default off)
+//
+// Lifecycle: on the first SIGINT/SIGTERM casperd flips /readyz to 503,
+// stops accepting, finishes in-flight requests up to the drain
+// deadline, force-closes stragglers, syncs the WAL, and exits 0. A
+// second signal during the drain forces an immediate nonzero exit.
+// SIGHUP (or POST /-/reload on the debug endpoint) re-reads -config
+// and applies the reloadable keys — slow-query threshold, trace
+// sampling, rate limits, drain deadline — without a restart; a file
+// that fails to parse changes nothing. See DESIGN.md §10.
 //
 // With -debug-addr set (e.g. ":6060"), casperd serves /metrics
 // (Prometheus text format), /healthz (liveness), /readyz (readiness:
@@ -38,6 +54,8 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log/slog"
@@ -45,6 +63,7 @@ import (
 	"os/signal"
 	"path/filepath"
 	"runtime"
+	"sync/atomic"
 	"syscall"
 	"time"
 
@@ -74,7 +93,24 @@ func main() {
 	traceSample := flag.Int("trace-sample", 16, "head-sample 1 in N successful requests (1 = all, 0 = none; slow and errored requests are always kept)")
 	readyMaxSnapAge := flag.Duration("ready-max-snapshot-age", 0, "/readyz fails when the query snapshot is older than this with writes pending; 0 disables")
 	maxInFlight := flag.Int("max-inflight", 0, "per-connection cap on concurrently dispatched protocol v2 requests (0 = default)")
+	tlsCert := flag.String("tls-cert", "", "PEM server certificate; with -tls-key, serves TLS on the RPC port")
+	tlsKey := flag.String("tls-key", "", "PEM server key for -tls-cert")
+	tlsClientCA := flag.String("tls-client-ca", "", "PEM CA bundle; when set, clients must present a certificate it signed (mTLS)")
+	configPath := flag.String("config", "", "runtime-reloadable config file (JSON); reloaded on SIGHUP or POST /-/reload")
+	drainDeadline := flag.Duration("drain", 10*time.Second, "graceful-shutdown drain deadline for in-flight requests")
+	rateLimit := flag.Float64("rate-limit", 0, "per-user token-bucket rate limit in req/s; 0 disables")
+	rateBurst := flag.Float64("rate-burst", 0, "per-user token-bucket burst size (0 = 2x -rate-limit)")
+	maxConcurrent := flag.Int("max-concurrent", 0, "global in-flight request ceiling; excess is shed with the retryable overloaded code; 0 disables")
 	flag.Parse()
+
+	if (*tlsCert == "") != (*tlsKey == "") {
+		fmt.Fprintln(os.Stderr, "casperd: -tls-cert and -tls-key must be set together")
+		os.Exit(2)
+	}
+	if *tlsClientCA != "" && *tlsCert == "" {
+		fmt.Fprintln(os.Stderr, "casperd: -tls-client-ca requires -tls-cert/-tls-key")
+		os.Exit(2)
+	}
 
 	metrics.RegisterBuildInfo(version)
 	slog.Info("casperd starting",
@@ -105,7 +141,6 @@ func main() {
 		slog.Error("open", "err", err)
 		os.Exit(1)
 	}
-	defer c.Close()
 	if *walPath != "" {
 		slog.Info("durable server: WAL recovered",
 			"path", *walPath,
@@ -121,24 +156,56 @@ func main() {
 		slog.Info("loaded public targets", "targets", *targets, "extent_m", *extent)
 	}
 
+	srv := casper.NewProtocolServer(c)
+	srv.MaxInFlight = *maxInFlight
+	if *tlsCert != "" {
+		tcfg, err := buildTLSConfig(*tlsCert, *tlsKey, *tlsClientCA)
+		if err != nil {
+			slog.Error("tls", "err", err)
+			os.Exit(1)
+		}
+		srv.TLSConfig = tcfg
+		slog.Info("tls enabled", "cert", *tlsCert, "mtls", *tlsClientCA != "")
+	}
+
+	// The flag-derived baseline for every runtime-reloadable knob; the
+	// -config file (now and on every reload) overlays it.
+	burst := *rateBurst
+	if burst <= 0 {
+		burst = 2 * *rateLimit
+	}
+	rel, err := newReloader(srv, settings{
+		slowQuery:      *slowQuery,
+		traceSample:    *traceSample,
+		rateLimitRPS:   *rateLimit,
+		rateLimitBurst: burst,
+		maxConcurrent:  *maxConcurrent,
+		drainDeadline:  *drainDeadline,
+	}, *configPath)
+	if err != nil {
+		slog.Error("config", "path", *configPath, "err", err)
+		os.Exit(1)
+	}
+
+	// draining flips /readyz to 503 the moment shutdown starts, so load
+	// balancers stop routing here while in-flight requests finish.
+	var draining atomic.Bool
 	if *debugAddr != "" {
-		ready := readiness(c, *walPath, *readyMaxSnapAge)
-		dbgBound, stopDebug, err := startDebugServer(*debugAddr, ready)
+		ready := readiness(c, *walPath, *readyMaxSnapAge, &draining)
+		var reloadFn func() error
+		if *configPath != "" {
+			reloadFn = rel.Reload
+		}
+		dbgBound, stopDebug, err := startDebugServer(*debugAddr, ready, reloadFn)
 		if err != nil {
 			slog.Error("debug listen", "err", err)
 			os.Exit(1)
 		}
 		defer stopDebug()
 		slog.Info("observability endpoints up", "addr", dbgBound.String(),
-			"endpoints", "/metrics /healthz /readyz /debug/traces /debug/pprof")
+			"endpoints", "/metrics /healthz /readyz /debug/traces /debug/pprof /-/reload")
 	}
 
-	srv := casper.NewProtocolServer(c)
-	srv.SlowQueryThreshold = *slowQuery
-	srv.MaxInFlight = *maxInFlight
-	if *slowQuery > 0 {
-		slog.Info("slow-query log enabled", "threshold", *slowQuery)
-	}
 	bound, err := srv.Listen(*addr)
 	if err != nil {
 		slog.Error("listen", "err", err)
@@ -149,26 +216,67 @@ func main() {
 		"pyramid_levels", *levels,
 		"anonymizer", *anonKind,
 		"filters", *filters,
+		"tls", *tlsCert != "",
 		"trace", *traceOn,
-		"trace_sample", *traceSample)
+		"trace_sample", trace.SampleEvery())
 
-	sig := make(chan os.Signal, 1)
+	sig := make(chan os.Signal, 2)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
-	<-sig
-	slog.Info("shutting down")
-	if err := srv.Close(); err != nil {
+	hup := make(chan os.Signal, 1)
+	signal.Notify(hup, syscall.SIGHUP)
+serveLoop:
+	for {
+		select {
+		case <-hup:
+			if *configPath == "" {
+				slog.Warn("SIGHUP ignored: no -config file to reload")
+				continue
+			}
+			if rel.Reload() == nil {
+				slog.Info("config reloaded on SIGHUP", "path", *configPath)
+			}
+		case <-sig:
+			break serveLoop
+		}
+	}
+
+	// Drain: readiness flips first, then the front door stops accepting
+	// and finishes in-flight work. A second signal must stay an escape
+	// hatch — a wedged drain cannot hold the process hostage.
+	draining.Store(true)
+	deadline := rel.drainDeadline()
+	slog.Info("shutting down: draining", "deadline", deadline)
+	go func() {
+		<-sig
+		slog.Error("second signal during drain: forcing exit")
+		os.Exit(1)
+	}()
+	ctx, cancel := context.WithTimeout(context.Background(), deadline)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		slog.Warn("drain deadline expired; remaining connections force-closed", "err", err)
+	} else {
+		slog.Info("drained cleanly")
+	}
+	// Final WAL sync: flush and close the framework only after the last
+	// in-flight request has been answered.
+	if err := c.Close(); err != nil {
 		slog.Error("close", "err", err)
+		os.Exit(1)
 	}
 }
 
 // readiness builds the /readyz check: the process should be taken out
-// of rotation when the WAL directory stops being writable (appends
-// are about to start failing) or when the published query snapshot
-// has fallen further than maxSnapAge behind attempted writes (the
-// batcher is wedged). Liveness is unaffected — a drained instance
-// still answers /healthz.
-func readiness(c *casper.Casper, walPath string, maxSnapAge time.Duration) func() error {
+// of rotation when it is draining for shutdown, when the WAL directory
+// stops being writable (appends are about to start failing), or when
+// the published query snapshot has fallen further than maxSnapAge
+// behind attempted writes (the batcher is wedged). Liveness is
+// unaffected — a drained instance still answers /healthz.
+func readiness(c *casper.Casper, walPath string, maxSnapAge time.Duration, draining *atomic.Bool) func() error {
 	return func() error {
+		if draining != nil && draining.Load() {
+			return errors.New("draining: shutting down")
+		}
 		if walPath != "" {
 			if err := probeDirWritable(filepath.Dir(walPath)); err != nil {
 				return fmt.Errorf("wal directory not writable: %w", err)

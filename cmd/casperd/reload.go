@@ -1,0 +1,165 @@
+package main
+
+import (
+	"crypto/tls"
+	"crypto/x509"
+	"fmt"
+	"log/slog"
+	"os"
+	"sync/atomic"
+	"time"
+
+	"casper"
+	"casper/internal/config"
+	"casper/internal/metrics"
+	"casper/internal/trace"
+)
+
+// configReloads counts hot config reloads by result; the generation
+// gauge makes "did my SIGHUP land?" answerable from /metrics alone.
+var (
+	configReloads = metrics.Default.CounterVec(
+		"casper_config_reloads_total", "result",
+		"Hot config reloads (SIGHUP or /-/reload), by result (ok, error).")
+	configGeneration = metrics.Default.Gauge(
+		"casper_config_generation", "",
+		"Monotonic generation of the applied runtime config; bumps on every successful reload.")
+)
+
+// settings is the effective runtime-tunable configuration: the
+// flag-derived baseline overlaid with whatever keys the config file
+// names. Everything here can change on a live server.
+type settings struct {
+	slowQuery      time.Duration
+	traceSample    int
+	rateLimitRPS   float64
+	rateLimitBurst float64
+	maxConcurrent  int
+	drainDeadline  time.Duration
+}
+
+// overlay returns base with f's present keys applied; a nil file is
+// the baseline itself.
+func overlay(base settings, f *config.File) settings {
+	if f == nil {
+		return base
+	}
+	eff := base
+	if f.SlowQuery != nil {
+		eff.slowQuery = time.Duration(*f.SlowQuery)
+	}
+	if f.TraceSample != nil {
+		eff.traceSample = *f.TraceSample
+	}
+	if f.RateLimitRPS != nil {
+		eff.rateLimitRPS = *f.RateLimitRPS
+	}
+	if f.RateLimitBurst != nil {
+		eff.rateLimitBurst = *f.RateLimitBurst
+	}
+	if f.MaxConcurrent != nil {
+		eff.maxConcurrent = *f.MaxConcurrent
+	}
+	if f.DrainDeadline != nil {
+		eff.drainDeadline = time.Duration(*f.DrainDeadline)
+	}
+	return eff
+}
+
+// reloader applies runtime config to the live server and trace layer.
+// Reload (SIGHUP or POST /-/reload) re-reads the file and re-applies;
+// a file that fails to parse or validate changes nothing.
+type reloader struct {
+	path  string // config file; "" means reloads are no-ops
+	base  settings
+	srv   *casper.ProtocolServer
+	drain atomic.Int64 // current drain deadline (ns), read at shutdown
+	gen   atomic.Int64
+}
+
+// newReloader applies the baseline (overlaid with the config file when
+// path is set) and returns the reloader driving future reloads.
+func newReloader(srv *casper.ProtocolServer, base settings, path string) (*reloader, error) {
+	r := &reloader{path: path, base: base, srv: srv}
+	if path == "" {
+		r.apply(base)
+		return r, nil
+	}
+	f, err := config.Load(path)
+	if err != nil {
+		return nil, err
+	}
+	r.apply(overlay(base, f))
+	return r, nil
+}
+
+// Reload re-reads the config file and applies it; the error (if any)
+// is also what the /-/reload endpoint reports.
+func (r *reloader) Reload() error {
+	if r.path == "" {
+		return fmt.Errorf("no -config file to reload")
+	}
+	f, err := config.Load(r.path)
+	if err != nil {
+		configReloads.With("error").Inc()
+		slog.Error("config reload rejected; keeping current config", "path", r.path, "err", err)
+		return err
+	}
+	r.apply(overlay(r.base, f))
+	configReloads.With("ok").Inc()
+	return nil
+}
+
+// apply pushes eff into every layer that consumes it. Each target is
+// individually atomic; a reload is not transactional across keys, but
+// every key is a single independent knob.
+func (r *reloader) apply(eff settings) {
+	r.srv.SetSlowQueryThreshold(eff.slowQuery)
+	r.srv.SetRateLimit(eff.rateLimitRPS, eff.rateLimitBurst)
+	r.srv.SetMaxConcurrent(eff.maxConcurrent)
+	trace.SetSampleEvery(int64(eff.traceSample))
+	r.drain.Store(int64(eff.drainDeadline))
+	gen := r.gen.Add(1)
+	configGeneration.Set(gen)
+	slog.Info("runtime config applied",
+		"generation", gen,
+		"slow_query", eff.slowQuery,
+		"trace_sample", eff.traceSample,
+		"rate_limit_rps", eff.rateLimitRPS,
+		"rate_limit_burst", eff.rateLimitBurst,
+		"max_concurrent", eff.maxConcurrent,
+		"drain_deadline", eff.drainDeadline)
+}
+
+// drainDeadline is the currently configured graceful-shutdown budget.
+func (r *reloader) drainDeadline() time.Duration {
+	return time.Duration(r.drain.Load())
+}
+
+// buildTLSConfig assembles the RPC port's TLS setup from the -tls-*
+// flags: certFile/keyFile are the server identity, and clientCAFile
+// (optional) switches on mutual TLS — only clients presenting a
+// certificate signed by that CA get past the handshake.
+func buildTLSConfig(certFile, keyFile, clientCAFile string) (*tls.Config, error) {
+	cert, err := tls.LoadX509KeyPair(certFile, keyFile)
+	if err != nil {
+		return nil, fmt.Errorf("load server certificate: %w", err)
+	}
+	cfg := &tls.Config{
+		Certificates: []tls.Certificate{cert},
+		MinVersion:   tls.VersionTLS12,
+	}
+	if clientCAFile != "" {
+		pem, err := os.ReadFile(clientCAFile)
+		if err != nil {
+			return nil, fmt.Errorf("load client CA: %w", err)
+		}
+		pool := x509.NewCertPool()
+		if !pool.AppendCertsFromPEM(pem) {
+			return nil, fmt.Errorf("client CA %s holds no certificates", clientCAFile)
+		}
+		cfg.ClientCAs = pool
+		cfg.ClientAuth = tls.RequireAndVerifyClientCert
+	}
+	return cfg, nil
+}

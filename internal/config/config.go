@@ -1,0 +1,131 @@
+// Package config loads casperd's runtime-reloadable configuration
+// file. The file is JSON and covers exactly the keys that are safe to
+// change on a live server without a restart — the slow-query log
+// threshold, trace sampling, admission-control limits, and the drain
+// deadline. casperd reads it at startup, again on SIGHUP, and on
+// POST /-/reload at the debug endpoint; keys absent from the file keep
+// their flag-derived values, so the file only has to name what it
+// overrides.
+//
+// Example:
+//
+//	{
+//	  "slow_query": "50ms",
+//	  "trace_sample": 16,
+//	  "rate_limit_rps": 100,
+//	  "rate_limit_burst": 200,
+//	  "max_concurrent": 1024,
+//	  "drain_deadline": "10s"
+//	}
+//
+// Parsing is strict: unknown keys, malformed durations, and negative
+// values all reject the whole file, and a rejected reload leaves the
+// running configuration untouched.
+package config
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+)
+
+// Duration is a time.Duration that unmarshals from a JSON string in
+// time.ParseDuration syntax ("50ms", "1m30s").
+type Duration time.Duration
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (d *Duration) UnmarshalJSON(b []byte) error {
+	var s string
+	if err := json.Unmarshal(b, &s); err != nil {
+		return fmt.Errorf("durations are strings like \"50ms\": %w", err)
+	}
+	v, err := time.ParseDuration(s)
+	if err != nil {
+		return err
+	}
+	*d = Duration(v)
+	return nil
+}
+
+// MarshalJSON implements json.Marshaler.
+func (d Duration) MarshalJSON() ([]byte, error) {
+	return json.Marshal(time.Duration(d).String())
+}
+
+// File is the reloadable key set. Every field is a pointer so an
+// absent key ("keep the current value") is distinguishable from an
+// explicit zero ("disable this").
+type File struct {
+	// SlowQuery is the slow-query log threshold; "0s" disables the log.
+	SlowQuery *Duration `json:"slow_query,omitempty"`
+	// TraceSample head-samples 1 in N successful requests (1 = all,
+	// 0 = none; slow and errored requests are always retained).
+	TraceSample *int `json:"trace_sample,omitempty"`
+	// RateLimitRPS is the per-user token-bucket rate in
+	// requests/second; 0 disables per-user limiting.
+	RateLimitRPS *float64 `json:"rate_limit_rps,omitempty"`
+	// RateLimitBurst is the per-user bucket size; values below 1 are
+	// raised to 1 when a rate is set.
+	RateLimitBurst *float64 `json:"rate_limit_burst,omitempty"`
+	// MaxConcurrent is the global in-flight request ceiling; 0
+	// disables it.
+	MaxConcurrent *int `json:"max_concurrent,omitempty"`
+	// DrainDeadline bounds graceful shutdown: how long in-flight
+	// requests get to finish before connections are force-closed.
+	DrainDeadline *Duration `json:"drain_deadline,omitempty"`
+}
+
+// Parse decodes and validates a config file's contents.
+func Parse(b []byte) (*File, error) {
+	dec := json.NewDecoder(bytes.NewReader(b))
+	dec.DisallowUnknownFields()
+	var f File
+	if err := dec.Decode(&f); err != nil {
+		return nil, err
+	}
+	// A second document in the same file is a mangled edit, not config.
+	if dec.More() {
+		return nil, fmt.Errorf("trailing data after config object")
+	}
+	if err := f.validate(); err != nil {
+		return nil, err
+	}
+	return &f, nil
+}
+
+// Load reads and validates the config file at path.
+func Load(path string) (*File, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	f, err := Parse(b)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return f, nil
+}
+
+func (f *File) validate() error {
+	if f.SlowQuery != nil && *f.SlowQuery < 0 {
+		return fmt.Errorf("slow_query must be >= 0, got %s", time.Duration(*f.SlowQuery))
+	}
+	if f.TraceSample != nil && *f.TraceSample < 0 {
+		return fmt.Errorf("trace_sample must be >= 0, got %d", *f.TraceSample)
+	}
+	if f.RateLimitRPS != nil && *f.RateLimitRPS < 0 {
+		return fmt.Errorf("rate_limit_rps must be >= 0, got %v", *f.RateLimitRPS)
+	}
+	if f.RateLimitBurst != nil && *f.RateLimitBurst < 0 {
+		return fmt.Errorf("rate_limit_burst must be >= 0, got %v", *f.RateLimitBurst)
+	}
+	if f.MaxConcurrent != nil && *f.MaxConcurrent < 0 {
+		return fmt.Errorf("max_concurrent must be >= 0, got %d", *f.MaxConcurrent)
+	}
+	if f.DrainDeadline != nil && *f.DrainDeadline <= 0 {
+		return fmt.Errorf("drain_deadline must be > 0, got %s", time.Duration(*f.DrainDeadline))
+	}
+	return nil
+}

@@ -1,0 +1,133 @@
+package config
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestParseFull(t *testing.T) {
+	f, err := Parse([]byte(`{
+		"slow_query": "50ms",
+		"trace_sample": 16,
+		"rate_limit_rps": 100,
+		"rate_limit_burst": 200,
+		"max_concurrent": 1024,
+		"drain_deadline": "10s"
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.SlowQuery == nil || time.Duration(*f.SlowQuery) != 50*time.Millisecond {
+		t.Fatalf("SlowQuery = %v; want 50ms", f.SlowQuery)
+	}
+	if f.TraceSample == nil || *f.TraceSample != 16 {
+		t.Fatalf("TraceSample = %v; want 16", f.TraceSample)
+	}
+	if f.RateLimitRPS == nil || *f.RateLimitRPS != 100 {
+		t.Fatalf("RateLimitRPS = %v; want 100", f.RateLimitRPS)
+	}
+	if f.RateLimitBurst == nil || *f.RateLimitBurst != 200 {
+		t.Fatalf("RateLimitBurst = %v; want 200", f.RateLimitBurst)
+	}
+	if f.MaxConcurrent == nil || *f.MaxConcurrent != 1024 {
+		t.Fatalf("MaxConcurrent = %v; want 1024", f.MaxConcurrent)
+	}
+	if f.DrainDeadline == nil || time.Duration(*f.DrainDeadline) != 10*time.Second {
+		t.Fatalf("DrainDeadline = %v; want 10s", f.DrainDeadline)
+	}
+}
+
+func TestParsePartial(t *testing.T) {
+	// Absent keys stay nil ("keep the current value"); explicit zeros
+	// are present pointers ("disable this"). The distinction is the
+	// whole point of the pointer fields.
+	f, err := Parse([]byte(`{"slow_query": "0s", "max_concurrent": 0}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.SlowQuery == nil || *f.SlowQuery != 0 {
+		t.Fatalf("SlowQuery = %v; want explicit 0", f.SlowQuery)
+	}
+	if f.MaxConcurrent == nil || *f.MaxConcurrent != 0 {
+		t.Fatalf("MaxConcurrent = %v; want explicit 0", f.MaxConcurrent)
+	}
+	if f.TraceSample != nil || f.RateLimitRPS != nil || f.RateLimitBurst != nil || f.DrainDeadline != nil {
+		t.Fatalf("absent keys decoded non-nil: %+v", f)
+	}
+}
+
+func TestParseRejects(t *testing.T) {
+	cases := []struct {
+		name, in, wantErr string
+	}{
+		{"unknown_key", `{"slow_qurey": "50ms"}`, "unknown field"},
+		{"numeric_duration", `{"slow_query": 50}`, "durations are strings"},
+		{"malformed_duration", `{"drain_deadline": "ten seconds"}`, "invalid duration"},
+		{"negative_rate", `{"rate_limit_rps": -1}`, "rate_limit_rps must be >= 0"},
+		{"negative_burst", `{"rate_limit_burst": -2}`, "rate_limit_burst must be >= 0"},
+		{"negative_concurrent", `{"max_concurrent": -3}`, "max_concurrent must be >= 0"},
+		{"negative_sample", `{"trace_sample": -1}`, "trace_sample must be >= 0"},
+		{"negative_slow_query", `{"slow_query": "-5ms"}`, "slow_query must be >= 0"},
+		{"zero_drain", `{"drain_deadline": "0s"}`, "drain_deadline must be > 0"},
+		{"trailing_data", `{"trace_sample": 1} {"trace_sample": 2}`, "trailing data"},
+		{"not_json", `slow_query = 50ms`, "invalid character"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Parse([]byte(tc.in))
+			if err == nil {
+				t.Fatalf("Parse(%q) accepted; want rejection", tc.in)
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("Parse(%q) error %q; want it to mention %q", tc.in, err, tc.wantErr)
+			}
+		})
+	}
+}
+
+func TestLoad(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "casper.json")
+	if err := os.WriteFile(path, []byte(`{"trace_sample": 4}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	f, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.TraceSample == nil || *f.TraceSample != 4 {
+		t.Fatalf("TraceSample = %v; want 4", f.TraceSample)
+	}
+
+	// Errors carry the path so reload logs are actionable.
+	if err := os.WriteFile(path, []byte(`{"nope": 1}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(path); err == nil || !strings.Contains(err.Error(), path) {
+		t.Fatalf("Load error %v; want it to name %s", err, path)
+	}
+	if _, err := Load(filepath.Join(dir, "missing.json")); err == nil {
+		t.Fatal("Load of missing file succeeded")
+	}
+}
+
+func TestDurationMarshalRoundTrip(t *testing.T) {
+	d := Duration(90 * time.Second)
+	b, err := d.MarshalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(b) != `"1m30s"` {
+		t.Fatalf("MarshalJSON = %s; want \"1m30s\"", b)
+	}
+	var back Duration
+	if err := back.UnmarshalJSON(b); err != nil {
+		t.Fatal(err)
+	}
+	if back != d {
+		t.Fatalf("round trip = %v; want %v", back, d)
+	}
+}

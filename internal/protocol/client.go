@@ -3,6 +3,7 @@ package protocol
 import (
 	"bufio"
 	"context"
+	"crypto/tls"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -79,6 +80,7 @@ type dialConfig struct {
 	timeout     time.Duration
 	version     int
 	maxInFlight int
+	tls         *tls.Config
 }
 
 // DefaultDialTimeout bounds connection establishment (and the v2
@@ -106,6 +108,15 @@ func WithMaxInFlight(n int) DialOption {
 	return func(c *dialConfig) { c.maxInFlight = n }
 }
 
+// WithTLSConfig dials the server over TLS with cfg (which is cloned,
+// never mutated). A nil ServerName is derived from the dialed
+// address's host part. For mutual TLS set Certificates to the client
+// certificate; the TLS handshake is bounded by the same deadline as
+// connection establishment. nil leaves the connection plaintext.
+func WithTLSConfig(cfg *tls.Config) DialOption {
+	return func(c *dialConfig) { c.tls = cfg }
+}
+
 // DialContext connects to a Casper protocol server. The context (and
 // the dial timeout) bound connection establishment and, on v2, the
 // version handshake. This is the constructor every new caller should
@@ -129,6 +140,26 @@ func DialContext(ctx context.Context, addr string, opts ...DialOption) (*Client,
 	conn, err := d.DialContext(ctx, "tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("protocol: dial %s: %w", addr, err)
+	}
+	if cfg.tls != nil {
+		tcfg := cfg.tls.Clone()
+		if tcfg.ServerName == "" {
+			if host, _, herr := net.SplitHostPort(addr); herr == nil {
+				tcfg.ServerName = host
+			}
+		}
+		tconn := tls.Client(conn, tcfg)
+		hctx := ctx
+		if cfg.timeout > 0 {
+			var cancel context.CancelFunc
+			hctx, cancel = context.WithTimeout(ctx, cfg.timeout)
+			defer cancel()
+		}
+		if err := tconn.HandshakeContext(hctx); err != nil {
+			conn.Close()
+			return nil, fmt.Errorf("protocol: tls handshake %s: %w", addr, err)
+		}
+		conn = tconn
 	}
 	c := &Client{conn: conn, version: cfg.version}
 	if cfg.version == Version1 {

@@ -16,6 +16,14 @@ import (
 // §9 for the removal schedule.
 var ErrDeprecatedOp = errors.New("deprecated wire op")
 
+// ErrOverloaded reports that the server shed the request under
+// admission control — the per-user rate limit or the global in-flight
+// ceiling — before doing any work. It is retryable: the request had no
+// effect, and backing off briefly and resending is the correct client
+// response. Travels as the wire-stable "overloaded" code on both
+// protocol versions.
+var ErrOverloaded = errors.New("server overloaded, retry later")
+
 // Stable wire error codes. The server maps the framework's sentinel
 // errors onto these strings (Response.Code); the client maps them back
 // to the same sentinels, so errors.Is works identically in-process and
@@ -40,6 +48,9 @@ const (
 	CodeDuplicateObject = "duplicate_object"
 	// CodeDeprecatedOp maps ErrDeprecatedOp.
 	CodeDeprecatedOp = "deprecated_op"
+	// CodeOverloaded maps ErrOverloaded. Retryable: the server shed the
+	// request under admission control before doing any work.
+	CodeOverloaded = "overloaded"
 )
 
 // wireCodes orders the sentinel → code mapping. More specific
@@ -58,6 +69,7 @@ var wireCodes = []struct {
 	{server.ErrUnknownObject, CodeUnknownObject},
 	{server.ErrDuplicateObject, CodeDuplicateObject},
 	{ErrDeprecatedOp, CodeDeprecatedOp},
+	{ErrOverloaded, CodeOverloaded},
 }
 
 // codeOf returns the wire code for an error's sentinel, or "" when the

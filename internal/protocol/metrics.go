@@ -42,6 +42,18 @@ var (
 	deprecatedOps = metrics.Default.Counter(
 		"casper_deprecated_op_total", "",
 		"Requests using deprecated op spellings (v1 tolerates them; v2 rejects with deprecated_op).")
+	shedTotal = metrics.Default.CounterVec(
+		"casper_shed_total", "reason",
+		"Requests shed by admission control with the retryable overloaded code, by reason (rate_limit, inflight).")
+	acceptErrors = metrics.Default.Counter(
+		"casper_accept_errors_total", "",
+		"Transient listener Accept failures survived by the accept loop's backoff.")
+	drainingGauge = metrics.Default.Gauge(
+		"casper_draining", "",
+		"1 while the server is draining (Shutdown in progress), else 0.")
+	connsForceClosed = metrics.Default.Counter(
+		"casper_connections_force_closed_total", "",
+		"Connections force-closed because the drain deadline expired.")
 )
 
 // rpcInstruments bundles one op's counter and histogram.

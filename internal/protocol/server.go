@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"bytes"
 	"context"
+	"crypto/tls"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -12,6 +13,7 @@ import (
 	"runtime"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"casper/internal/anonymizer"
@@ -52,6 +54,14 @@ const DefaultMaxInFlight = 64
 // single connection, requests are still answered strictly in order —
 // the newline framing has no request IDs, so in-order responses are
 // what keeps the stream interpretable.
+//
+// Lifecycle: Shutdown(ctx) drains gracefully — the listener closes,
+// idle connections are woken via an immediate read deadline and cut,
+// in-flight requests finish and their responses flush, and only when
+// ctx expires are surviving connections force-closed. Close is the
+// immediate-deadline wrapper. Admission control (SetRateLimit,
+// SetMaxConcurrent) sheds excess load with the retryable "overloaded"
+// wire code before a request does any work.
 type Server struct {
 	casper *core.Casper
 	ln     net.Listener
@@ -64,7 +74,8 @@ type Server struct {
 	// SlowQueryThreshold, when positive, logs every request that takes
 	// longer than this to answer — with the cloak/query/transmit
 	// breakdown when the op produced one — so latency outliers are
-	// attributable. Set before Listen.
+	// attributable. Set before Listen; SetSlowQueryThreshold changes it
+	// at runtime.
 	SlowQueryThreshold time.Duration
 
 	// WriteTimeout bounds how long each response frame may take to
@@ -78,6 +89,36 @@ type Server struct {
 	// v1 connections are inherently serial and unaffected.
 	MaxInFlight int
 
+	// TLSConfig, when non-nil, makes Listen serve TLS on the port it
+	// binds (clients dial with WithTLSConfig). For mutual TLS set
+	// ClientCAs and ClientAuth (tls.RequireAndVerifyClientCert), and
+	// only holders of a CA-signed client certificate get past the
+	// handshake. Set before Listen; Serve ignores it (wrap the
+	// listener yourself).
+	TLSConfig *tls.Config
+
+	// slowQuery is the live slow-query threshold (nanoseconds), read
+	// per request and swapped atomically by SetSlowQueryThreshold so
+	// hot config reload needs no restart. Seeded from the
+	// SlowQueryThreshold field when serving starts.
+	slowQuery atomic.Int64
+
+	// adm is the admission-control state: per-user token buckets and
+	// the global in-flight ceiling.
+	adm admission
+
+	// connMu guards conns and shuttingDown. Every served connection
+	// registers here so Shutdown can wake idle readers (read-deadline
+	// nudge) and, past the drain deadline, force-close stragglers.
+	connMu       sync.Mutex
+	conns        map[net.Conn]struct{}
+	shuttingDown bool
+
+	// dispatchHook, when non-nil, runs at the top of every dispatch.
+	// Test seam: lifecycle tests park requests here to hold them
+	// in-flight across a Shutdown. Set before Listen.
+	dispatchHook func(Request)
+
 	wg       sync.WaitGroup
 	closed   chan struct{}
 	closeOne sync.Once
@@ -85,14 +126,25 @@ type Server struct {
 
 // NewServer wraps a core framework instance.
 func NewServer(c *core.Casper) *Server {
-	return &Server{
+	s := &Server{
 		casper:       c,
 		logger:       slog.Default(),
 		IdleTimeout:  DefaultIdleTimeout,
 		WriteTimeout: DefaultWriteTimeout,
+		conns:        make(map[net.Conn]struct{}),
 		closed:       make(chan struct{}),
 	}
+	s.adm.init()
+	return s
 }
+
+// SetSlowQueryThreshold changes the slow-query log threshold at
+// runtime (hot config reload); zero disables the log. Safe to call
+// while serving.
+func (s *Server) SetSlowQueryThreshold(d time.Duration) { s.slowQuery.Store(int64(d)) }
+
+// SlowQuery reports the live slow-query threshold.
+func (s *Server) SlowQuery() time.Duration { return time.Duration(s.slowQuery.Load()) }
 
 // SetLogger overrides the server's structured logger.
 func (s *Server) SetLogger(l *slog.Logger) { s.logger = l }
@@ -124,33 +176,121 @@ func (h logfHandler) WithAttrs([]slog.Attr) slog.Handler { return h }
 func (h logfHandler) WithGroup(string) slog.Handler      { return h }
 
 // Listen starts accepting on addr (e.g. "127.0.0.1:7467") and returns
-// the bound address, which is useful with a ":0" wildcard port.
+// the bound address, which is useful with a ":0" wildcard port. With
+// TLSConfig set, the port serves TLS.
 func (s *Server) Listen(addr string) (net.Addr, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
-	s.ln = ln
-	s.wg.Add(1)
-	go s.acceptLoop()
-	return ln.Addr(), nil
+	if s.TLSConfig != nil {
+		ln = tls.NewListener(ln, s.TLSConfig)
+	}
+	return s.Serve(ln), nil
 }
 
-// Close stops the listener and waits for in-flight connections.
-func (s *Server) Close() error {
-	var err error
+// Serve starts accepting on a caller-provided listener, which joins
+// the server's lifecycle: Shutdown/Close closes it. Listen is the
+// common path; Serve exists for custom listeners (tests inject
+// fault-injecting ones).
+func (s *Server) Serve(ln net.Listener) net.Addr {
+	s.ln = ln
+	// Seed the live threshold from the set-before-Listen field unless
+	// SetSlowQueryThreshold already configured it.
+	if s.slowQuery.Load() == 0 && s.SlowQueryThreshold != 0 {
+		s.slowQuery.Store(int64(s.SlowQueryThreshold))
+	}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return ln.Addr()
+}
+
+// Shutdown drains the server gracefully: stop accepting, wake idle
+// connections with an immediate read deadline (they are cut; a
+// request already dispatched is not), let in-flight requests finish
+// and their responses flush, and — only once ctx is done — force-close
+// whatever connections remain. It returns nil when the drain completed
+// before the deadline, otherwise ctx's error after the force-close.
+//
+// Requests sitting unread in a connection's socket buffer at drain
+// time are not served; from the client they look like a dropped
+// connection, exactly as if the server had restarted a moment earlier.
+// Safe to call more than once and concurrently with Close.
+func (s *Server) Shutdown(ctx context.Context) error {
+	var lnErr error
 	s.closeOne.Do(func() {
 		close(s.closed)
 		if s.ln != nil {
-			err = s.ln.Close()
+			lnErr = s.ln.Close()
 		}
 	})
-	s.wg.Wait()
+	drainingGauge.Set(1)
+	// Flag and nudge under one lock: a connection registering after the
+	// flag is turned away in trackConn; every one registered before is
+	// woken here. No connection can slip between the two.
+	s.connMu.Lock()
+	s.shuttingDown = true
+	for c := range s.conns {
+		_ = c.SetReadDeadline(time.Unix(1, 0))
+	}
+	s.connMu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return lnErr
+	case <-ctx.Done():
+	}
+	s.connMu.Lock()
+	for c := range s.conns {
+		connsForceClosed.Inc()
+		_ = c.Close()
+	}
+	s.connMu.Unlock()
+	<-done
+	return ctx.Err()
+}
+
+// Close shuts down immediately: Shutdown with an already-expired
+// deadline, so idle and in-flight connections alike are force-closed.
+// Use Shutdown to drain.
+func (s *Server) Close() error {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err := s.Shutdown(ctx)
+	if errors.Is(err, context.Canceled) {
+		// The force-close is Close's contract, not a failure.
+		return nil
+	}
 	return err
+}
+
+// trackConn registers a served connection for Shutdown's nudge and
+// force-close passes; false means the server is already draining and
+// the connection must be dropped unserved.
+func (s *Server) trackConn(c net.Conn) bool {
+	s.connMu.Lock()
+	defer s.connMu.Unlock()
+	if s.shuttingDown {
+		return false
+	}
+	s.conns[c] = struct{}{}
+	return true
+}
+
+func (s *Server) untrackConn(c net.Conn) {
+	s.connMu.Lock()
+	delete(s.conns, c)
+	s.connMu.Unlock()
 }
 
 func (s *Server) acceptLoop() {
 	defer s.wg.Done()
+	var backoff time.Duration
 	for {
 		conn, err := s.ln.Accept()
 		if err != nil {
@@ -159,9 +299,33 @@ func (s *Server) acceptLoop() {
 				return
 			default:
 			}
-			s.logger.Error("casper/protocol: accept failed", "err", err)
-			return
+			if errors.Is(err, net.ErrClosed) {
+				return
+			}
+			// Transient failure — EMFILE under fd exhaustion, a client
+			// resetting mid-accept — must not kill the listener while
+			// open connections keep the process looking alive. Retry
+			// with capped exponential backoff; only a closed listener
+			// ends the loop.
+			acceptErrors.Inc()
+			if backoff == 0 {
+				backoff = 5 * time.Millisecond
+			} else {
+				backoff *= 2
+				if backoff > time.Second {
+					backoff = time.Second
+				}
+			}
+			s.logger.Warn("casper/protocol: accept failed; retrying",
+				"err", err, "backoff", backoff)
+			select {
+			case <-s.closed:
+				return
+			case <-time.After(backoff):
+			}
+			continue
 		}
+		backoff = 0
 		s.wg.Add(1)
 		go func() {
 			defer s.wg.Done()
@@ -200,6 +364,10 @@ func (c *countedConn) Write(p []byte) (int, error) {
 func (s *Server) handleConn(rawConn net.Conn) {
 	conn := &countedConn{Conn: rawConn}
 	defer conn.Close()
+	if !s.trackConn(conn) {
+		return // raced the drain; never served
+	}
+	defer s.untrackConn(conn)
 	connsTotal.Inc()
 	connsOpen.Add(1)
 	defer connsOpen.Add(-1)
@@ -283,7 +451,13 @@ func (s *Server) serveV1(conn net.Conn, br *bufio.Reader) {
 			tr.RecordSpan("decode", decodeStart, time.Since(decodeStart))
 		}
 		start := time.Now()
-		resp := s.dispatch(req, tr, Version1)
+		var resp Response
+		if reason, release := s.adm.admit(req.UserID); release == nil {
+			resp = s.shedResponse(req.Op, reason, tr, start)
+		} else {
+			resp = s.dispatch(req, tr, Version1)
+			release()
+		}
 		elapsed := time.Since(start)
 		observeRPC(req.Op, elapsed.Seconds(), resp)
 		if tr != nil {
@@ -291,7 +465,8 @@ func (s *Server) serveV1(conn net.Conn, br *bufio.Reader) {
 		} else {
 			resp.TraceID = req.TraceID // still echo the correlation ID
 		}
-		slow := s.SlowQueryThreshold > 0 && elapsed > s.SlowQueryThreshold
+		thr := s.SlowQuery()
+		slow := thr > 0 && elapsed > thr
 		if slow {
 			s.logSlow(req, resp, elapsed)
 		}
@@ -400,12 +575,26 @@ readLoop:
 			tr = trace.NewAt(req.Op, req.TraceID, decodeStart)
 			tr.RecordSpan("decode", decodeStart, time.Since(decodeStart))
 		}
+		// Admission runs before the per-connection dispatch slot: a shed
+		// costs one error frame, never a sem wait or a goroutine.
+		reason, release := s.adm.admit(req.UserID)
+		if release == nil {
+			resp := s.shedResponse(req.Op, reason, tr, decodeStart)
+			observeRPC(req.Op, time.Since(decodeStart).Seconds(), resp)
+			if tr != nil {
+				resp.TraceID = tr.ID
+			} else {
+				resp.TraceID = req.TraceID
+			}
+			out <- v2Out{id: id, resp: resp, tr: tr, started: decodeStart}
+			continue
+		}
 		sem <- struct{}{}
 		framesInFlight.Add(1)
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			defer func() { <-sem; framesInFlight.Add(-1) }()
+			defer func() { release(); <-sem; framesInFlight.Add(-1) }()
 			start := time.Now()
 			resp := s.dispatch(req, tr, Version2)
 			elapsed := time.Since(start)
@@ -415,7 +604,8 @@ readLoop:
 			} else {
 				resp.TraceID = req.TraceID // still echo the correlation ID
 			}
-			slow := s.SlowQueryThreshold > 0 && elapsed > s.SlowQueryThreshold
+			thr := s.SlowQuery()
+			slow := thr > 0 && elapsed > thr
 			if slow {
 				s.logSlow(req, resp, elapsed)
 			}
@@ -531,7 +721,22 @@ func (s *Server) writeFrame(conn net.Conn, enc *json.Encoder, resp Response) err
 	return err
 }
 
+// shedResponse builds the retryable overloaded error frame for a
+// request refused by admission control, counting the shed and marking
+// the trace with a "shed" span (an errored response is always retained
+// in the ring, so shed traffic is visible at /debug/traces).
+func (s *Server) shedResponse(op, reason string, tr *trace.Trace, at time.Time) Response {
+	shedTotal.With(reason).Inc()
+	if tr != nil {
+		tr.RecordSpan("shed", at, 0, trace.Str("reason", reason))
+	}
+	return errFrom(fmt.Errorf("%w: %s shed by %s", ErrOverloaded, op, reason))
+}
+
 func (s *Server) dispatch(req Request, tr *trace.Trace, proto int) Response {
+	if h := s.dispatchHook; h != nil {
+		h(req)
+	}
 	// ops routes the anonymizer-path operations through a traced view
 	// of the framework; with tr == nil it is exactly the plain API.
 	ops := s.casper.Traced(tr)
