@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet staticcheck test race check shutdown-smoke bench bench-updates bench-queries bench-smoke bench-allocs bench-e2e fuzz race-stress
+.PHONY: all build vet staticcheck test race check shutdown-smoke bench bench-updates bench-queries bench-smoke bench-allocs bench-e2e bench-backends fuzz race-stress
 
 all: check
 
@@ -116,6 +116,24 @@ bench-e2e:
 	$(GO) run ./cmd/casper-loadgen -duration 10s -rate 1000 \
 	  -pipeline-bench /tmp/bench-pipeline.txt -out BENCH_e2e.json
 	@echo "wrote BENCH_e2e.json"
+
+# bench-backends smokes the pluggable-backend surface: every registered
+# backend cloaks once under the per-backend microbenchmark, then the
+# full comparison harness runs at quick scale and the emitted CSV's
+# header is checked against the schema results_csv/backends_quick.csv
+# was committed with — a column rename or a backend dropping out of the
+# registry fails CI here.
+bench-backends:
+	$(GO) test -run XXX -bench BenchmarkBackendCloak -benchtime=1x ./internal/anonymizer
+	$(GO) run ./cmd/casper-bench -compare -users 2000 -targets 1000 -csv /tmp/bench-backends-csv
+	@head -1 /tmp/bench-backends-csv/backends_quick.csv | grep -qx \
+	  'backend,k_mean,k_satisfied_frac,area_cells_mean,entropy_mean_bits,entropy_min_bits,degenerate_frac,linkage_surviving_frac,candidates_mean,cloak_us,query_us,transmit_us' \
+	  || { echo "FAIL: backends_quick.csv header schema changed"; head -1 /tmp/bench-backends-csv/backends_quick.csv; exit 1; }
+	@for b in basic adaptive cluster geoind; do \
+	  grep -q "^$$b," /tmp/bench-backends-csv/backends_quick.csv \
+	    || { echo "FAIL: backend $$b missing from comparison CSV"; exit 1; }; \
+	done
+	@echo "ok: all four backends present, CSV schema stable"
 
 # fuzz exercises the v2 frame decoder and codecs beyond the committed
 # seed corpus (internal/protocol/testdata/fuzz). Each fuzzer gets a

@@ -96,8 +96,9 @@ type (
 	Casper = core.Casper
 	// Config parameterizes a deployment.
 	Config = core.Config
-	// AnonymizerKind selects the basic or adaptive anonymizer.
-	AnonymizerKind = core.AnonymizerKind
+	// Mechanism says how a cloaked release blurs the location: a
+	// k-anonymous region or a perturbed point.
+	Mechanism = anonymizer.Mechanism
 	// TransmissionModel is the candidate-list downlink model.
 	TransmissionModel = core.TransmissionModel
 	// Breakdown is the per-query end-to-end cost decomposition.
@@ -117,13 +118,40 @@ type (
 	CountPolicy = privacyqp.CountPolicy
 )
 
-// Anonymizer kinds.
+// Privacy backends, selectable via Config.Backend. The full list at
+// runtime (including backends registered by embedding programs) is
+// Backends().
 const (
-	// BasicAnonymizer uses the complete pyramid (Sec. 4.1).
+	// BasicBackend uses the complete pyramid (Sec. 4.1).
+	BasicBackend = core.BasicBackend
+	// AdaptiveBackend uses the incomplete pyramid (Sec. 4.2).
+	AdaptiveBackend = core.AdaptiveBackend
+	// ClusterBackend forms k-nearest groups over sharded user tables.
+	ClusterBackend = core.ClusterBackend
+	// GeoIndBackend releases planar-Laplace perturbed points
+	// (geo-indistinguishability).
+	GeoIndBackend = core.GeoIndBackend
+
+	// BasicAnonymizer selects the basic backend.
+	//
+	// Deprecated: use BasicBackend. Config.Backend is a string now.
 	BasicAnonymizer = core.BasicAnonymizer
-	// AdaptiveAnonymizer uses the incomplete pyramid (Sec. 4.2).
+	// AdaptiveAnonymizer selects the adaptive backend.
+	//
+	// Deprecated: use AdaptiveBackend.
 	AdaptiveAnonymizer = core.AdaptiveAnonymizer
 )
+
+// Cloaking mechanisms a backend may release (CloakedRegion.Mechanism).
+const (
+	// MechRegion is a k-anonymous rectangle (basic/adaptive/cluster).
+	MechRegion = anonymizer.MechRegion
+	// MechPerturbed is a noisy point plus confidence radius (geoind).
+	MechPerturbed = anonymizer.MechPerturbed
+)
+
+// Backends lists the registered privacy-backend names, sorted.
+func Backends() []string { return anonymizer.Backends() }
 
 // Count policies for public queries over private data.
 const (

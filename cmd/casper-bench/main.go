@@ -8,9 +8,15 @@
 //
 //	-scale    quick | paper       workload scale (default quick)
 //	-only     F13a[,F17b,...]     run a subset of experiments
+//	-compare                      compare all privacy backends instead
 //	-users    N                   override the user population
 //	-targets  N                   override the target count
 //	-seed     N                   workload seed (default 1)
+//
+// -compare runs the same workload through every registered privacy
+// backend (basic, adaptive, cluster, geoind) and prints one
+// privacy-vs-utility row per backend; with -csv the table lands in
+// <dir>/backends_<scale>.csv.
 //
 // "paper" scale reproduces the paper's setup (50K users, 10K targets,
 // 9-level pyramid) and takes a few minutes; "quick" keeps every
@@ -31,6 +37,7 @@ import (
 func main() {
 	scale := flag.String("scale", "quick", "workload scale: quick or paper")
 	only := flag.String("only", "", "comma-separated experiment IDs to run (e.g. F13a,F17b)")
+	compare := flag.Bool("compare", false, "compare all privacy backends on one workload")
 	users := flag.Int("users", 0, "override user population")
 	targets := flag.Int("targets", 0, "override target count")
 	seed := flag.Int64("seed", 1, "workload seed")
@@ -75,6 +82,21 @@ func main() {
 	w := experiments.NewWorld(p)
 	fmt.Printf("workload built in %v (synthetic county map, %d moving users)\n\n",
 		time.Since(start).Round(time.Millisecond), p.Users)
+
+	if *compare {
+		tab := experiments.CompareBackends(w)
+		fmt.Println(tab)
+		if *csvDir != "" {
+			path := filepath.Join(*csvDir, "backends_"+*scale+".csv")
+			if err := os.WriteFile(path, []byte(tab.CSV()), 0o644); err != nil {
+				fmt.Fprintf(os.Stderr, "casper-bench: write %s: %v\n", path, err)
+				os.Exit(1)
+			}
+			fmt.Printf("wrote %s\n", path)
+		}
+		fmt.Printf("done: backend comparison in %v\n", time.Since(start).Round(time.Millisecond))
+		return
+	}
 
 	type exp struct {
 		id  string

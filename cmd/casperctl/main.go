@@ -213,8 +213,12 @@ func run(ctx context.Context, cl *casper.ProtocolClient, cmd string, args []stri
 		if err != nil {
 			return err
 		}
-		fmt.Printf("users: %d\npublic objects: %d\nqueries served: %d\nanonymizer update cost: %d\n",
-			st.Users, st.PublicObjs, st.Queries, st.UpdateCost)
+		backend := st.Backend
+		if backend == "" {
+			backend = "unknown (pre-backend server)"
+		}
+		fmt.Printf("backend: %s\nusers: %d\npublic objects: %d\nqueries served: %d\nanonymizer update cost: %d\n",
+			backend, st.Users, st.PublicObjs, st.Queries, st.UpdateCost)
 	default:
 		return fmt.Errorf("unknown command (run casperctl -h)")
 	}

@@ -9,7 +9,10 @@
 //	-addr        listen address                (default 127.0.0.1:7467)
 //	-extent      universe side length, meters  (default 40000)
 //	-levels      pyramid height H              (default 9)
-//	-anonymizer  basic | adaptive              (default adaptive)
+//	-backend     privacy backend: basic | adaptive | cluster | geoind
+//	             (default adaptive)
+//	-epsilon     geoind base privacy budget ε  (default backend's)
+//	-min-k       cluster k-anonymity floor     (default off)
 //	-filters     query filters: 1, 2 or 4      (default 4)
 //	-targets     preloaded public objects      (default 10000)
 //	-seed        workload seed                 (default 1)
@@ -59,10 +62,13 @@ import (
 	"flag"
 	"fmt"
 	"log/slog"
+	"math"
 	"os"
 	"os/signal"
 	"path/filepath"
 	"runtime"
+	"slices"
+	"strings"
 	"sync/atomic"
 	"syscall"
 	"time"
@@ -82,7 +88,10 @@ func main() {
 	addr := flag.String("addr", "127.0.0.1:7467", "listen address")
 	extent := flag.Float64("extent", 40000, "universe side length in meters")
 	levels := flag.Int("levels", 9, "pyramid height")
-	anonKind := flag.String("anonymizer", "adaptive", "anonymizer kind: basic or adaptive")
+	backend := flag.String("backend", "", "privacy backend: basic, adaptive, cluster or geoind (default adaptive)")
+	anonKind := flag.String("anonymizer", "", "deprecated alias for -backend")
+	epsilon := flag.Float64("epsilon", 0, "geoind base privacy budget ε; 0 keeps the backend default")
+	minK := flag.Int("min-k", 0, "cluster backend k-anonymity floor; 0 disables")
 	filters := flag.Int("filters", 4, "query processor filters: 1, 2 or 4")
 	targets := flag.Int("targets", 10000, "number of preloaded public target objects")
 	seed := flag.Int64("seed", 1, "seed for target placement")
@@ -125,15 +134,34 @@ func main() {
 	cfg.Universe = casper.R(0, 0, *extent, *extent)
 	cfg.PyramidLevels = *levels
 	cfg.Query.Filters = *filters
-	switch *anonKind {
-	case "basic":
-		cfg.Anonymizer = casper.BasicAnonymizer
-	case "adaptive":
-		cfg.Anonymizer = casper.AdaptiveAnonymizer
-	default:
-		fmt.Fprintf(os.Stderr, "casperd: unknown anonymizer %q (want basic or adaptive)\n", *anonKind)
+	backendName := *backend
+	if backendName == "" {
+		backendName = *anonKind // deprecated alias
+	}
+	if backendName == "" {
+		backendName = casper.AdaptiveBackend
+	}
+	if !slices.Contains(casper.Backends(), backendName) {
+		fmt.Fprintf(os.Stderr, "casperd: unknown backend %q (registered: %s)\n",
+			backendName, strings.Join(casper.Backends(), ", "))
 		os.Exit(2)
 	}
+	if *anonKind != "" {
+		slog.Warn("-anonymizer is deprecated; use -backend", "backend", backendName)
+	}
+	// Explicitly passing a knob demands a usable value; only the unset
+	// zero defers to the backend's default.
+	if *epsilon != 0 && (!(*epsilon > 0) || math.IsInf(*epsilon, 0)) {
+		fmt.Fprintf(os.Stderr, "casperd: -epsilon %v must be finite and > 0\n", *epsilon)
+		os.Exit(2)
+	}
+	if *minK < 0 {
+		fmt.Fprintf(os.Stderr, "casperd: -min-k %d must be >= 1 (0 disables)\n", *minK)
+		os.Exit(2)
+	}
+	cfg.Backend = backendName
+	cfg.BackendEpsilon = *epsilon
+	cfg.BackendMinK = *minK
 
 	cfg.WALPath = *walPath
 	c, err := casper.New(cfg)
@@ -181,6 +209,9 @@ func main() {
 		rateLimitBurst: burst,
 		maxConcurrent:  *maxConcurrent,
 		drainDeadline:  *drainDeadline,
+		backend:        backendName,
+		backendEpsilon: *epsilon,
+		backendMinK:    *minK,
 	}, *configPath)
 	if err != nil {
 		slog.Error("config", "path", *configPath, "err", err)
@@ -214,7 +245,7 @@ func main() {
 	slog.Info("serving",
 		"addr", bound.String(),
 		"pyramid_levels", *levels,
-		"anonymizer", *anonKind,
+		"backend", c.Backend(),
 		"filters", *filters,
 		"tls", *tlsCert != "",
 		"trace", *traceOn,

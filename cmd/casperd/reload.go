@@ -36,6 +36,9 @@ type settings struct {
 	rateLimitBurst float64
 	maxConcurrent  int
 	drainDeadline  time.Duration
+	backend        string  // "" keeps the framework's current backend
+	backendEpsilon float64 // 0 keeps the backend's current budget
+	backendMinK    int     // 0 keeps the backend's current k floor
 }
 
 // overlay returns base with f's present keys applied; a nil file is
@@ -63,6 +66,15 @@ func overlay(base settings, f *config.File) settings {
 	if f.DrainDeadline != nil {
 		eff.drainDeadline = time.Duration(*f.DrainDeadline)
 	}
+	if f.Backend != nil {
+		eff.backend = *f.Backend
+	}
+	if f.BackendEpsilon != nil {
+		eff.backendEpsilon = *f.BackendEpsilon
+	}
+	if f.BackendMinK != nil {
+		eff.backendMinK = *f.BackendMinK
+	}
 	return eff
 }
 
@@ -82,15 +94,13 @@ type reloader struct {
 func newReloader(srv *casper.ProtocolServer, base settings, path string) (*reloader, error) {
 	r := &reloader{path: path, base: base, srv: srv}
 	if path == "" {
-		r.apply(base)
-		return r, nil
+		return r, r.apply(base)
 	}
 	f, err := config.Load(path)
 	if err != nil {
 		return nil, err
 	}
-	r.apply(overlay(base, f))
-	return r, nil
+	return r, r.apply(overlay(base, f))
 }
 
 // Reload re-reads the config file and applies it; the error (if any)
@@ -105,15 +115,31 @@ func (r *reloader) Reload() error {
 		slog.Error("config reload rejected; keeping current config", "path", r.path, "err", err)
 		return err
 	}
-	r.apply(overlay(r.base, f))
+	if err := r.apply(overlay(r.base, f)); err != nil {
+		configReloads.With("error").Inc()
+		slog.Error("config reload rejected; keeping current backend", "path", r.path, "err", err)
+		return err
+	}
 	configReloads.With("ok").Inc()
 	return nil
 }
 
-// apply pushes eff into every layer that consumes it. Each target is
-// individually atomic; a reload is not transactional across keys, but
-// every key is a single independent knob.
-func (r *reloader) apply(eff settings) {
+// apply pushes eff into every layer that consumes it. The backend swap
+// goes first — it is the only step that can fail, and a failed swap
+// leaves everything (including the old backend) untouched. The
+// remaining targets are individually atomic; a reload is not
+// transactional across keys, but every key is a single independent
+// knob.
+func (r *reloader) apply(eff settings) error {
+	if eff.backend != "" || eff.backendEpsilon != 0 || eff.backendMinK != 0 {
+		name := eff.backend
+		if name == "" {
+			name = r.srv.Casper().Backend()
+		}
+		if err := r.srv.Casper().ReloadBackend(name, eff.backendEpsilon, eff.backendMinK); err != nil {
+			return fmt.Errorf("backend reload: %w", err)
+		}
+	}
 	r.srv.SetSlowQueryThreshold(eff.slowQuery)
 	r.srv.SetRateLimit(eff.rateLimitRPS, eff.rateLimitBurst)
 	r.srv.SetMaxConcurrent(eff.maxConcurrent)
@@ -128,7 +154,9 @@ func (r *reloader) apply(eff settings) {
 		"rate_limit_rps", eff.rateLimitRPS,
 		"rate_limit_burst", eff.rateLimitBurst,
 		"max_concurrent", eff.maxConcurrent,
-		"drain_deadline", eff.drainDeadline)
+		"drain_deadline", eff.drainDeadline,
+		"backend", r.srv.Casper().Backend())
+	return nil
 }
 
 // drainDeadline is the currently configured graceful-shutdown budget.

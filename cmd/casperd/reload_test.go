@@ -318,3 +318,76 @@ func TestBuildTLSConfig(t *testing.T) {
 		t.Fatalf("certless CA file error = %v; want 'no certificates'", err)
 	}
 }
+
+func TestOverlayBackendKeys(t *testing.T) {
+	base := baseSettings()
+	f, err := config.Parse([]byte(`{"backend": "cluster", "backend_epsilon": 0.5, "backend_min_k": 4}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := overlay(base, f)
+	if got.backend != "cluster" || got.backendEpsilon != 0.5 || got.backendMinK != 4 {
+		t.Fatalf("overlay applied = %+v", got)
+	}
+	// Absent backend keys keep the baseline zero values ("no change").
+	f, err = config.Parse([]byte(`{"trace_sample": 2}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got = overlay(base, f)
+	if got.backend != "" || got.backendEpsilon != 0 || got.backendMinK != 0 {
+		t.Fatalf("overlay invented backend settings: %+v", got)
+	}
+}
+
+func TestReloaderBackendSwap(t *testing.T) {
+	saveSampleEvery(t)
+	srv := testServer()
+	dir := t.TempDir()
+	path := filepath.Join(dir, "casper.json")
+	write := func(s string) {
+		t.Helper()
+		if err := os.WriteFile(path, []byte(s), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// The initial file selects a non-default backend.
+	write(`{"backend": "cluster", "backend_min_k": 3}`)
+	rel, err := newReloader(srv, baseSettings(), path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := srv.Casper().Backend(); got != "cluster" {
+		t.Fatalf("backend after startup config = %q; want cluster", got)
+	}
+
+	// Hot swap to geoind with a knob.
+	write(`{"backend": "geoind", "backend_epsilon": 0.2}`)
+	if err := rel.Reload(); err != nil {
+		t.Fatal(err)
+	}
+	if got := srv.Casper().Backend(); got != "geoind" {
+		t.Fatalf("backend after reload = %q; want geoind", got)
+	}
+
+	// An unregistered name is rejected at parse time and the server
+	// keeps serving on the current backend.
+	write(`{"backend": "onion"}`)
+	if err := rel.Reload(); err == nil {
+		t.Fatal("Reload accepted an unregistered backend")
+	}
+	if got := srv.Casper().Backend(); got != "geoind" {
+		t.Fatalf("backend after rejected reload = %q; want geoind", got)
+	}
+
+	// Dropping the backend keys from the file keeps the active backend
+	// (zero value = no change) rather than resetting to the default.
+	write(`{"trace_sample": 3}`)
+	if err := rel.Reload(); err != nil {
+		t.Fatal(err)
+	}
+	if got := srv.Casper().Backend(); got != "geoind" {
+		t.Fatalf("backend after key removal = %q; want geoind kept", got)
+	}
+}

@@ -390,6 +390,20 @@ func (a *Adaptive) cloakFromNode(n *aNode, prof Profile, opts CloakOpts) (Cloake
 	}
 }
 
+// Name implements Anonymizer.
+func (a *Adaptive) Name() string { return "adaptive" }
+
+// ForEachUser implements Anonymizer.
+func (a *Adaptive) ForEachUser(fn func(UserID, geom.Point, Profile) bool) {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	for uid, e := range a.users {
+		if !fn(uid, e.pos, e.profile) {
+			return
+		}
+	}
+}
+
 // Users implements Anonymizer.
 func (a *Adaptive) Users() int {
 	a.mu.RLock()

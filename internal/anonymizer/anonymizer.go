@@ -72,22 +72,67 @@ func (p Profile) MoreRelaxedThan(q Profile) bool {
 	return (p.K < q.K && p.AMin <= q.AMin) || (p.K <= q.K && p.AMin < q.AMin)
 }
 
+// Mechanism discriminates how a backend blurred a location. The query
+// processor and the transmission-cost model dispatch on it: region
+// mechanisms go through Algorithm 2 over the rectangle, perturbed
+// mechanisms through the point-plus-radius candidate construction.
+type Mechanism uint8
+
+const (
+	// MechRegion is a k-anonymous cloaked rectangle (the paper's
+	// model): the exact position is somewhere inside Region, which is
+	// sized so at least k registered users share it.
+	MechRegion Mechanism = iota
+	// MechPerturbed is a geo-indistinguishability release: Point is a
+	// noisy location (planar Laplace), Radius the confidence radius of
+	// the noise, and Region the Radius bounding box used for the
+	// candidate-list path. No k-anonymity guarantee is implied.
+	MechPerturbed
+)
+
+// String implements fmt.Stringer.
+func (m Mechanism) String() string {
+	if m == MechPerturbed {
+		return "perturbed"
+	}
+	return "region"
+}
+
 // CloakedRegion is the anonymizer's output for one user: a spatial
 // region satisfying the user's profile. It intentionally carries no
 // user identity.
 type CloakedRegion struct {
-	// Region is the cloaked spatial area. It is always a single
-	// pyramid cell or the rectangle formed by two neighboring sibling
-	// cells, so it is axis-aligned and data-independent.
+	// Region is the cloaked spatial area. For pyramid backends it is
+	// always a single cell or the rectangle formed by two neighboring
+	// sibling cells, so it is axis-aligned and data-independent; the
+	// cluster backend snaps its group bounding box outward to leaf-cell
+	// boundaries for the same reason; for MechPerturbed it is the
+	// confidence bounding box around Point.
 	Region geom.Rect
-	// Level is the pyramid level of the cell(s) forming the region.
+	// Level is the pyramid level of the cell(s) forming the region,
+	// or -1 for backends whose regions are not pyramid cells.
 	Level int
 	// KFound is the number of registered users inside Region at
-	// cloaking time (k' in the paper's accuracy metric k'/k).
+	// cloaking time (k' in the paper's accuracy metric k'/k); zero for
+	// MechPerturbed, which offers no population guarantee.
 	KFound int
-	// StepsUp is the number of times Algorithm 1 recursed to a parent
-	// cell before succeeding; an efficiency diagnostic.
+	// StepsUp is the number of times the cloaking procedure had to
+	// widen its scope before succeeding (parent-cell recursions for
+	// Algorithm 1, ring expansions for the cluster backend); an
+	// efficiency diagnostic.
 	StepsUp int
+	// Mechanism says whether this is a k-anonymous region or a
+	// perturbed point; the zero value is MechRegion.
+	Mechanism Mechanism
+	// Point is the released noisy location (MechPerturbed only).
+	Point geom.Point
+	// Radius is the confidence radius around Point (MechPerturbed
+	// only): the true position is within Radius of Point with the
+	// backend's configured confidence.
+	Radius float64
+	// Epsilon is the per-user privacy budget that produced the noise
+	// (MechPerturbed only); a diagnostic for the comparison harness.
+	Epsilon float64
 }
 
 // Errors returned by anonymizer operations.
@@ -100,9 +145,18 @@ var (
 	ErrUnsatisfiable = errors.New("anonymizer: privacy profile unsatisfiable")
 )
 
-// Anonymizer is the interface shared by the basic and adaptive
-// implementations.
+// Anonymizer is the contract every privacy backend implements.
+// Backends are constructed by name through the registry (see
+// registry.go); four are built in: the complete-pyramid "basic" and
+// incomplete-pyramid "adaptive" anonymizers, the group-formation
+// "cluster" backend, and the geo-indistinguishability "geoind"
+// backend. A backend blurs via either mechanism — see
+// CloakedRegion.Mechanism.
 type Anonymizer interface {
+	// Name returns the backend's registry name ("basic", "adaptive",
+	// "cluster", "geoind", ...); it labels metrics, trace spans, and
+	// the stats surface.
+	Name() string
 	// Register adds a user at position p with the given profile.
 	Register(uid UserID, p geom.Point, prof Profile) error
 	// Deregister removes a user.
@@ -129,6 +183,14 @@ type Anonymizer interface {
 	UpdateCost() int64
 	// ResetUpdateCost zeroes the accounting.
 	ResetUpdateCost()
+	// ForEachUser visits every registered user with their exact
+	// position and profile. Only the anonymizer side (the trusted
+	// party) may call this; it exists so one backend can hand its
+	// population to another when the operator switches backends at
+	// runtime. Iteration order is unspecified; fn returning false
+	// stops the walk. The snapshot is best-effort under concurrent
+	// mutation.
+	ForEachUser(fn func(UserID, geom.Point, Profile) bool)
 }
 
 // TracedCloaker is the optional tracing extension of Anonymizer:

@@ -238,6 +238,20 @@ func (b *Basic) cloakAt(p geom.Point, prof Profile, opts CloakOpts) (CloakedRegi
 	return bottomUpCloakOpt(b, b.grid, leaf, prof, opts)
 }
 
+// Name implements Anonymizer.
+func (b *Basic) Name() string { return "basic" }
+
+// ForEachUser implements Anonymizer. The walk holds all four stripe
+// read locks so each visited (position, profile) pair is internally
+// consistent.
+func (b *Basic) ForEachUser(fn func(UserID, geom.Point, Profile) bool) {
+	b.stripes.rlockAll()
+	defer b.stripes.runlockAll()
+	b.users.Range(func(uid int64, e *basicEntry) bool {
+		return fn(UserID(uid), e.pos, e.profile)
+	})
+}
+
 // Users implements Anonymizer.
 func (b *Basic) Users() int { return b.users.Len() }
 

@@ -1,0 +1,233 @@
+package anonymizer
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"casper/internal/geom"
+)
+
+// clusterPopulation registers n seeded users and returns their
+// positions by uid.
+func clusterPopulation(t *testing.T, c *Cluster, n int, seed int64) map[UserID]geom.Point {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	pos := make(map[UserID]geom.Point, n)
+	for i := 0; i < n; i++ {
+		p := geom.Pt(rng.Float64()*1024, rng.Float64()*1024)
+		if err := c.Register(UserID(i), p, Profile{K: 1 + rng.Intn(10), AMin: float64(rng.Intn(3)) * 512}); err != nil {
+			t.Fatal(err)
+		}
+		pos[UserID(i)] = p
+	}
+	return pos
+}
+
+// TestClusterKAudit is the privacy audit: every cloak must contain the
+// requester's true position and at least k registered users.
+func TestClusterKAudit(t *testing.T) {
+	c := NewCluster(universe, 6)
+	pos := clusterPopulation(t, c, 300, 11)
+	for uid, p := range pos {
+		prof, err := c.Profile(uid)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cr, err := c.Cloak(uid)
+		if err != nil {
+			t.Fatalf("cloak(%d): %v", uid, err)
+		}
+		if cr.Mechanism != MechRegion {
+			t.Fatalf("cloak(%d) mechanism = %v, want region", uid, cr.Mechanism)
+		}
+		if !cr.Region.Contains(p) {
+			t.Fatalf("cloak(%d) %v does not contain the true position %v", uid, cr.Region, p)
+		}
+		n := 0
+		for _, q := range pos {
+			if cr.Region.Contains(q) {
+				n++
+			}
+		}
+		if n < prof.K {
+			t.Fatalf("cloak(%d) covers %d users, profile wants k=%d", uid, n, prof.K)
+		}
+		if cr.KFound < prof.K {
+			t.Fatalf("cloak(%d) KFound = %d < k=%d", uid, cr.KFound, prof.K)
+		}
+		if cr.Region.Area() < prof.AMin {
+			t.Fatalf("cloak(%d) area %v < Amin %v", uid, cr.Region.Area(), prof.AMin)
+		}
+		if cr.Level != -1 {
+			t.Fatalf("cloak(%d) Level = %d, want -1 (non-pyramid)", uid, cr.Level)
+		}
+	}
+}
+
+// TestClusterEdgesOnGridLines verifies the anti-leak snapping: region
+// corners sit on leaf-cell boundaries, not on member positions.
+func TestClusterEdgesOnGridLines(t *testing.T) {
+	c := NewCluster(universe, 5)
+	clusterPopulation(t, c, 100, 3)
+	cellW := universe.Width() / float64(c.side)
+	onGrid := func(v float64) bool {
+		q := v / cellW
+		return q == float64(int(q))
+	}
+	for i := 0; i < 100; i++ {
+		cr, err := c.Cloak(UserID(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, v := range []float64{cr.Region.Min.X, cr.Region.Min.Y, cr.Region.Max.X, cr.Region.Max.Y} {
+			if !onGrid(v) {
+				t.Fatalf("cloak(%d) edge %v is not a leaf grid line (cell %v)", i, v, cellW)
+			}
+		}
+	}
+}
+
+func TestClusterMinKFloors(t *testing.T) {
+	c := NewCluster(universe, 6)
+	pos := clusterPopulation(t, c, 200, 5)
+	if err := c.SetMinK(25); err != nil {
+		t.Fatal(err)
+	}
+	cr, err := c.Cloak(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	for _, q := range pos {
+		if cr.Region.Contains(q) {
+			n++
+		}
+	}
+	if n < 25 {
+		t.Fatalf("with MinK=25 the cloak covers %d users", n)
+	}
+	if err := c.SetMinK(-1); err == nil {
+		t.Fatal("SetMinK(-1) accepted")
+	}
+	if err := c.SetMinK(0); err != nil || c.MinK() != 0 {
+		t.Fatalf("SetMinK(0) = %v, MinK = %d", err, c.MinK())
+	}
+}
+
+func TestClusterUnsatisfiable(t *testing.T) {
+	c := NewCluster(universe, 5)
+	if err := c.Register(1, geom.Pt(100, 100), Profile{K: 1}); err != nil {
+		t.Fatal(err)
+	}
+	// More k than population.
+	if _, err := c.CloakAt(geom.Pt(50, 50), Profile{K: 5}); !errors.Is(err, ErrUnsatisfiable) {
+		t.Fatalf("k beyond population: %v", err)
+	}
+	// Amin beyond the universe.
+	if _, err := c.CloakAt(geom.Pt(50, 50), Profile{K: 1, AMin: 2 * universe.Area()}); !errors.Is(err, ErrUnsatisfiable) {
+		t.Fatalf("Amin beyond universe: %v", err)
+	}
+	// Unknown user.
+	if _, err := c.Cloak(99); !errors.Is(err, ErrUnknownUser) {
+		t.Fatalf("unknown user: %v", err)
+	}
+}
+
+// TestClusterGroupIsProvablyNearest spot-checks the ring search: the
+// group distance of the published region must cover the true k nearest
+// neighbors, not an arbitrary k users.
+func TestClusterGroupIsProvablyNearest(t *testing.T) {
+	c := NewCluster(universe, 6)
+	pos := clusterPopulation(t, c, 250, 17)
+	for uid := UserID(0); uid < 50; uid++ {
+		prof, _ := c.Profile(uid)
+		cr, err := c.Cloak(uid)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// The k nearest registered users (by true distance) must all be
+		// inside the published region — the box covers the group, and
+		// snapping/inflation only grow it.
+		p := pos[uid]
+		ds := make([]float64, 0, len(pos))
+		byDist := make(map[float64][]geom.Point)
+		for _, q := range pos {
+			d := p.Dist(q)
+			ds = append(ds, d)
+			byDist[d] = append(byDist[d], q)
+		}
+		kth := kthSmallest(ds, prof.K)
+		for d, qs := range byDist {
+			if d >= kth {
+				continue
+			}
+			for _, q := range qs {
+				if !cr.Region.Contains(q) {
+					t.Fatalf("cloak(%d): user at %v (dist %v < kth %v) outside region %v",
+						uid, q, d, kth, cr.Region)
+				}
+			}
+		}
+	}
+}
+
+func kthSmallest(ds []float64, k int) float64 {
+	cp := append([]float64(nil), ds...)
+	for i := 0; i < k && i < len(cp); i++ {
+		min := i
+		for j := i + 1; j < len(cp); j++ {
+			if cp[j] < cp[min] {
+				min = j
+			}
+		}
+		cp[i], cp[min] = cp[min], cp[i]
+	}
+	if k-1 < len(cp) {
+		return cp[k-1]
+	}
+	return cp[len(cp)-1]
+}
+
+func TestClusterChurn(t *testing.T) {
+	c := NewCluster(universe, 6)
+	rng := rand.New(rand.NewSource(23))
+	live := make(map[UserID]geom.Point)
+	for i := 0; i < 1500; i++ {
+		uid := UserID(rng.Intn(100))
+		switch rng.Intn(4) {
+		case 0:
+			p := geom.Pt(rng.Float64()*1024, rng.Float64()*1024)
+			if err := c.Register(uid, p, Profile{K: 1 + rng.Intn(5)}); err == nil {
+				live[uid] = p
+			}
+		case 1:
+			p := geom.Pt(rng.Float64()*1024, rng.Float64()*1024)
+			if err := c.Update(uid, p); err == nil {
+				live[uid] = p
+			}
+		case 2:
+			if err := c.Deregister(uid); err == nil {
+				delete(live, uid)
+			}
+		default:
+			if p, ok := live[uid]; ok {
+				cr, err := c.Cloak(uid)
+				if err != nil {
+					// k may exceed the current population; that's the
+					// only acceptable failure for a live user.
+					if !errors.Is(err, ErrUnsatisfiable) {
+						t.Fatalf("cloak(%d): %v", uid, err)
+					}
+					continue
+				}
+				if !cr.Region.Contains(p) {
+					t.Fatalf("cloak(%d) %v misses position %v", uid, cr.Region, p)
+				}
+			}
+		}
+	}
+	if c.Users() != len(live) {
+		t.Fatalf("Users() = %d, want %d", c.Users(), len(live))
+	}
+}

@@ -6,26 +6,27 @@ import (
 	"casper/internal/metrics"
 )
 
-// Cloaking instrumentation, split by anonymizer kind. These are the
+// Cloaking instrumentation, split by backend name. These are the
 // quantities the paper's Sec. 6.1 evaluation plots: cloaking time,
-// Algorithm 1 recursion depth (steps up), and cloaked-region area
-// (the privacy/answer-quality trade-off).
+// widening steps (Algorithm 1 recursion depth for pyramid backends,
+// ring expansions for cluster), and cloaked-region area (the
+// privacy/answer-quality trade-off).
 var (
 	cloakSeconds = metrics.Default.HistogramVec(
 		"casper_cloak_seconds", "anonymizer",
-		"Time to blur one exact location into a cloaked region.",
+		"Time to blur one exact location into a cloaked region, by backend.",
 		metrics.TimeBuckets())
 	cloakStepsUp = metrics.Default.HistogramVec(
 		"casper_cloak_steps_up", "anonymizer",
-		"Parent-cell recursions Algorithm 1 needed before succeeding.",
+		"Widening steps the cloaking procedure needed before succeeding, by backend.",
 		metrics.LinearBuckets(0, 1, 16))
 	cloakArea = metrics.Default.HistogramVec(
 		"casper_cloak_area_m2", "anonymizer",
-		"Area of the produced cloaked region in squared universe units.",
+		"Area of the produced cloaked region in squared universe units, by backend.",
 		metrics.ExpBuckets(1, 4, 20))
 	cloakErrors = metrics.Default.CounterVec(
 		"casper_cloak_errors_total", "anonymizer",
-		"Cloak requests that failed (unknown user or unsatisfiable profile).")
+		"Cloak requests that failed (unknown user or unsatisfiable profile), by backend.")
 )
 
 // cloakMetrics bundles the per-kind instruments, resolved once so the
@@ -49,6 +50,8 @@ func newCloakMetrics(kind string) *cloakMetrics {
 var (
 	basicCloakMetrics    = newCloakMetrics("basic")
 	adaptiveCloakMetrics = newCloakMetrics("adaptive")
+	clusterCloakMetrics  = newCloakMetrics("cluster")
+	geoindCloakMetrics   = newCloakMetrics("geoind")
 )
 
 // observe records one cloak outcome.

@@ -1,0 +1,184 @@
+package anonymizer
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+
+	"casper/internal/geom"
+)
+
+// This file is the backend registry: privacy backends are constructed
+// by NAME through a table of factories instead of a hard-coded enum
+// switch, so a new cloaking strategy plugs in by registering a factory
+// and every layer above (core, casperd, casperctl, casper-bench) picks
+// it up without code changes.
+
+// DefaultBackend is the backend used when no name is given — the
+// incomplete-pyramid anonymizer, the variant the paper's end-to-end
+// experiments use.
+const DefaultBackend = "adaptive"
+
+// DefaultEpsilon is the geoind backend's base privacy budget when
+// BackendConfig.Epsilon is zero, in 1/universe-units. With the paper's
+// 40 km universe (meters), 0.01 puts the 95% confidence radius of a
+// k=1 user at ~470 m and scales it linearly with k.
+const DefaultEpsilon = 0.01
+
+// BackendConfig parameterizes a backend factory. Universe, Levels and
+// Seed apply to every backend; Epsilon and MinK are per-backend knobs
+// a backend is free to ignore (zero always means "backend default").
+type BackendConfig struct {
+	// Universe is the spatial extent served.
+	Universe geom.Rect
+	// Levels is the grid-pyramid height H for backends that build one.
+	Levels int
+	// Seed drives any randomness the backend uses (geoind's noise
+	// sampler). Zero is a valid seed.
+	Seed int64
+	// Epsilon is the geo-indistinguishability base budget, in
+	// 1/universe-units; each user's own budget is Epsilon divided by
+	// their profile k. Zero selects DefaultEpsilon; negative, NaN and
+	// ±Inf are rejected by Validate.
+	Epsilon float64
+	// MinK floors every profile's k during cluster group formation.
+	// Zero means no floor; negative values are rejected by Validate,
+	// and layers that take an explicit knob (flags, config file)
+	// reject anything below 1.
+	MinK int
+}
+
+// Validate rejects configurations no backend could act on sensibly.
+// The epsilon sweep mirrors the MinOverlap NaN discipline in
+// privacyqp: a plain "< 0" check would admit NaN (every comparison
+// with NaN is false) and the noise sampler downstream would silently
+// produce garbage coordinates.
+func (c BackendConfig) Validate() error {
+	if !c.Universe.IsValid() || c.Universe.Area() <= 0 {
+		return fmt.Errorf("anonymizer: invalid universe %v", c.Universe)
+	}
+	if c.Levels < 1 {
+		return fmt.Errorf("anonymizer: pyramid levels %d, need >= 1", c.Levels)
+	}
+	if c.Epsilon != 0 && !(c.Epsilon > 0) {
+		return fmt.Errorf("anonymizer: epsilon %v, need > 0", c.Epsilon)
+	}
+	if math.IsInf(c.Epsilon, 0) {
+		return fmt.Errorf("anonymizer: epsilon %v must be finite", c.Epsilon)
+	}
+	if c.MinK < 0 {
+		return fmt.Errorf("anonymizer: min k %d, need >= 1 (or 0 for no floor)", c.MinK)
+	}
+	return nil
+}
+
+// Factory builds one backend instance from a validated config.
+type Factory func(BackendConfig) (Anonymizer, error)
+
+// Registry maps backend names to factories. The package-level
+// Register/New/Backends operate on a default registry pre-loaded with
+// the four built-in backends; tests can build private registries.
+type Registry struct {
+	mu        sync.RWMutex
+	factories map[string]Factory
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{factories: make(map[string]Factory)}
+}
+
+// Register adds (or replaces) a named factory. Names are case
+// sensitive and conventionally short lowercase identifiers.
+func (r *Registry) Register(name string, f Factory) {
+	if name == "" || f == nil {
+		panic("anonymizer: Register needs a non-empty name and a factory")
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.factories[name] = f
+}
+
+// New validates cfg and builds the named backend; an empty name
+// selects DefaultBackend. The unknown-name error spells out what IS
+// registered — it is what casperd prints at startup and what a failed
+// hot reload reports.
+func (r *Registry) New(name string, cfg BackendConfig) (Anonymizer, error) {
+	if name == "" {
+		name = DefaultBackend
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	r.mu.RLock()
+	f, ok := r.factories[name]
+	r.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("anonymizer: unknown backend %q (registered: %s)",
+			name, strings.Join(r.Names(), ", "))
+	}
+	return f(cfg)
+}
+
+// Names returns the registered backend names, sorted.
+func (r *Registry) Names() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	names := make([]string, 0, len(r.factories))
+	for n := range r.factories {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Has reports whether name is registered.
+func (r *Registry) Has(name string) bool {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	_, ok := r.factories[name]
+	return ok
+}
+
+var defaultRegistry = NewRegistry()
+
+// Register adds a factory to the default registry.
+func Register(name string, f Factory) { defaultRegistry.Register(name, f) }
+
+// New builds a backend by name from the default registry.
+func New(name string, cfg BackendConfig) (Anonymizer, error) { return defaultRegistry.New(name, cfg) }
+
+// Backends lists the names registered in the default registry.
+func Backends() []string { return defaultRegistry.Names() }
+
+// Registered reports whether the default registry knows name.
+func Registered(name string) bool { return defaultRegistry.Has(name) }
+
+func init() {
+	Register("basic", func(c BackendConfig) (Anonymizer, error) {
+		return NewBasic(c.Universe, c.Levels), nil
+	})
+	Register("adaptive", func(c BackendConfig) (Anonymizer, error) {
+		return NewAdaptive(c.Universe, c.Levels), nil
+	})
+	Register("cluster", func(c BackendConfig) (Anonymizer, error) {
+		cl := NewCluster(c.Universe, c.Levels)
+		if c.MinK > 0 {
+			if err := cl.SetMinK(c.MinK); err != nil {
+				return nil, err
+			}
+		}
+		return cl, nil
+	})
+	Register("geoind", func(c BackendConfig) (Anonymizer, error) {
+		g := NewGeoInd(c.Universe, c.Levels, c.Seed)
+		if c.Epsilon != 0 {
+			if err := g.SetEpsilon(c.Epsilon); err != nil {
+				return nil, err
+			}
+		}
+		return g, nil
+	})
+}

@@ -1,11 +1,11 @@
 // Package config loads casperd's runtime-reloadable configuration
 // file. The file is JSON and covers exactly the keys that are safe to
 // change on a live server without a restart — the slow-query log
-// threshold, trace sampling, admission-control limits, and the drain
-// deadline. casperd reads it at startup, again on SIGHUP, and on
-// POST /-/reload at the debug endpoint; keys absent from the file keep
-// their flag-derived values, so the file only has to name what it
-// overrides.
+// threshold, trace sampling, admission-control limits, the drain
+// deadline, and the privacy backend with its knobs. casperd reads it
+// at startup, again on SIGHUP, and on POST /-/reload at the debug
+// endpoint; keys absent from the file keep their flag-derived values,
+// so the file only has to name what it overrides.
 //
 // Example:
 //
@@ -15,20 +15,28 @@
 //	  "rate_limit_rps": 100,
 //	  "rate_limit_burst": 200,
 //	  "max_concurrent": 1024,
-//	  "drain_deadline": "10s"
+//	  "drain_deadline": "10s",
+//	  "backend": "geoind",
+//	  "backend_epsilon": 0.01,
+//	  "backend_min_k": 5
 //	}
 //
-// Parsing is strict: unknown keys, malformed durations, and negative
-// values all reject the whole file, and a rejected reload leaves the
-// running configuration untouched.
+// Parsing is strict: unknown keys, malformed durations, negative
+// values, unregistered backend names, and non-finite or non-positive
+// privacy budgets all reject the whole file, and a rejected reload
+// leaves the running configuration untouched.
 package config
 
 import (
 	"bytes"
 	"encoding/json"
 	"fmt"
+	"math"
 	"os"
+	"strings"
 	"time"
+
+	"casper/internal/anonymizer"
 )
 
 // Duration is a time.Duration that unmarshals from a JSON string in
@@ -75,6 +83,16 @@ type File struct {
 	// DrainDeadline bounds graceful shutdown: how long in-flight
 	// requests get to finish before connections are force-closed.
 	DrainDeadline *Duration `json:"drain_deadline,omitempty"`
+	// Backend names the privacy backend ("basic", "adaptive",
+	// "cluster", "geoind"). Changing it on a live server migrates every
+	// registered user onto the new backend and re-pushes their cloaks.
+	Backend *string `json:"backend,omitempty"`
+	// BackendEpsilon is the geoind base privacy budget; must be finite
+	// and strictly positive when present.
+	BackendEpsilon *float64 `json:"backend_epsilon,omitempty"`
+	// BackendMinK is the cluster backend's k floor; must be >= 1 when
+	// present.
+	BackendMinK *int `json:"backend_min_k,omitempty"`
 }
 
 // Parse decodes and validates a config file's contents.
@@ -126,6 +144,18 @@ func (f *File) validate() error {
 	}
 	if f.DrainDeadline != nil && *f.DrainDeadline <= 0 {
 		return fmt.Errorf("drain_deadline must be > 0, got %s", time.Duration(*f.DrainDeadline))
+	}
+	if f.Backend != nil && !anonymizer.Registered(*f.Backend) {
+		return fmt.Errorf("backend %q is not registered (registered: %s)",
+			*f.Backend, strings.Join(anonymizer.Backends(), ", "))
+	}
+	// The negated comparison also rejects NaN (every comparison with
+	// NaN is false); Inf needs its own check.
+	if f.BackendEpsilon != nil && (!(*f.BackendEpsilon > 0) || math.IsInf(*f.BackendEpsilon, 0)) {
+		return fmt.Errorf("backend_epsilon must be finite and > 0, got %v", *f.BackendEpsilon)
+	}
+	if f.BackendMinK != nil && *f.BackendMinK < 1 {
+		return fmt.Errorf("backend_min_k must be >= 1, got %d", *f.BackendMinK)
 	}
 	return nil
 }

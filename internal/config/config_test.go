@@ -131,3 +131,67 @@ func TestDurationMarshalRoundTrip(t *testing.T) {
 		t.Fatalf("round trip = %v; want %v", back, d)
 	}
 }
+
+func TestParseBackendKeys(t *testing.T) {
+	f, err := Parse([]byte(`{
+		"backend": "geoind",
+		"backend_epsilon": 0.05,
+		"backend_min_k": 5
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Backend == nil || *f.Backend != "geoind" {
+		t.Fatalf("Backend = %v; want geoind", f.Backend)
+	}
+	if f.BackendEpsilon == nil || *f.BackendEpsilon != 0.05 {
+		t.Fatalf("BackendEpsilon = %v; want 0.05", f.BackendEpsilon)
+	}
+	if f.BackendMinK == nil || *f.BackendMinK != 5 {
+		t.Fatalf("BackendMinK = %v; want 5", f.BackendMinK)
+	}
+
+	// All four registered names parse; absent keys stay nil.
+	for _, name := range []string{"basic", "adaptive", "cluster", "geoind"} {
+		f, err := Parse([]byte(`{"backend": "` + name + `"}`))
+		if err != nil {
+			t.Fatalf("backend %q rejected: %v", name, err)
+		}
+		if f.BackendEpsilon != nil || f.BackendMinK != nil {
+			t.Fatalf("absent knobs decoded non-nil: %+v", f)
+		}
+	}
+}
+
+func TestParseBackendRejects(t *testing.T) {
+	cases := []struct {
+		name, in, wantErr string
+	}{
+		{"unknown_backend", `{"backend": "onion"}`, "not registered"},
+		{"empty_backend", `{"backend": ""}`, "not registered"},
+		{"zero_epsilon", `{"backend_epsilon": 0}`, "backend_epsilon must be finite and > 0"},
+		{"negative_epsilon", `{"backend_epsilon": -0.5}`, "backend_epsilon must be finite and > 0"},
+		{"zero_min_k", `{"backend_min_k": 0}`, "backend_min_k must be >= 1"},
+		{"negative_min_k", `{"backend_min_k": -2}`, "backend_min_k must be >= 1"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Parse([]byte(tc.in))
+			if err == nil {
+				t.Fatalf("Parse(%q) accepted; want rejection", tc.in)
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("Parse(%q) error %q; want it to mention %q", tc.in, err, tc.wantErr)
+			}
+		})
+	}
+
+	// The unknown-backend error must list what IS registered — it's the
+	// operator's first diagnostic when a reload fails.
+	_, err := Parse([]byte(`{"backend": "onion"}`))
+	for _, name := range []string{"basic", "adaptive", "cluster", "geoind"} {
+		if !strings.Contains(err.Error(), name) {
+			t.Fatalf("unknown-backend error %q does not list %q", err, name)
+		}
+	}
+}

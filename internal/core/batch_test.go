@@ -17,8 +17,8 @@ import (
 // with the same seed run the same update sequence, one batched and one
 // call-by-call, and must end with identical per-user stored cloaks.
 func TestUpdateUsersBatchSemantics(t *testing.T) {
-	for _, kind := range []AnonymizerKind{BasicAnonymizer, AdaptiveAnonymizer} {
-		t.Run(fmt.Sprintf("kind=%d", kind), func(t *testing.T) {
+	for _, kind := range []string{BasicBackend, AdaptiveBackend} {
+		t.Run("backend="+kind, func(t *testing.T) {
 			single := MustNew(smallConfig(kind))
 			defer single.Close()
 			batched := MustNew(smallConfig(kind))
@@ -77,10 +77,10 @@ func TestUpdateUsersAbortsAtUnknownUser(t *testing.T) {
 	populate(t, c, 8, 5, 3)
 	u := c.Config().Universe
 	batch := []UserUpdate{
-		{UID: 0, Pos: geom.Pt(u.Width() / 3, u.Height() / 3)},
-		{UID: 1, Pos: geom.Pt(u.Width() / 2, u.Height() / 2)},
+		{UID: 0, Pos: geom.Pt(u.Width()/3, u.Height()/3)},
+		{UID: 1, Pos: geom.Pt(u.Width()/2, u.Height()/2)},
 		{UID: 9999, Pos: geom.Pt(10, 10)}, // not registered
-		{UID: 2, Pos: geom.Pt(u.Width() / 4, u.Height() / 4)},
+		{UID: 2, Pos: geom.Pt(u.Width()/4, u.Height()/4)},
 	}
 	applied, err := c.UpdateUsers(batch)
 	if !errors.Is(err, ErrNotRegistered) {
@@ -91,7 +91,7 @@ func TestUpdateUsersAbortsAtUnknownUser(t *testing.T) {
 	}
 	// The applied prefix reached the server.
 	for i := 0; i < 2; i++ {
-		cr, err := c.anon.Cloak(anonymizer.UserID(i))
+		cr, err := c.anon().Cloak(anonymizer.UserID(i))
 		if err != nil {
 			t.Fatalf("cloak %d: %v", i, err)
 		}
@@ -169,9 +169,9 @@ func TestUpdateUsersPersistsThroughWAL(t *testing.T) {
 // under -race this is the end-to-end check that the sharded write path
 // has no missing lock.
 func TestConcurrentBatchWorkload(t *testing.T) {
-	for _, kind := range []AnonymizerKind{BasicAnonymizer, AdaptiveAnonymizer} {
+	for _, kind := range []string{BasicBackend, AdaptiveBackend} {
 		kind := kind
-		t.Run(fmt.Sprintf("kind=%d", kind), func(t *testing.T) {
+		t.Run("backend="+kind, func(t *testing.T) {
 			t.Parallel()
 			c := MustNew(smallConfig(kind))
 			defer c.Close()
@@ -275,7 +275,7 @@ func TestConcurrentBatchWorkload(t *testing.T) {
 			if got := c.Users(); got != base {
 				t.Fatalf("Users() = %d after churn, want %d", got, base)
 			}
-			if chk, ok := c.anon.(interface{ CheckConsistency() error }); ok {
+			if chk, ok := c.anon().(interface{ CheckConsistency() error }); ok {
 				if err := chk.CheckConsistency(); err != nil {
 					t.Fatalf("anonymizer consistency after stress: %v", err)
 				}

@@ -36,9 +36,9 @@ func TestRegisterRollbackOnUnsatisfiable(t *testing.T) {
 // administrator counts. It exists to be run under -race: any missing
 // lock in the framework, anonymizer, server or WAL path shows up here.
 func TestConcurrentMixedWorkload(t *testing.T) {
-	for _, kind := range []AnonymizerKind{BasicAnonymizer, AdaptiveAnonymizer} {
+	for _, kind := range []string{BasicBackend, AdaptiveBackend} {
 		kind := kind
-		t.Run(fmt.Sprintf("kind=%d", kind), func(t *testing.T) {
+		t.Run("backend="+kind, func(t *testing.T) {
 			t.Parallel()
 			c := MustNew(smallConfig(kind))
 			defer c.Close()

@@ -18,11 +18,13 @@ import (
 	"fmt"
 	"math/rand"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"casper/internal/anonymizer"
 	"casper/internal/continuous"
 	"casper/internal/geom"
+	"casper/internal/metrics"
 	"casper/internal/privacyqp"
 	"casper/internal/pyramid"
 	"casper/internal/rtree"
@@ -76,15 +78,28 @@ func srvErr(err error) error {
 	return err
 }
 
-// AnonymizerKind selects the anonymizer implementation.
-type AnonymizerKind int
-
+// Registry names of the built-in privacy backends. Config.Backend
+// accepts any name registered with the anonymizer registry
+// (anonymizer.Register); these constants cover the four built-ins.
 const (
-	// BasicAnonymizer is the complete-pyramid anonymizer (Sec. 4.1).
-	BasicAnonymizer AnonymizerKind = iota
-	// AdaptiveAnonymizer is the incomplete-pyramid anonymizer
+	// BasicBackend is the complete-pyramid anonymizer (Sec. 4.1).
+	BasicBackend = "basic"
+	// AdaptiveBackend is the incomplete-pyramid anonymizer
 	// (Sec. 4.2) — the variant the end-to-end experiments use.
-	AdaptiveAnonymizer
+	AdaptiveBackend = "adaptive"
+	// ClusterBackend is Yao et al.-style group-formation cloaking.
+	ClusterBackend = "cluster"
+	// GeoIndBackend is geo-indistinguishability via planar Laplace
+	// noise (perturbed-point mechanism).
+	GeoIndBackend = "geoind"
+)
+
+// Deprecated: the AnonymizerKind int enum is gone; backends are
+// selected by registry name. These aliases keep the old identifiers
+// compiling for one release — set Config.Backend instead.
+const (
+	BasicAnonymizer    = BasicBackend
+	AdaptiveAnonymizer = AdaptiveBackend
 )
 
 // Config parameterizes a Casper deployment.
@@ -94,13 +109,22 @@ type Config struct {
 	// PyramidLevels is the anonymizer's pyramid height H (9 in the
 	// paper's experiments).
 	PyramidLevels int
-	// Anonymizer selects basic or adaptive.
-	Anonymizer AnonymizerKind
+	// Backend selects the privacy backend by registry name ("basic",
+	// "adaptive", "cluster", "geoind", or anything registered via
+	// anonymizer.Register). Empty selects the adaptive backend.
+	Backend string
+	// BackendEpsilon is the geoind backend's base privacy budget
+	// (anonymizer.BackendConfig.Epsilon); zero means the backend
+	// default.
+	BackendEpsilon float64
+	// BackendMinK floors every profile's k in the cluster backend
+	// (anonymizer.BackendConfig.MinK); zero means no floor.
+	BackendMinK int
 	// Query tunes the privacy-aware query processor (filter count).
 	Query privacyqp.Options
 	// Transmission models the downlink carrying the candidate list.
 	Transmission TransmissionModel
-	// Seed drives pseudonym generation.
+	// Seed drives pseudonym generation and backend randomness.
 	Seed int64
 	// WALPath, when non-empty, makes the database server durable: all
 	// public objects and cloaked regions are write-ahead logged there
@@ -116,7 +140,7 @@ func DefaultConfig() Config {
 	return Config{
 		Universe:      geom.R(0, 0, 40000, 40000),
 		PyramidLevels: 9,
-		Anonymizer:    AdaptiveAnonymizer,
+		Backend:       AdaptiveBackend,
 		Query:         privacyqp.DefaultOptions(),
 		Transmission:  DefaultTransmission(),
 		Seed:          1,
@@ -144,6 +168,20 @@ func (m TransmissionModel) Time(n int) time.Duration {
 	}
 	bits := float64(n*m.RecordBytes) * 8
 	return time.Duration(bits / m.BandwidthBps * float64(time.Second))
+}
+
+// TimeFor is Time dispatched on the cloaking mechanism. Candidates of
+// a region query carry the geometry the client refines against (a
+// rect for private targets, plus the identity payload); a
+// perturbed-point query's candidates are bare points ranked against a
+// single anchor, so they ship at half the record size.
+func (m TransmissionModel) TimeFor(mech anonymizer.Mechanism, n int) time.Duration {
+	if mech == anonymizer.MechPerturbed {
+		half := m
+		half.RecordBytes = (m.RecordBytes + 1) / 2
+		return half.Time(n)
+	}
+	return m.Time(n)
 }
 
 // Breakdown is the per-query cost decomposition of Fig. 17.
@@ -189,9 +227,12 @@ func (b Breakdown) Total() time.Duration { return b.Cloak + b.Query + b.Transmit
 // update hot path (UpdateUser, UpdateUsers) therefore contends on
 // none of the framework locks beyond one pseudonym-shard read.
 type Casper struct {
-	anon anonymizer.Anonymizer
-	srv  *server.Server
-	cfg  Config
+	// backend is the live privacy backend plus its registry name,
+	// swapped atomically by ReloadBackend so queries racing a hot
+	// backend switch see a consistent (name, anonymizer) pair.
+	backend atomic.Pointer[backendState]
+	srv     *server.Server
+	cfg     Config
 
 	// pseudo maps uid -> server pseudonym, sharded so concurrent
 	// updates for different users never serialize on the lookup.
@@ -223,19 +264,21 @@ type Casper struct {
 // positions were never persisted anywhere — that is the point), and
 // their recovered cloaks serve public queries meanwhile.
 func New(cfg Config) (*Casper, error) {
-	var anon anonymizer.Anonymizer
-	switch cfg.Anonymizer {
-	case AdaptiveAnonymizer:
-		anon = anonymizer.NewAdaptive(cfg.Universe, cfg.PyramidLevels)
-	default:
-		anon = anonymizer.NewBasic(cfg.Universe, cfg.PyramidLevels)
+	name := cfg.Backend
+	if name == "" {
+		name = anonymizer.DefaultBackend
+	}
+	anon, err := anonymizer.New(name, backendConfig(cfg))
+	if err != nil {
+		return nil, err
 	}
 	c := &Casper{
-		anon:   anon,
 		cfg:    cfg,
 		pseudo: pyramid.NewUserTable[int64](),
 		rng:    rand.New(rand.NewSource(cfg.Seed)),
 	}
+	c.backend.Store(&backendState{name: name, anon: anon})
+	metrics.SetBackendInfo(name)
 	if cfg.WALPath != "" {
 		p, err := server.OpenPersistent(cfg.WALPath)
 		if err != nil {
@@ -283,8 +326,101 @@ func (c *Casper) Close() error {
 	return nil
 }
 
-// Anonymizer exposes the anonymizer (e.g. for experiment probes).
-func (c *Casper) Anonymizer() anonymizer.Anonymizer { return c.anon }
+// backendState pairs the live backend with its registry name so both
+// swap in one atomic store.
+type backendState struct {
+	name string
+	anon anonymizer.Anonymizer
+}
+
+// backendConfig assembles the factory config a backend is built from.
+func backendConfig(cfg Config) anonymizer.BackendConfig {
+	return anonymizer.BackendConfig{
+		Universe: cfg.Universe,
+		Levels:   cfg.PyramidLevels,
+		Seed:     cfg.Seed,
+		Epsilon:  cfg.BackendEpsilon,
+		MinK:     cfg.BackendMinK,
+	}
+}
+
+// anon returns the live backend.
+func (c *Casper) anon() anonymizer.Anonymizer { return c.backend.Load().anon }
+
+// Backend returns the registry name of the live privacy backend. It
+// can differ from Config().Backend after a hot backend switch.
+func (c *Casper) Backend() string { return c.backend.Load().name }
+
+// SwitchBackend swaps the live privacy backend for the named one,
+// keeping the current knob values. See ReloadBackend.
+func (c *Casper) SwitchBackend(name string) error {
+	return c.ReloadBackend(name, c.cfg.BackendEpsilon, c.cfg.BackendMinK)
+}
+
+// ReloadBackend applies a (backend name, epsilon, minK) triple from a
+// hot config reload. Same name: the knobs are pushed into the live
+// backend in place (backends ignore knobs they don't use). Different
+// name: a fresh backend is built, every registered user's exact
+// position and profile migrate into it, the pair swaps atomically,
+// and every user's cloak is re-published so the server's stored
+// regions match the new mechanism.
+//
+// The switch is an operator action, not a hot-path one: mutations
+// racing the migration window may land only in the old backend, in
+// which case the affected user reads ErrNotRegistered afterwards and
+// re-registers — the same contract as a server restart (the
+// anonymizer side was never durable by design).
+func (c *Casper) ReloadBackend(name string, epsilon float64, minK int) error {
+	if name == "" {
+		name = anonymizer.DefaultBackend
+	}
+	cur := c.backend.Load()
+	if cur.name == name {
+		if epsilon != 0 {
+			if es, ok := cur.anon.(interface{ SetEpsilon(float64) error }); ok {
+				if err := es.SetEpsilon(epsilon); err != nil {
+					return err
+				}
+			}
+		}
+		if ms, ok := cur.anon.(interface{ SetMinK(int) error }); ok {
+			if err := ms.SetMinK(minK); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	bcfg := backendConfig(c.cfg)
+	bcfg.Epsilon, bcfg.MinK = epsilon, minK
+	next, err := anonymizer.New(name, bcfg)
+	if err != nil {
+		return err
+	}
+	var migrateErr error
+	cur.anon.ForEachUser(func(uid anonymizer.UserID, pos geom.Point, prof anonymizer.Profile) bool {
+		migrateErr = next.Register(uid, pos, prof)
+		return migrateErr == nil
+	})
+	if migrateErr != nil {
+		return fmt.Errorf("core: backend switch to %q aborted: %w", name, migrateErr)
+	}
+	c.backend.Store(&backendState{name: name, anon: next})
+	metrics.SetBackendInfo(name)
+	// Re-publish every cloak under the new mechanism; an individual
+	// unsatisfiable profile leaves that user's previous region in
+	// place (same contract as a failed UpdateUser) and is reported.
+	var pushErr error
+	c.pseudo.Range(func(uid int64, _ int64) bool {
+		if err := c.pushCloak(anonymizer.UserID(uid), nil); err != nil && pushErr == nil {
+			pushErr = fmt.Errorf("core: backend switch to %q: re-cloak uid %d: %w", name, uid, err)
+		}
+		return true
+	})
+	return pushErr
+}
+
+// Anonymizer exposes the live backend (e.g. for experiment probes).
+func (c *Casper) Anonymizer() anonymizer.Anonymizer { return c.anon() }
 
 // Server exposes the database server.
 func (c *Casper) Server() *server.Server { return c.srv }
@@ -396,7 +532,7 @@ func (c *Casper) enableContinuous(build func() *continuous.Monitor) *continuous.
 	// Seed with current state.
 	c.monitor.SetPublic(c.srv.PublicItems())
 	c.pseudo.Range(func(uid int64, pid int64) bool {
-		if cr, err := c.anon.Cloak(anonymizer.UserID(uid)); err == nil {
+		if cr, err := c.anon().Cloak(anonymizer.UserID(uid)); err == nil {
 			_ = c.monitor.UpsertPrivate(pid, cr.Region)
 		}
 		return true
@@ -422,7 +558,7 @@ func (c *Casper) WatchNearest(uid anonymizer.UserID, kind privacyqp.DataKind) (c
 	if c.monitor == nil {
 		return 0, nil, ErrMonitorDisabled
 	}
-	cr, err := c.anon.Cloak(uid)
+	cr, err := c.anon().Cloak(uid)
 	if err != nil {
 		return 0, nil, userErr(err)
 	}
@@ -448,7 +584,7 @@ func (c *Casper) WatchRange(uid anonymizer.UserID, radius float64, kind privacyq
 	if c.monitor == nil {
 		return 0, nil, ErrMonitorDisabled
 	}
-	cr, err := c.anon.Cloak(uid)
+	cr, err := c.anon().Cloak(uid)
 	if err != nil {
 		return 0, nil, userErr(err)
 	}
@@ -473,7 +609,7 @@ func (c *Casper) RegisterUser(uid anonymizer.UserID, pos geom.Point, prof anonym
 }
 
 func (c *Casper) registerUser(uid anonymizer.UserID, pos geom.Point, prof anonymizer.Profile, tr *trace.Trace) error {
-	if err := c.anon.Register(uid, pos, prof); err != nil {
+	if err := c.anon().Register(uid, pos, prof); err != nil {
 		return userErr(err)
 	}
 	c.pseudo.Store(int64(uid), c.newPseudonym())
@@ -482,7 +618,7 @@ func (c *Casper) registerUser(uid anonymizer.UserID, pos geom.Point, prof anonym
 		// caller can fix the profile and retry without hitting
 		// ErrAlreadyRegistered.
 		c.pseudo.Delete(int64(uid))
-		_ = c.anon.Deregister(uid)
+		_ = c.anon().Deregister(uid)
 		return err
 	}
 	return nil
@@ -511,7 +647,7 @@ func (c *Casper) UpdateUser(uid anonymizer.UserID, pos geom.Point) error {
 }
 
 func (c *Casper) updateUser(uid anonymizer.UserID, pos geom.Point, tr *trace.Trace) error {
-	if err := c.anon.Update(uid, pos); err != nil {
+	if err := c.anon().Update(uid, pos); err != nil {
 		return userErr(err)
 	}
 	return c.pushCloak(uid, tr)
@@ -553,7 +689,7 @@ func (c *Casper) updateUsers(updates []UserUpdate, tr *trace.Trace) (int, error)
 	applied := 0
 	var firstErr error
 	for _, u := range updates {
-		if err := c.anon.Update(u.UID, u.Pos); err != nil {
+		if err := c.anon().Update(u.UID, u.Pos); err != nil {
 			firstErr = fmt.Errorf("batch aborted at uid %d: %w", u.UID, userErr(err))
 			break
 		}
@@ -602,7 +738,7 @@ func (c *Casper) SetProfile(uid anonymizer.UserID, prof anonymizer.Profile) erro
 }
 
 func (c *Casper) setProfile(uid anonymizer.UserID, prof anonymizer.Profile, tr *trace.Trace) error {
-	if err := c.anon.SetProfile(uid, prof); err != nil {
+	if err := c.anon().SetProfile(uid, prof); err != nil {
 		return userErr(err)
 	}
 	return c.pushCloak(uid, tr)
@@ -611,7 +747,7 @@ func (c *Casper) setProfile(uid anonymizer.UserID, prof anonymizer.Profile, tr *
 // DeregisterUser removes a user from both components, tearing down
 // any continuous queries they registered.
 func (c *Casper) DeregisterUser(uid anonymizer.UserID) error {
-	if err := c.anon.Deregister(uid); err != nil {
+	if err := c.anon().Deregister(uid); err != nil {
 		return userErr(err)
 	}
 	pid, ok := c.pseudo.Delete(int64(uid))
@@ -678,18 +814,21 @@ func (c *Casper) pushCloak(uid anonymizer.UserID, tr *trace.Trace) error {
 // steps taken; anonymizers that support it also record their own
 // sub-spans (stripe_escalation, adaptive_flush) into tr.
 func (c *Casper) cloakUID(uid anonymizer.UserID, tr *trace.Trace) (anonymizer.CloakedRegion, error) {
+	b := c.backend.Load()
 	if tr == nil {
-		return c.anon.Cloak(uid)
+		return b.anon.Cloak(uid)
 	}
 	sp := tr.StartSpan("cloak")
 	var cr anonymizer.CloakedRegion
 	var err error
-	if tc, ok := c.anon.(anonymizer.TracedCloaker); ok {
+	if tc, ok := b.anon.(anonymizer.TracedCloaker); ok {
 		cr, err = tc.CloakTraced(uid, tr)
 	} else {
-		cr, err = c.anon.Cloak(uid)
+		cr, err = b.anon.Cloak(uid)
 	}
-	sp.End(trace.Int("level", int64(cr.Level)),
+	sp.End(trace.Str("backend", b.name),
+		trace.Str("mechanism", cr.Mechanism.String()),
+		trace.Int("level", int64(cr.Level)),
 		trace.Int("k_found", int64(cr.KFound)),
 		trace.Int("steps_up", int64(cr.StepsUp)))
 	return cr, err
@@ -715,6 +854,39 @@ func (c *Casper) notifyCloak(uid anonymizer.UserID, pid int64, region geom.Rect)
 		}
 	}
 	return nil
+}
+
+// Mechanism-dispatched query entries: region cloaks go through
+// Algorithm 2 over the rectangle, perturbed points through the
+// point-plus-radius candidate construction (privacyqp's Perturbed*
+// family).
+
+func (c *Casper) queryNNPublic(cr anonymizer.CloakedRegion, opt privacyqp.Options) (privacyqp.Result, error) {
+	if cr.Mechanism == anonymizer.MechPerturbed {
+		return c.srv.NNPublicAt(cr.Point, cr.Radius, opt)
+	}
+	return c.srv.NNPublic(cr.Region, opt)
+}
+
+func (c *Casper) queryNNPrivate(cr anonymizer.CloakedRegion, excludeID int64, opt privacyqp.Options) (privacyqp.Result, error) {
+	if cr.Mechanism == anonymizer.MechPerturbed {
+		return c.srv.NNPrivateAt(cr.Point, cr.Radius, excludeID, opt)
+	}
+	return c.srv.NNPrivate(cr.Region, excludeID, opt)
+}
+
+func (c *Casper) queryKNNPublic(cr anonymizer.CloakedRegion, k int, opt privacyqp.Options) (privacyqp.Result, error) {
+	if cr.Mechanism == anonymizer.MechPerturbed {
+		return c.srv.KNNPublicAt(cr.Point, cr.Radius, k, opt)
+	}
+	return c.srv.KNNPublic(cr.Region, k, opt)
+}
+
+func (c *Casper) queryRangePublic(cr anonymizer.CloakedRegion, radius float64) (privacyqp.Result, error) {
+	if cr.Mechanism == anonymizer.MechPerturbed {
+		return c.srv.RangePublicAt(cr.Point, cr.Radius, radius)
+	}
+	return c.srv.RangePublic(cr.Region, radius)
 }
 
 // NNAnswer is the outcome of a private nearest-neighbor query.
@@ -750,15 +922,16 @@ func (c *Casper) nearestPublic(uid anonymizer.UserID, tr *trace.Trace) (NNAnswer
 	opt := c.cfg.Query
 	opt.Trace = tr
 	qsp := tr.StartSpan("query")
-	res, err := c.srv.NNPublic(cr.Region, opt)
+	res, err := c.queryNNPublic(cr, opt)
 	if err != nil {
 		qsp.End()
 		return NNAnswer{}, srvErr(err)
 	}
 	t2 := time.Now()
+	tx := c.cfg.Transmission.TimeFor(cr.Mechanism, len(res.Candidates))
 	if tr != nil {
 		qsp.End(trace.Int("candidates", int64(len(res.Candidates))))
-		tr.RecordSpan("transmit", t2, c.cfg.Transmission.Time(len(res.Candidates)),
+		tr.RecordSpan("transmit", t2, tx,
 			trace.Int("candidates", int64(len(res.Candidates))))
 	}
 	ans := NNAnswer{
@@ -767,7 +940,7 @@ func (c *Casper) nearestPublic(uid anonymizer.UserID, tr *trace.Trace) (NNAnswer
 		Cost: Breakdown{
 			Cloak:      t1.Sub(t0),
 			Query:      t2.Sub(t1),
-			Transmit:   c.cfg.Transmission.Time(len(res.Candidates)),
+			Transmit:   tx,
 			Candidates: len(res.Candidates),
 		},
 	}
@@ -806,15 +979,16 @@ func (c *Casper) nearestBuddy(uid anonymizer.UserID, tr *trace.Trace) (NNAnswer,
 	opt := c.cfg.Query
 	opt.Trace = tr
 	qsp := tr.StartSpan("query")
-	res, err := c.srv.NNPrivate(cr.Region, pid, opt)
+	res, err := c.queryNNPrivate(cr, pid, opt)
 	if err != nil {
 		qsp.End()
 		return NNAnswer{}, err
 	}
 	t2 := time.Now()
+	tx := c.cfg.Transmission.TimeFor(cr.Mechanism, len(res.Candidates))
 	if tr != nil {
 		qsp.End(trace.Int("candidates", int64(len(res.Candidates))))
-		tr.RecordSpan("transmit", t2, c.cfg.Transmission.Time(len(res.Candidates)),
+		tr.RecordSpan("transmit", t2, tx,
 			trace.Int("candidates", int64(len(res.Candidates))))
 	}
 	ans := NNAnswer{
@@ -823,7 +997,7 @@ func (c *Casper) nearestBuddy(uid anonymizer.UserID, tr *trace.Trace) (NNAnswer,
 		Cost: Breakdown{
 			Cloak:      t1.Sub(t0),
 			Query:      t2.Sub(t1),
-			Transmit:   c.cfg.Transmission.Time(len(res.Candidates)),
+			Transmit:   tx,
 			Candidates: len(res.Candidates),
 		},
 	}
@@ -856,21 +1030,22 @@ func (c *Casper) kNearestPublic(uid anonymizer.UserID, k int, tr *trace.Trace) (
 	opt := c.cfg.Query
 	opt.Trace = tr
 	qsp := tr.StartSpan("query")
-	res, err := c.srv.KNNPublic(cr.Region, k, opt)
+	res, err := c.queryKNNPublic(cr, k, opt)
 	if err != nil {
 		qsp.End()
 		return nil, Breakdown{}, srvErr(err)
 	}
 	t2 := time.Now()
+	tx := c.cfg.Transmission.TimeFor(cr.Mechanism, len(res.Candidates))
 	if tr != nil {
 		qsp.End(trace.Int("candidates", int64(len(res.Candidates))))
-		tr.RecordSpan("transmit", t2, c.cfg.Transmission.Time(len(res.Candidates)),
+		tr.RecordSpan("transmit", t2, tx,
 			trace.Int("candidates", int64(len(res.Candidates))))
 	}
 	bd := Breakdown{
 		Cloak:      t1.Sub(t0),
 		Query:      t2.Sub(t1),
-		Transmit:   c.cfg.Transmission.Time(len(res.Candidates)),
+		Transmit:   tx,
 		Candidates: len(res.Candidates),
 	}
 	return privacyqp.RefineKNN(pos, res.Candidates, k, privacyqp.PublicData), bd, nil
@@ -894,21 +1069,22 @@ func (c *Casper) rangePublic(uid anonymizer.UserID, radius float64, tr *trace.Tr
 	}
 	t1 := time.Now()
 	qsp := tr.StartSpan("query")
-	res, err := c.srv.RangePublic(cr.Region, radius)
+	res, err := c.queryRangePublic(cr, radius)
 	if err != nil {
 		qsp.End()
 		return nil, Breakdown{}, srvErr(err)
 	}
 	t2 := time.Now()
+	tx := c.cfg.Transmission.TimeFor(cr.Mechanism, len(res.Candidates))
 	if tr != nil {
 		qsp.End(trace.Int("candidates", int64(len(res.Candidates))))
-		tr.RecordSpan("transmit", t2, c.cfg.Transmission.Time(len(res.Candidates)),
+		tr.RecordSpan("transmit", t2, tx,
 			trace.Int("candidates", int64(len(res.Candidates))))
 	}
 	bd := Breakdown{
 		Cloak:      t1.Sub(t0),
 		Query:      t2.Sub(t1),
-		Transmit:   c.cfg.Transmission.Time(len(res.Candidates)),
+		Transmit:   tx,
 		Candidates: len(res.Candidates),
 	}
 	return privacyqp.RefineRange(pos, res.Candidates, radius, privacyqp.PublicData), bd, nil
@@ -935,7 +1111,7 @@ func (c *Casper) userPos(uid anonymizer.UserID) (geom.Point, error) {
 	type positioned interface {
 		Position(anonymizer.UserID) (geom.Point, error)
 	}
-	p, ok := c.anon.(positioned)
+	p, ok := c.anon().(positioned)
 	if !ok {
 		return geom.Point{}, fmt.Errorf("core: anonymizer does not expose positions")
 	}
@@ -944,4 +1120,4 @@ func (c *Casper) userPos(uid anonymizer.UserID) (geom.Point, error) {
 }
 
 // Users returns the number of registered users.
-func (c *Casper) Users() int { return c.anon.Users() }
+func (c *Casper) Users() int { return c.anon().Users() }

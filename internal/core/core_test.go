@@ -16,11 +16,11 @@ import (
 	"casper/internal/server"
 )
 
-func smallConfig(kind AnonymizerKind) Config {
+func smallConfig(kind string) Config {
 	cfg := DefaultConfig()
 	cfg.Universe = geom.R(0, 0, 4096, 4096)
 	cfg.PyramidLevels = 7
-	cfg.Anonymizer = kind
+	cfg.Backend = kind
 	return cfg
 }
 
@@ -75,7 +75,7 @@ func TestBreakdownTotal(t *testing.T) {
 }
 
 func TestRegisterPushesCloakUnderPseudonym(t *testing.T) {
-	for _, kind := range []AnonymizerKind{BasicAnonymizer, AdaptiveAnonymizer} {
+	for _, kind := range []string{BasicBackend, AdaptiveBackend} {
 		c := MustNew(smallConfig(kind))
 		pos := geom.Pt(100, 100)
 		if err := c.RegisterUser(1, pos, anonymizer.Profile{K: 1}); err != nil {
@@ -145,7 +145,7 @@ func TestDeregisterCleansBothSides(t *testing.T) {
 }
 
 func TestNearestPublicEndToEnd(t *testing.T) {
-	for _, kind := range []AnonymizerKind{BasicAnonymizer, AdaptiveAnonymizer} {
+	for _, kind := range []string{BasicBackend, AdaptiveBackend} {
 		c := MustNew(smallConfig(kind))
 		positions := populate(t, c, 200, 500, 5)
 		for uid := 0; uid < 50; uid++ {

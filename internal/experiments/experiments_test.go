@@ -465,3 +465,68 @@ func TestUnshownAminPanels(t *testing.T) {
 		t.Fatalf("X3 candidates should grow with Amin: %v -> %v", first, last)
 	}
 }
+
+func TestCompareBackendsShape(t *testing.T) {
+	w := NewWorld(tiny())
+	tab := CompareBackends(w)
+	if len(tab.Rows) != 4 {
+		t.Fatalf("rows = %d; want one per registered backend", len(tab.Rows))
+	}
+	byName := map[string][]string{}
+	for _, row := range tab.Rows {
+		if len(row) != len(tab.Columns) {
+			t.Fatalf("row %v has %d cells; header has %d", row, len(row), len(tab.Columns))
+		}
+		byName[row[0]] = row
+	}
+	for _, name := range []string{"basic", "adaptive", "cluster", "geoind"} {
+		if byName[name] == nil {
+			t.Fatalf("backend %q missing from the table", name)
+		}
+	}
+	col := func(name string) int {
+		for i, c := range tab.Columns {
+			if c == name {
+				return i
+			}
+		}
+		t.Fatalf("column %q missing", name)
+		return -1
+	}
+	get := func(backend, column string) float64 {
+		v, err := strconv.ParseFloat(byName[backend][col(column)], 64)
+		if err != nil {
+			t.Fatalf("%s/%s: %v", backend, column, err)
+		}
+		return v
+	}
+
+	// The k-anonymous backends must actually satisfy their profiles.
+	for _, name := range []string{"basic", "adaptive", "cluster"} {
+		if sat := get(name, "k_satisfied_frac"); sat < 0.99 {
+			t.Errorf("%s k_satisfied_frac = %v; want ~1", name, sat)
+		}
+		// Deterministic regions reveal nothing extra on repeat queries.
+		if link := get(name, "linkage_surviving_frac"); link < 0.99 {
+			t.Errorf("%s linkage = %v; want 1 (deterministic cloaks)", name, link)
+		}
+	}
+	// Clustering hugs the population: regions no larger than the
+	// pyramid baseline's.
+	if get("cluster", "area_cells_mean") > get("basic", "area_cells_mean") {
+		t.Errorf("cluster area %v > basic area %v", get("cluster", "area_cells_mean"), get("basic", "area_cells_mean"))
+	}
+	// Independent noise draws intersect away on repeats: geoind's
+	// linkage survival must be visibly below the deterministic 1.0.
+	if link := get("geoind", "linkage_surviving_frac"); link > 0.9 {
+		t.Errorf("geoind linkage = %v; want < 0.9 (fresh noise per cloak)", link)
+	}
+	// Everything costs something: timings and candidates are positive.
+	for _, name := range []string{"basic", "adaptive", "cluster", "geoind"} {
+		for _, c := range []string{"candidates_mean", "cloak_us", "query_us", "transmit_us"} {
+			if get(name, c) <= 0 {
+				t.Errorf("%s %s = %v; want > 0", name, c, get(name, c))
+			}
+		}
+	}
+}

@@ -1,0 +1,29 @@
+package metrics
+
+import (
+	"fmt"
+	"sync"
+)
+
+var (
+	backendInfoMu  sync.Mutex
+	backendInfoCur *Gauge
+)
+
+// SetBackendInfo points the casper_backend_info gauge at the active
+// privacy backend: a constant-1 gauge in the casper_build_info idiom,
+// labeled by backend name. On a hot backend swap the previous
+// backend's series drops to 0 (it cannot be unregistered), so
+// `casper_backend_info == 1` always selects exactly the active one.
+func SetBackendInfo(name string) {
+	backendInfoMu.Lock()
+	defer backendInfoMu.Unlock()
+	if backendInfoCur != nil {
+		backendInfoCur.Set(0)
+	}
+	g := Default.Gauge("casper_backend_info",
+		fmt.Sprintf(`backend="%s"`, escapeLabel(name)),
+		"Active privacy backend; 1 on the active backend's series, 0 on previously active ones.")
+	g.Set(1)
+	backendInfoCur = g
+}

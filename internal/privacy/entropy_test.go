@@ -1,0 +1,86 @@
+package privacy
+
+import (
+	"math"
+	"testing"
+
+	"casper/internal/geom"
+)
+
+func TestAnalyzeEntropyUniform(t *testing.T) {
+	// A region covering exactly m population points yields log2(m)
+	// bits; every cloak here covers all 8 points.
+	pop := make([]geom.Point, 8)
+	for i := range pop {
+		pop[i] = geom.Pt(float64(i)+0.5, 0.5)
+	}
+	cloaks := []geom.Rect{geom.R(0, 0, 8, 1), geom.R(0, 0, 8, 1)}
+	rep, err := AnalyzeEntropy(cloaks, pop)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Pairs != 2 {
+		t.Fatalf("Pairs = %d, want 2", rep.Pairs)
+	}
+	if want := math.Log2(8); math.Abs(rep.MeanBits-want) > 1e-12 {
+		t.Fatalf("MeanBits = %v, want %v", rep.MeanBits, want)
+	}
+	if math.Abs(rep.MinBits-3) > 1e-12 {
+		t.Fatalf("MinBits = %v, want 3", rep.MinBits)
+	}
+	if rep.Degenerate != 0 {
+		t.Fatalf("Degenerate = %d, want 0", rep.Degenerate)
+	}
+}
+
+func TestAnalyzeEntropyDegenerate(t *testing.T) {
+	// A cloak covering only its own user (or nobody) delivers zero
+	// bits and is flagged as degenerate.
+	pop := []geom.Point{geom.Pt(0.5, 0.5), geom.Pt(100, 100)}
+	cloaks := []geom.Rect{
+		geom.R(0, 0, 1, 1),     // covers 1 point: degenerate
+		geom.R(50, 50, 60, 60), // covers 0 points: degenerate
+		geom.R(0, 0, 128, 128), // covers both points: 1 bit
+	}
+	rep, err := AnalyzeEntropy(cloaks, pop)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Degenerate != 2 {
+		t.Fatalf("Degenerate = %d, want 2", rep.Degenerate)
+	}
+	if rep.MinBits != 0 {
+		t.Fatalf("MinBits = %v, want 0", rep.MinBits)
+	}
+	if want := 1.0 / 3; math.Abs(rep.MeanBits-want) > 1e-12 {
+		t.Fatalf("MeanBits = %v, want %v", rep.MeanBits, want)
+	}
+}
+
+func TestAnalyzeEntropyMixedPopulations(t *testing.T) {
+	// Mean and min across cloaks of different anonymity-set sizes.
+	pop := make([]geom.Point, 16)
+	for i := range pop {
+		pop[i] = geom.Pt(float64(i)+0.5, 0.5)
+	}
+	cloaks := []geom.Rect{
+		geom.R(0, 0, 16, 1), // 16 points: 4 bits
+		geom.R(0, 0, 4, 1),  // 4 points: 2 bits
+	}
+	rep, err := AnalyzeEntropy(cloaks, pop)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(rep.MeanBits-3) > 1e-12 {
+		t.Fatalf("MeanBits = %v, want 3", rep.MeanBits)
+	}
+	if math.Abs(rep.MinBits-2) > 1e-12 {
+		t.Fatalf("MinBits = %v, want 2", rep.MinBits)
+	}
+}
+
+func TestAnalyzeEntropyValidation(t *testing.T) {
+	if _, err := AnalyzeEntropy(nil, []geom.Point{geom.Pt(1, 1)}); err == nil {
+		t.Fatal("AnalyzeEntropy accepted zero cloaks")
+	}
+}

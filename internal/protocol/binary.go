@@ -100,8 +100,12 @@ const (
 	respFStats
 	respFDensity
 	respFTraceID
+	// respFBackend extends the stats block with the active privacy
+	// backend's name; a separate bit (not a widened respFStats payload)
+	// so frames from servers predating it still decode.
+	respFBackend
 
-	respFKnown = respFTraceID<<1 - 1
+	respFKnown = respFBackend<<1 - 1
 )
 
 const respFlagOK byte = 1
@@ -271,6 +275,9 @@ func appendResponse(b []byte, resp *Response) []byte {
 	if resp.TraceID != "" {
 		mask |= respFTraceID
 	}
+	if resp.Stats != nil && resp.Stats.Backend != "" {
+		mask |= respFBackend
+	}
 	b = appendU32(b, mask)
 	if mask&respFError != 0 {
 		b = appendString(b, resp.Error)
@@ -313,6 +320,9 @@ func appendResponse(b []byte, resp *Response) []byte {
 	}
 	if mask&respFTraceID != 0 {
 		b = appendString(b, resp.TraceID)
+	}
+	if mask&respFBackend != 0 {
+		b = appendString(b, resp.Stats.Backend)
 	}
 	return b
 }
@@ -556,6 +566,12 @@ func decodeResponse(b []byte) (Response, error) {
 	}
 	if mask&respFTraceID != 0 {
 		resp.TraceID = r.str()
+	}
+	if mask&respFBackend != 0 {
+		if resp.Stats == nil {
+			return Response{}, fmt.Errorf("backend field without stats block")
+		}
+		resp.Stats.Backend = r.str()
 	}
 	if err := r.finish("response"); err != nil {
 		return Response{}, err

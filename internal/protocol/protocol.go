@@ -126,6 +126,9 @@ type Stats struct {
 	PublicObjs int   `json:"public_objects"`
 	Queries    int64 `json:"queries"`
 	UpdateCost int64 `json:"update_cost"`
+	// Backend names the active privacy backend ("" from servers
+	// predating backend selection).
+	Backend string `json:"backend,omitempty"`
 }
 
 // Response is one server frame.

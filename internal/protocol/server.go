@@ -138,6 +138,11 @@ func NewServer(c *core.Casper) *Server {
 	return s
 }
 
+// Casper returns the framework instance this server fronts, for
+// runtime operations (backend hot reload) that act on the framework
+// rather than the wire layer.
+func (s *Server) Casper() *core.Casper { return s.casper }
+
 // SetSlowQueryThreshold changes the slow-query log threshold at
 // runtime (hot config reload); zero disables the log. Safe to call
 // while serving.
@@ -840,6 +845,7 @@ func (s *Server) dispatch(req Request, tr *trace.Trace, proto int) Response {
 			PublicObjs: s.casper.Server().PublicCount(),
 			Queries:    s.casper.Server().Queries(),
 			UpdateCost: s.casper.Anonymizer().UpdateCost(),
+			Backend:    s.casper.Backend(),
 		}}
 	default:
 		return errResponse("unknown op %q", req.Op)
@@ -859,10 +865,10 @@ func (s *Server) logSlow(req Request, resp Response, elapsed time.Duration) {
 			outcome = resp.Code
 		}
 	}
-	attrs := make([]any, 0, 18)
+	attrs := make([]any, 0, 20)
 	attrs = append(attrs,
 		"op", req.Op, "uid", req.UserID, "took", elapsed, "outcome", outcome,
-		"trace_id", resp.TraceID)
+		"trace_id", resp.TraceID, "backend", s.casper.Backend())
 	if resp.Cost != nil {
 		attrs = append(attrs,
 			"cloak", time.Duration(resp.Cost.CloakNS),
