@@ -124,6 +124,7 @@ func main() {
 		{"X1", experiments.FigX1},
 		{"X2", experiments.FigX2},
 		{"X3", experiments.FigX3},
+		{"X4", experiments.FigX4},
 		{"A1", experiments.AblationNeighborMerge},
 		{"A2", experiments.AblationNaiveExtremes},
 		{"A3", experiments.AblationCloakers},

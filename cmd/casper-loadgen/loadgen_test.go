@@ -51,6 +51,50 @@ func TestLoadgenSmoke(t *testing.T) {
 	}
 }
 
+// TestLoadgenSubscribe mixes standing continuous watches (and their
+// churn) into a short run and checks the continuous report section.
+func TestLoadgenSubscribe(t *testing.T) {
+	cfg := config{
+		duration:  1 * time.Second,
+		rate:      300,
+		conns:     2,
+		inflight:  16,
+		protocol:  2,
+		users:     40,
+		targets:   50,
+		subscribe: 30,
+		mix:       "update=60,nn=20,knn=10,range=10",
+		slo:       time.Second,
+		seed:      11,
+	}
+	rep, err := run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Errors != 0 {
+		t.Fatalf("%d request errors", rep.Errors)
+	}
+	c := rep.Continuous
+	if c == nil {
+		t.Fatal("no continuous section in the report")
+	}
+	if c.Subscriptions != 30 {
+		t.Fatalf("subscriptions = %d, want 30", c.Subscriptions)
+	}
+	if c.Churned == 0 {
+		t.Fatal("churner never replaced a watch")
+	}
+	if c.MonitorUpdates == 0 {
+		t.Fatal("monitor saw no updates despite update traffic")
+	}
+	// Remote mode cannot subscribe: the wire protocol has no
+	// subscription op.
+	cfg.addr = "127.0.0.1:1"
+	if _, err := run(cfg); err == nil {
+		t.Fatal("-subscribe with -addr should be rejected")
+	}
+}
+
 // TestLoadgenV1 drives the same harness over the JSON protocol, which
 // serializes each connection; a lower rate keeps the 1-second run from
 // shedding everything.

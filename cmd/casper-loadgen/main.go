@@ -23,6 +23,11 @@
 //	-protocol  2            wire protocol version (2 binary, 1 JSON)
 //	-users     500          mobile users registered before the run
 //	-targets   200          public objects loaded before the run
+//	-subscribe 0            standing continuous watches registered
+//	                        before the run, with ~10%/s churn mixed in
+//	                        (in-process only: the wire protocol has no
+//	                        subscription op; the monitor rides the same
+//	                        update stream the open-loop load drives)
 //	-mix       update=60,nn=20,knn=10,range=10   workload mix (weights)
 //	-slo       50ms         p99 latency objective the report grades
 //	-seed      1            workload seed
@@ -70,8 +75,9 @@ type config struct {
 	conns    int
 	inflight int
 	protocol int
-	users    int
-	targets  int
+	users     int
+	targets   int
+	subscribe int
 	mix      string
 	slo      time.Duration
 	seed     int64
@@ -93,6 +99,7 @@ func main() {
 	flag.IntVar(&cfg.protocol, "protocol", casper.ProtocolV2, "wire protocol version (2 binary, 1 JSON)")
 	flag.IntVar(&cfg.users, "users", 500, "mobile users registered before the run")
 	flag.IntVar(&cfg.targets, "targets", 200, "public objects loaded before the run")
+	flag.IntVar(&cfg.subscribe, "subscribe", 0, "standing continuous watches registered before the run, churned during it (in-process only)")
 	flag.StringVar(&cfg.mix, "mix", "update=60,nn=20,knn=10,range=10", "workload mix weights")
 	flag.DurationVar(&cfg.slo, "slo", 50*time.Millisecond, "p99 latency objective")
 	flag.Int64Var(&cfg.seed, "seed", 1, "workload seed")
@@ -225,6 +232,9 @@ func run(cfg config) (*report, error) {
 	if cfg.conns <= 0 || cfg.inflight <= 0 || cfg.users <= 0 || cfg.rate <= 0 {
 		return nil, fmt.Errorf("conns, inflight, users and rate must be positive")
 	}
+	if cfg.subscribe > 0 && cfg.addr != "" {
+		return nil, fmt.Errorf("-subscribe needs the in-process server (leave -addr empty): the wire protocol has no subscription op")
+	}
 	if cfg.shutdownAfter > 0 {
 		if cfg.addr != "" {
 			return nil, fmt.Errorf("-shutdown-after needs the in-process server (leave -addr empty)")
@@ -245,17 +255,20 @@ func run(cfg config) (*report, error) {
 	positions := gen.Positions()
 
 	addr := cfg.addr
-	var srv *casper.ProtocolServer // non-nil in self-contained mode
+	var (
+		srv    *casper.ProtocolServer // non-nil in self-contained mode
+		inproc *casper.Casper         // the instance behind srv
+	)
 	if addr == "" {
 		// Self-contained mode: serve an in-process instance sized to
 		// the road network so the harness needs no running casperd.
 		ccfg := casper.DefaultConfig()
 		ccfg.Universe = bounds
-		c := casper.MustNew(ccfg)
-		if err := c.LoadPublicObjects(casper.UniformTargets(bounds, cfg.targets, cfg.seed)); err != nil {
+		inproc = casper.MustNew(ccfg)
+		if err := inproc.LoadPublicObjects(casper.UniformTargets(bounds, cfg.targets, cfg.seed)); err != nil {
 			return nil, err
 		}
-		srv = casper.NewProtocolServer(c)
+		srv = casper.NewProtocolServer(inproc)
 		srv.SetLogf(func(string, ...any) {})
 		a, err := srv.Listen("127.0.0.1:0")
 		if err != nil {
@@ -302,6 +315,79 @@ func run(cfg config) (*report, error) {
 	}
 
 	rangeRadius := bounds.Width() / 20
+
+	// Standing continuous watches (-subscribe): registered directly on
+	// the in-process instance, so every location update the open-loop
+	// stream pushes through the wire also drives the sharded monitor's
+	// incremental maintenance. A churner replaces ~10% of the
+	// subscriptions per second, mixing registration and deregistration
+	// into the run the way a real subscriber population would.
+	var (
+		contEvents  atomic.Int64
+		contChurned atomic.Int64
+		stopChurn   chan struct{}
+		churnDone   chan struct{}
+	)
+	if cfg.subscribe > 0 {
+		inproc.EnableContinuousBuffered(func(casper.ContinuousEvent) { contEvents.Add(1) }, 1024)
+		wrng := rand.New(rand.NewSource(cfg.seed + 1))
+		type watchRef struct {
+			uid casper.UserID
+			qid casper.ContinuousQueryID
+		}
+		addWatch := func() (watchRef, error) {
+			uid := casper.UserID(wrng.Intn(cfg.users) + 1)
+			var (
+				qid casper.ContinuousQueryID
+				err error
+			)
+			switch wrng.Intn(3) {
+			case 0:
+				qid, _, err = inproc.WatchNearest(uid, casper.PublicData)
+			case 1:
+				qid, _, err = inproc.WatchNearest(uid, casper.PrivateData)
+			default:
+				qid, _, err = inproc.WatchRange(uid, rangeRadius, casper.PrivateData)
+			}
+			return watchRef{uid: uid, qid: qid}, err
+		}
+		watches := make([]watchRef, 0, cfg.subscribe)
+		for len(watches) < cfg.subscribe {
+			w, err := addWatch()
+			if err != nil {
+				return nil, fmt.Errorf("subscribe watch %d: %w", len(watches), err)
+			}
+			watches = append(watches, w)
+		}
+		stopChurn = make(chan struct{})
+		churnDone = make(chan struct{})
+		perTick := cfg.subscribe / 100
+		if perTick < 1 {
+			perTick = 1
+		}
+		go func() {
+			defer close(churnDone)
+			tick := time.NewTicker(100 * time.Millisecond)
+			defer tick.Stop()
+			for {
+				select {
+				case <-stopChurn:
+					return
+				case <-tick.C:
+				}
+				for i := 0; i < perTick && len(watches) > 0; i++ {
+					victim := wrng.Intn(len(watches))
+					inproc.Unwatch(watches[victim].uid, watches[victim].qid)
+					watches[victim] = watches[len(watches)-1]
+					watches = watches[:len(watches)-1]
+					contChurned.Add(1)
+					if w, err := addWatch(); err == nil {
+						watches = append(watches, w)
+					}
+				}
+			}
+		}()
+	}
 
 	var (
 		wg            sync.WaitGroup
@@ -419,6 +505,10 @@ func run(cfg config) (*report, error) {
 			shed.Add(1)
 		}
 	}
+	if stopChurn != nil {
+		close(stopChurn)
+		<-churnDone
+	}
 	for _, cs := range conns {
 		close(cs.jobs)
 	}
@@ -487,6 +577,22 @@ func run(cfg config) (*report, error) {
 		shut.ErrorsAfter = errsDrain
 		shut.Clean = errs == 0 && !shut.Forced
 		rep.Shutdown = shut
+	}
+	if cfg.subscribe > 0 {
+		if mon := inproc.Monitor(); mon != nil {
+			cr := &continuousReport{
+				Subscriptions:      cfg.subscribe,
+				Churned:            contChurned.Load(),
+				Events:             contEvents.Load(),
+				MonitorUpdates:     mon.Updates(),
+				MonitorEvaluations: mon.Evaluations(),
+				SafeRegionHits:     mon.SafeRegionHits(),
+			}
+			if cr.MonitorUpdates > 0 {
+				cr.EvalsPerUpdate = float64(cr.MonitorEvaluations) / float64(cr.MonitorUpdates)
+			}
+			rep.Continuous = cr
+		}
 	}
 
 	if cfg.raw != "" {

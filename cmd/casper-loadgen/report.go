@@ -41,8 +41,24 @@ type report struct {
 	SLOMet       bool             `json:"slo_met"`
 	PerOp        map[string]int64 `json:"completed_per_op"`
 
-	PipelineBench *pipelineBench  `json:"pipeline_benchmark,omitempty"`
-	Shutdown      *shutdownReport `json:"shutdown,omitempty"`
+	PipelineBench *pipelineBench    `json:"pipeline_benchmark,omitempty"`
+	Shutdown      *shutdownReport   `json:"shutdown,omitempty"`
+	Continuous    *continuousReport `json:"continuous,omitempty"`
+}
+
+// continuousReport summarizes the -subscribe side-load: how many
+// standing watches rode the run, how much churn the churner mixed in,
+// and what the monitor's incremental maintenance cost. EvalsPerUpdate
+// is the headline — safe regions and indexed matching keep it well
+// below one full re-evaluation per location update.
+type continuousReport struct {
+	Subscriptions      int     `json:"subscriptions"`
+	Churned            int64   `json:"churned"`
+	Events             int64   `json:"events_delivered"`
+	MonitorUpdates     int64   `json:"monitor_updates"`
+	MonitorEvaluations int64   `json:"monitor_evaluations"`
+	SafeRegionHits     int64   `json:"safe_region_hits"`
+	EvalsPerUpdate     float64 `json:"evals_per_update"`
 }
 
 // shutdownReport grades a mid-run graceful drain (-shutdown-after).
@@ -145,6 +161,10 @@ func (r *report) print(w io.Writer) {
 	if pb := r.PipelineBench; pb != nil {
 		fmt.Fprintf(w, "  pipeline bench: v1 %.0f ns/op, v2 %.0f ns/op -> %.2fx RPS (bar %.0fx: %s)\n",
 			pb.V1NsPerOp, pb.V2NsPerOp, pb.SpeedupRPS, pb.Bar, passFail(pb.BarMet))
+	}
+	if c := r.Continuous; c != nil {
+		fmt.Fprintf(w, "  continuous: %d watches (%d churned), %d events, %d monitor updates -> %.3f evals/update (%d safe-region hits)\n",
+			c.Subscriptions, c.Churned, c.Events, c.MonitorUpdates, c.EvalsPerUpdate, c.SafeRegionHits)
 	}
 	if s := r.Shutdown; s != nil {
 		fmt.Fprintf(w, "  shutdown: drained in %.3fs of %.1fs budget (forced: %v, errors before/after: %d/%d) -> %s\n",

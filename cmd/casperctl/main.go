@@ -219,6 +219,14 @@ func run(ctx context.Context, cl *casper.ProtocolClient, cmd string, args []stri
 		}
 		fmt.Printf("backend: %s\nusers: %d\npublic objects: %d\nqueries served: %d\nanonymizer update cost: %d\n",
 			backend, st.Users, st.PublicObjs, st.Queries, st.UpdateCost)
+		if c := st.Continuous; c != nil {
+			ratio := 0.0
+			if c.Updates > 0 {
+				ratio = float64(c.Evaluations) / float64(c.Updates)
+			}
+			fmt.Printf("continuous queries: %d\nmonitor updates: %d\nmonitor evaluations: %d (%.3f per update)\nsafe-region hits: %d\n",
+				c.Queries, c.Updates, c.Evaluations, ratio, c.SafeRegionHits)
+		}
 	default:
 		return fmt.Errorf("unknown command (run casperctl -h)")
 	}

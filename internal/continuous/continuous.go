@@ -4,31 +4,50 @@
 // and/or incremental location-based query processor (e.g. SINA)"; this
 // package is that incremental processor, built in the SINA style:
 //
-//   - standing queries are themselves indexed spatially, so a location
-//     update touches only the queries whose interest region it
-//     intersects (a spatial join of updates against queries, not a
-//     re-evaluation of everything);
+//   - standing queries are themselves indexed spatially: every query's
+//     interest region (the range rect, an NN query's extended area
+//     A_EXT, a radius query's expanded cloak) lives in a per-stripe
+//     R-tree, so a location update is a spatial join against the
+//     queries it can affect — O(matches) index probes per update, not
+//     O(Q) (the linear scan survives only as the LinearScan benchmark
+//     baseline);
+//   - the monitor is sharded by top-level pyramid quadrant (the same
+//     striping discipline as the anonymizer's write path): queries,
+//     shadow tables, and their locks split four ways plus a seam
+//     stripe for regions crossing the quadrant boundaries, so update
+//     ingestion runs GOMAXPROCS-parallel; a batch (ApplyUpdates) takes
+//     each needed stripe lock once. Anything touching a seam escalates
+//     to the seam stripe, and full re-evaluations escalate to all
+//     stripes in ascending order — the deadlock-free escalation order;
 //   - range-count queries over private data are maintained purely
 //     incrementally: an object update adjusts each affected query's
-//     count by the difference of its old and new contribution;
-//   - nearest-neighbor queries keep their extended area A_EXT as the
-//     interest region; they re-evaluate only when a change can alter
-//     the candidate list (a target appears/disappears inside A_EXT, a
-//     candidate moves, or the asker's cloak actually changes — cloaks
-//     are coarse, so most movement changes nothing).
+//     count by the difference of its old and new contribution — no
+//     re-evaluation ever;
+//   - nearest-neighbor and radius queries keep a safe region (after
+//     Hashem, Kulik & Zhang, "Privacy Preserving Moving KNN Queries"):
+//     the region within which the current candidate list provably
+//     stays valid, derived from the distance-to-the-nearest-excluded-
+//     target slack (the (k+1)-th-neighbor argument) plus an optional
+//     cloak inflation. A moving asker whose new cloak stays inside the
+//     safe region costs a counter bump; only a region exit (or a data
+//     change inside the interest region) triggers re-evaluation.
 //
 // The monitor owns shadow copies of the public and private tables and
 // is driven by the same update stream the database server receives.
-// Every answer it maintains equals what a fresh snapshot query would
-// return (property-tested in continuous_test.go); Evaluations()
-// against Updates() quantifies the incremental savings.
+// Every answer it maintains is what a fresh snapshot query at the
+// query's evaluation cloak would return, and remains inclusive for any
+// asker position inside the safe region (property-tested in
+// continuous_test.go); Evaluations() against Updates() quantifies the
+// incremental savings.
 //
 // All methods are safe for concurrent use.
 package continuous
 
 import (
 	"fmt"
+	"sort"
 	"sync"
+	"sync/atomic"
 
 	"casper/internal/geom"
 	"casper/internal/privacyqp"
@@ -60,79 +79,188 @@ type Event struct {
 	Candidates []rtree.Item
 }
 
-// Monitor is the continuous query processor.
-type Monitor struct {
-	mu sync.Mutex
+// Config tunes a Monitor. The zero value is usable: a default
+// universe, inline notification, safe regions at their exact setting.
+type Config struct {
+	// Universe is the spatial extent served; the quadrant striping
+	// splits at its center. Invalid or empty falls back to the
+	// 10000x10000 default. The split only affects performance, never
+	// answers: out-of-universe regions land on the seam stripe.
+	Universe geom.Rect
 
-	public  *rtree.Tree
-	private *rtree.Tree
-	privIdx map[int64]geom.Rect
+	// Notify receives every change event. With Buffer == 0 it runs
+	// inline under stripe locks and must not call back into the
+	// Monitor; with Buffer > 0 it runs on a dedicated delivery
+	// goroutine (see NewAsync).
+	Notify func(Event)
 
-	rangeQueries map[QueryID]*rangeQuery
-	nnQueries    map[QueryID]*nnQuery
-	radQueries   map[QueryID]*radiusQuery
-	nextID       QueryID
+	// Buffer > 0 queues events for asynchronous delivery, blocking
+	// emitters only when the subscriber falls that many events behind.
+	Buffer int
 
-	notify func(Event)
+	// SafeRegionFrac tunes moving-asker safe regions:
+	//
+	//	< 0  legacy: any cloak change re-evaluates (benchmark baseline);
+	//	  0  exact: evaluate at the cloak itself; skip re-evaluation
+	//	     only while the new cloak stays inside the derived
+	//	     candidate-validity region (cloak containment + the
+	//	     distance-to-excluded-target slack);
+	//	> 0  inflate the evaluation cloak by this fraction of its
+	//	     longer side before evaluating, widening the safe region at
+	//	     the price of a slightly larger (still inclusive) candidate
+	//	     list. 1.0 absorbs a full adjacent pyramid cell per side.
+	SafeRegionFrac float64
 
-	// events, when non-nil, carries notifications to a dedicated
-	// delivery goroutine instead of invoking notify inline (NewAsync).
-	events chan Event
-	// done closes when the delivery goroutine has drained and exited.
-	done chan struct{}
-	// closed records that an async monitor was Closed; later events
-	// are dropped.
-	closed bool
-
-	updates     int64
-	evaluations int64
+	// LinearScan disables the interest-region index and the quadrant
+	// striping, reproducing the pre-index monitor (every update scans
+	// every query under one lock). Benchmark baseline only.
+	LinearScan bool
 }
 
-type rangeQuery struct {
+// Monitor is the continuous query processor.
+//
+// Lock order (always acquired in this order, never the reverse):
+// regMu -> privMu -> privEntry.mu (ascending pid) -> stripes
+// (ascending index). Stripe locks are never held while acquiring any
+// earlier lock.
+type Monitor struct {
+	cfg      Config
+	universe geom.Rect
+	cx, cy   float64 // quadrant split point (universe center)
+	linear   bool
+
+	stripes [numStripes]*stripe
+
+	// regMu guards the query registry (QueryID -> query). A query's
+	// state itself is guarded by its home stripe's lock.
+	regMu   sync.RWMutex
+	queries map[QueryID]*query
+	nextID  atomic.Int64
+
+	// privMu guards the pid -> entry map; each entry's own mutex
+	// serializes updates of that object so concurrent movers of the
+	// same pseudonym cannot double-apply against the shadow table.
+	// Entries are tombstoned (present=false), never deleted, so a held
+	// entry pointer stays the serialization point for its pid.
+	privMu sync.RWMutex
+	priv   map[int64]*privEntry
+
+	// emitMu guards the delivery fields; emitters hold it shared so
+	// Close cannot close the channel under a pending send.
+	emitMu sync.RWMutex
+	notify func(Event)
+	events chan Event
+	done   chan struct{}
+	closed bool
+
+	updates     atomic.Int64
+	evaluations atomic.Int64
+	safeHits    atomic.Int64
+
+	nRange  atomic.Int64
+	nNN     atomic.Int64
+	nRadius atomic.Int64
+}
+
+type privEntry struct {
+	mu      sync.Mutex
+	present bool
+	region  geom.Rect
+}
+
+type queryKind uint8
+
+const (
+	qRange queryKind = iota
+	qNN
+	qRadius
+)
+
+// query is one standing query of any kind. Fields below home are
+// guarded by the home stripe's lock; home itself is atomic and only
+// rewritten while both the old and new home stripes are locked, so
+// lockHome can resolve it without a registry lock.
+type query struct {
+	id       QueryID
+	kind     queryKind
+	dataKind privacyqp.DataKind
+	home     atomic.Int32
+
+	dead  bool
+	dirty bool
+
+	// interest is the indexed interest region: the rect for range
+	// queries, A_EXT for NN, the evaluation cloak expanded by the
+	// radius for radius queries.
+	interest geom.Rect
+
+	// range-count state
 	rect   geom.Rect
 	policy privacyqp.CountPolicy
 	count  float64
-}
 
-type nnQuery struct {
-	cloak      geom.Rect
-	kind       privacyqp.DataKind
-	opt        privacyqp.Options
-	aext       geom.Rect
-	candidates []rtree.Item
-	candIDs    map[int64]bool
+	// nn / radius state
+	cloak     geom.Rect // asker's current cloak (last reported)
+	evalCloak geom.Rect // (possibly inflated) cloak of the last evaluation
+	safe      geom.Rect // candidate list provably valid while cloak stays inside
+	hasSafe   bool
+	radius    float64
+	opt       privacyqp.Options
 	// exclude drops the asker's own pseudonym from private-data
 	// candidate lists; negative means none.
-	exclude int64
-}
-
-// radiusQuery is a standing private range query: all targets within
-// radius of the asker, wherever she is inside her cloak. Its interest
-// region is the cloak expanded by the radius.
-type radiusQuery struct {
-	cloak      geom.Rect
-	radius     float64
-	kind       privacyqp.DataKind
-	interest   geom.Rect
+	exclude    int64
 	candidates []rtree.Item
 	candIDs    map[int64]bool
-	exclude    int64
 }
 
-// New builds a monitor. notify receives every change event; it is
-// called synchronously under the monitor lock, so it must not call
-// back into the Monitor (queue if needed). A nil notify is allowed.
-func New(notify func(Event)) *Monitor {
-	return &Monitor{
-		public:       rtree.New(),
-		private:      rtree.New(),
-		privIdx:      make(map[int64]geom.Rect),
-		rangeQueries: make(map[QueryID]*rangeQuery),
-		nnQueries:    make(map[QueryID]*nnQuery),
-		radQueries:   make(map[QueryID]*radiusQuery),
-		nextID:       1,
-		notify:       notify,
+// NewMonitor builds a monitor from a Config.
+func NewMonitor(cfg Config) *Monitor {
+	uni := cfg.Universe
+	if !uni.IsValid() || uni.Width() <= 0 || uni.Height() <= 0 {
+		uni = geom.R(0, 0, 10000, 10000)
 	}
+	m := &Monitor{
+		cfg:      cfg,
+		universe: uni,
+		cx:       uni.Center().X,
+		cy:       uni.Center().Y,
+		linear:   cfg.LinearScan,
+		queries:  make(map[QueryID]*query),
+		priv:     make(map[int64]*privEntry),
+		notify:   cfg.Notify,
+	}
+	for i := range m.stripes {
+		st := &stripe{
+			pub:  rtree.New(),
+			priv: rtree.New(),
+			byID: make(map[QueryID]*query),
+		}
+		if !m.linear {
+			st.qidx = rtree.New()
+		}
+		m.stripes[i] = st
+	}
+	if cfg.Buffer > 0 {
+		m.events = make(chan Event, cfg.Buffer)
+		m.done = make(chan struct{})
+		go func(ch <-chan Event, notify func(Event)) {
+			defer close(m.done)
+			for e := range ch {
+				monQueueDepth.Set(int64(len(ch)))
+				if notify != nil {
+					notify(e)
+				}
+			}
+		}(m.events, cfg.Notify)
+	}
+	return m
+}
+
+// New builds a monitor with inline notification. notify is called
+// synchronously under stripe locks, so it must not call back into the
+// Monitor (queue if needed). A nil notify is allowed.
+func New(notify func(Event)) *Monitor {
+	return NewMonitor(Config{Notify: notify})
 }
 
 // NewAsync builds a monitor whose notifications are delivered off the
@@ -143,35 +271,23 @@ func New(notify func(Event)) *Monitor {
 // blocks can deadlock emitters once the buffer fills). Call Close to
 // stop the delivery goroutine; events emitted after Close are dropped.
 func NewAsync(notify func(Event), buffer int) *Monitor {
-	m := New(notify)
 	if buffer < 1 {
 		buffer = 1
 	}
-	m.events = make(chan Event, buffer)
-	m.done = make(chan struct{})
-	go func(ch <-chan Event) {
-		defer close(m.done)
-		for e := range ch {
-			monQueueDepth.Set(int64(len(ch)))
-			if notify != nil {
-				notify(e)
-			}
-		}
-	}(m.events)
-	return m
+	return NewMonitor(Config{Notify: notify, Buffer: buffer})
 }
 
 // Close stops the asynchronous delivery goroutine after it drains the
 // queued events, then returns. It is a no-op for monitors built with
 // New, and idempotent.
 func (m *Monitor) Close() {
-	m.mu.Lock()
+	m.emitMu.Lock()
 	ch := m.events
 	m.events = nil
 	if ch != nil {
 		m.closed = true
 	}
-	m.mu.Unlock()
+	m.emitMu.Unlock()
 	if ch != nil {
 		close(ch)
 		<-m.done
@@ -179,165 +295,33 @@ func (m *Monitor) Close() {
 }
 
 // Updates returns how many data updates the monitor has processed.
-func (m *Monitor) Updates() int64 {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.updates
-}
+func (m *Monitor) Updates() int64 { return m.updates.Load() }
 
 // Evaluations returns how many full query re-evaluations those updates
 // caused; Evaluations << Updates is the incremental win.
-func (m *Monitor) Evaluations() int64 {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.evaluations
+func (m *Monitor) Evaluations() int64 { return m.evaluations.Load() }
+
+// SafeRegionHits returns how many cloak updates were absorbed by a
+// safe region: the candidate list was provably still valid, so no
+// re-evaluation ran.
+func (m *Monitor) SafeRegionHits() int64 { return m.safeHits.Load() }
+
+// QueryCounts returns how many standing queries of each kind are
+// registered right now.
+func (m *Monitor) QueryCounts() (rangeCount, nn, radius int) {
+	return int(m.nRange.Load()), int(m.nNN.Load()), int(m.nRadius.Load())
 }
 
-// SetPublic loads/replaces the public target table.
-func (m *Monitor) SetPublic(items []rtree.Item) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	m.public = rtree.BulkLoad(append([]rtree.Item(nil), items...))
-	// Everything may have changed; re-evaluate all public-data NN and
-	// range queries.
-	for id, q := range m.nnQueries {
-		if q.kind == privacyqp.PublicData {
-			m.reevalNN(id, q)
-		}
-	}
-	for id, q := range m.radQueries {
-		if q.kind == privacyqp.PublicData {
-			m.reevalRadius(id, q)
-		}
-	}
+func (m *Monitor) noteUpdates(n int64) {
+	m.updates.Add(n)
+	monUpdates.Add(n)
+	contUpdates.Add(n)
 }
 
-// AddPublic inserts one public target and refreshes only the NN
-// queries whose extended area gains it.
-func (m *Monitor) AddPublic(it rtree.Item) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	m.updates++
-	monUpdates.Inc()
-	m.public.Insert(it)
-	for id, q := range m.nnQueries {
-		if q.kind == privacyqp.PublicData && q.aext.Intersects(it.Rect) {
-			m.reevalNN(id, q)
-		}
-	}
-	for id, q := range m.radQueries {
-		if q.kind == privacyqp.PublicData && q.interest.Intersects(it.Rect) {
-			m.reevalRadius(id, q)
-		}
-	}
-}
-
-// RemovePublic deletes a public target and refreshes the NN queries
-// that were serving it.
-func (m *Monitor) RemovePublic(id int64, r geom.Rect) bool {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	m.updates++
-	monUpdates.Inc()
-	if !m.public.Delete(id, r) {
-		return false
-	}
-	for qid, q := range m.nnQueries {
-		if q.kind == privacyqp.PublicData && q.candIDs[id] {
-			m.reevalNN(qid, q)
-		}
-	}
-	for qid, q := range m.radQueries {
-		if q.kind == privacyqp.PublicData && q.candIDs[id] {
-			m.reevalRadius(qid, q)
-		}
-	}
-	return true
-}
-
-// UpsertPrivate stores or moves a cloaked object, incrementally
-// adjusting range counts and refreshing only the NN queries whose
-// answer can change.
-func (m *Monitor) UpsertPrivate(id int64, region geom.Rect) error {
-	if !region.IsValid() {
-		return fmt.Errorf("continuous: invalid region %v", region)
-	}
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	m.updates++
-	monUpdates.Inc()
-	old, had := m.privIdx[id]
-	if had {
-		if old == region {
-			return nil // no spatial change: nothing can differ
-		}
-		m.private.Delete(id, old)
-	}
-	m.privIdx[id] = region
-	m.private.Insert(rtree.Item{Rect: region, ID: id})
-
-	// Range counts: pure delta maintenance.
-	for qid, q := range m.rangeQueries {
-		var delta float64
-		if had {
-			delta -= contribution(old, q.rect, q.policy)
-		}
-		delta += contribution(region, q.rect, q.policy)
-		if delta != 0 {
-			q.count += delta
-			m.emit(Event{Query: qid, Kind: CountChanged, Count: q.count})
-		}
-	}
-	// Private-data NN queries: affected if the object was a candidate
-	// or enters the extended area.
-	for qid, q := range m.nnQueries {
-		if q.kind != privacyqp.PrivateData {
-			continue
-		}
-		if q.candIDs[id] || q.aext.Intersects(region) || (had && q.aext.Intersects(old)) {
-			m.reevalNN(qid, q)
-		}
-	}
-	for qid, q := range m.radQueries {
-		if q.kind != privacyqp.PrivateData {
-			continue
-		}
-		if q.candIDs[id] || q.interest.Intersects(region) || (had && q.interest.Intersects(old)) {
-			m.reevalRadius(qid, q)
-		}
-	}
-	return nil
-}
-
-// RemovePrivate deletes a cloaked object.
-func (m *Monitor) RemovePrivate(id int64) bool {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	m.updates++
-	monUpdates.Inc()
-	old, had := m.privIdx[id]
-	if !had {
-		return false
-	}
-	delete(m.privIdx, id)
-	m.private.Delete(id, old)
-	for qid, q := range m.rangeQueries {
-		if delta := contribution(old, q.rect, q.policy); delta != 0 {
-			q.count -= delta
-			m.emit(Event{Query: qid, Kind: CountChanged, Count: q.count})
-		}
-	}
-	for qid, q := range m.nnQueries {
-		if q.kind == privacyqp.PrivateData && (q.candIDs[id] || q.aext.Intersects(old)) {
-			m.reevalNN(qid, q)
-		}
-	}
-	for qid, q := range m.radQueries {
-		if q.kind == privacyqp.PrivateData && (q.candIDs[id] || q.interest.Intersects(old)) {
-			m.reevalRadius(qid, q)
-		}
-	}
-	return true
+func (m *Monitor) noteEval() {
+	m.evaluations.Add(1)
+	monEvaluations.Inc()
+	contEvaluations.Inc()
 }
 
 // RegisterRangeCount registers a continuous public range-count query
@@ -346,18 +330,14 @@ func (m *Monitor) RegisterRangeCount(r geom.Rect, policy privacyqp.CountPolicy) 
 	if !r.IsValid() {
 		return 0, 0, fmt.Errorf("continuous: invalid query region %v", r)
 	}
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	count, err := privacyqp.PublicRangeCount(m.private, r, policy)
+	q := &query{kind: qRange, dataKind: privacyqp.PrivateData, rect: r, policy: policy}
+	count, _, err := m.register(q)
 	if err != nil {
 		return 0, 0, err
 	}
-	id := m.nextID
-	m.nextID++
-	m.rangeQueries[id] = &rangeQuery{rect: r, policy: policy, count: count}
-	m.evaluations++
-	monEvaluations.Inc()
-	return id, count, nil
+	m.nRange.Add(1)
+	contQueriesRange.Add(1)
+	return q.id, count, nil
 }
 
 // RegisterNN registers a continuous private nearest-neighbor query for
@@ -366,18 +346,14 @@ func (m *Monitor) RegisterRangeCount(r geom.Rect, policy privacyqp.CountPolicy) 
 // pseudonym from private-data answers. It returns the initial
 // candidate list.
 func (m *Monitor) RegisterNN(cloak geom.Rect, kind privacyqp.DataKind, opt privacyqp.Options, excludeID int64) (QueryID, []rtree.Item, error) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	q := &nnQuery{cloak: cloak, kind: kind, opt: opt, exclude: excludeID}
-	if err := m.evalNN(q); err != nil {
+	q := &query{kind: qNN, dataKind: kind, cloak: cloak, opt: opt, exclude: excludeID}
+	_, cands, err := m.register(q)
+	if err != nil {
 		return 0, nil, err
 	}
-	m.evaluations++
-	monEvaluations.Inc()
-	id := m.nextID
-	m.nextID++
-	m.nnQueries[id] = q
-	return id, q.candidates, nil
+	m.nNN.Add(1)
+	contQueriesNN.Add(1)
+	return q.id, cands, nil
 }
 
 // RegisterRadius registers a standing private range query: all
@@ -385,206 +361,187 @@ func (m *Monitor) RegisterNN(cloak geom.Rect, kind privacyqp.DataKind, opt priva
 // data change. excludeID works as in RegisterNN. It returns the
 // initial inclusive candidate list (refine client-side).
 func (m *Monitor) RegisterRadius(cloak geom.Rect, radius float64, kind privacyqp.DataKind, excludeID int64) (QueryID, []rtree.Item, error) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	q := &radiusQuery{cloak: cloak, radius: radius, kind: kind, exclude: excludeID}
-	if err := m.evalRadius(q); err != nil {
+	q := &query{kind: qRadius, dataKind: kind, cloak: cloak, radius: radius, exclude: excludeID}
+	_, cands, err := m.register(q)
+	if err != nil {
 		return 0, nil, err
 	}
-	m.evaluations++
-	monEvaluations.Inc()
-	id := m.nextID
-	m.nextID++
-	m.radQueries[id] = q
-	return id, q.candidates, nil
+	m.nRadius.Add(1)
+	contQueriesRadius.Add(1)
+	return q.id, cands, nil
 }
 
-// UpdateRadiusCloak moves a standing range query's asker; unchanged
-// cloaks are free.
-func (m *Monitor) UpdateRadiusCloak(id QueryID, cloak geom.Rect) error {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	m.updates++
-	monUpdates.Inc()
-	q, ok := m.radQueries[id]
-	if !ok {
-		return fmt.Errorf("continuous: unknown query %d", id)
+// register evaluates q under all stripe locks, gives it an ID, and
+// inserts it into its home stripe's query index and the registry. It
+// returns the initial count and candidate list snapshotted under the
+// stripe locks: the moment addQuery makes q matchable, a concurrent
+// ApplyUpdates batch may mutate q.count or swap q.candidates, so the
+// caller must not read q's answer fields after register returns.
+func (m *Monitor) register(q *query) (count float64, candidates []rtree.Item, err error) {
+	m.lockAll()
+	if err := m.evalQueryLocked(q); err != nil {
+		m.unlockAll()
+		return 0, nil, err
 	}
-	if q.cloak == cloak {
-		return nil
-	}
-	q.cloak = cloak
-	m.reevalRadius(id, q)
-	return nil
+	m.noteEval()
+	q.id = QueryID(m.nextID.Add(1))
+	home := m.stripeOf(q.interest)
+	q.home.Store(int32(home))
+	m.stripes[home].addQuery(q)
+	count, candidates = q.count, q.candidates
+	m.unlockAll()
+
+	m.regMu.Lock()
+	m.queries[q.id] = q
+	m.regMu.Unlock()
+	return count, candidates, nil
 }
 
-// evalRadius computes a fresh answer for q in place.
-func (m *Monitor) evalRadius(q *radiusQuery) error {
-	db := m.public
-	if q.kind == privacyqp.PrivateData {
-		db = m.private
-	}
-	res, err := privacyqp.PrivateRange(db, q.cloak, q.radius, q.kind)
-	if err != nil {
-		return err
-	}
-	cands := res.Candidates
-	if q.exclude >= 0 {
-		kept := cands[:0]
-		for _, c := range cands {
-			if c.ID != q.exclude {
-				kept = append(kept, c)
-			}
-		}
-		cands = kept
-	}
-	q.interest = q.cloak.Expand(q.radius)
-	q.candidates = cands
-	q.candIDs = make(map[int64]bool, len(cands))
-	for _, c := range cands {
-		q.candIDs[c.ID] = true
-	}
-	return nil
-}
-
-// reevalRadius refreshes q and notifies on change.
-func (m *Monitor) reevalRadius(id QueryID, q *radiusQuery) {
-	oldIDs := q.candIDs
-	if err := m.evalRadius(q); err != nil {
-		q.candidates = nil
-		q.candIDs = map[int64]bool{}
-	}
-	m.evaluations++
-	monEvaluations.Inc()
-	if !sameIDSet(oldIDs, q.candIDs) {
-		m.emit(Event{
-			Query:      id,
-			Kind:       CandidatesChanged,
-			Candidates: append([]rtree.Item(nil), q.candidates...),
-		})
-	}
-}
-
-// UpdateNNCloak moves a continuous NN query's asker: if the new cloak
-// equals the old one (the common case — cloaks are coarse) nothing is
-// done; otherwise the query re-evaluates and subscribers are notified
-// of the new candidate list.
-func (m *Monitor) UpdateNNCloak(id QueryID, cloak geom.Rect) error {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	m.updates++
-	monUpdates.Inc()
-	q, ok := m.nnQueries[id]
-	if !ok {
-		return fmt.Errorf("continuous: unknown query %d", id)
-	}
-	if q.cloak == cloak {
-		return nil
-	}
-	q.cloak = cloak
-	m.reevalNN(id, q)
-	return nil
-}
-
-// Unregister removes a continuous query of either kind.
+// Unregister removes a continuous query of any kind.
 func (m *Monitor) Unregister(id QueryID) bool {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	if _, ok := m.rangeQueries[id]; ok {
-		delete(m.rangeQueries, id)
-		return true
+	m.regMu.Lock()
+	q, ok := m.queries[id]
+	if ok {
+		delete(m.queries, id)
 	}
-	if _, ok := m.nnQueries[id]; ok {
-		delete(m.nnQueries, id)
-		return true
+	m.regMu.Unlock()
+	if !ok {
+		return false
 	}
-	if _, ok := m.radQueries[id]; ok {
-		delete(m.radQueries, id)
-		return true
+	st := m.lockHome(q)
+	q.dead = true
+	st.removeQuery(q)
+	st.mu.Unlock()
+	switch q.kind {
+	case qRange:
+		m.nRange.Add(-1)
+		contQueriesRange.Add(-1)
+	case qNN:
+		m.nNN.Add(-1)
+		contQueriesNN.Add(-1)
+	case qRadius:
+		m.nRadius.Add(-1)
+		contQueriesRadius.Add(-1)
 	}
-	return false
+	return true
 }
 
 // Count returns the maintained count of a range query.
 func (m *Monitor) Count(id QueryID) (float64, bool) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	q, ok := m.rangeQueries[id]
-	if !ok {
+	q := m.lookup(id, qRange)
+	if q == nil {
+		return 0, false
+	}
+	st := m.lockHome(q)
+	defer st.mu.Unlock()
+	if q.dead {
 		return 0, false
 	}
 	return q.count, true
 }
 
 // Candidates returns the maintained candidate list of an NN or
-// standing range query.
+// standing radius query.
 func (m *Monitor) Candidates(id QueryID) ([]rtree.Item, bool) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	if q, ok := m.nnQueries[id]; ok {
-		return append([]rtree.Item(nil), q.candidates...), true
+	m.regMu.RLock()
+	q := m.queries[id]
+	m.regMu.RUnlock()
+	if q == nil || q.kind == qRange {
+		return nil, false
 	}
-	if q, ok := m.radQueries[id]; ok {
-		return append([]rtree.Item(nil), q.candidates...), true
+	st := m.lockHome(q)
+	defer st.mu.Unlock()
+	if q.dead {
+		return nil, false
 	}
-	return nil, false
+	return append([]rtree.Item(nil), q.candidates...), true
 }
 
-// evalNN computes a fresh answer for q in place.
-func (m *Monitor) evalNN(q *nnQuery) error {
-	db := m.public
-	if q.kind == privacyqp.PrivateData {
-		db = m.private
+// UpdateNNCloak moves a continuous NN query's asker: an unchanged
+// cloak, or one still inside the query's safe region, is a counter
+// bump; only a safe-region exit re-evaluates and notifies subscribers
+// of the new candidate list.
+func (m *Monitor) UpdateNNCloak(id QueryID, cloak geom.Rect) error {
+	return m.updateCloak(id, cloak, qNN)
+}
+
+// UpdateRadiusCloak moves a standing radius query's asker; the same
+// safe-region rule as UpdateNNCloak applies.
+func (m *Monitor) UpdateRadiusCloak(id QueryID, cloak geom.Rect) error {
+	return m.updateCloak(id, cloak, qRadius)
+}
+
+func (m *Monitor) updateCloak(id QueryID, cloak geom.Rect, kind queryKind) error {
+	m.noteUpdates(1)
+	q := m.lookup(id, kind)
+	if q == nil {
+		return fmt.Errorf("continuous: unknown query %d", id)
 	}
-	res, err := privacyqp.PrivateNN(db, q.cloak, q.kind, q.opt)
-	if err != nil {
-		return err
+	st := m.lockHome(q)
+	if q.dead {
+		st.mu.Unlock()
+		return fmt.Errorf("continuous: unknown query %d", id)
 	}
-	cands := res.Candidates
-	if q.exclude >= 0 {
-		kept := cands[:0]
-		for _, c := range cands {
-			if c.ID != q.exclude {
-				kept = append(kept, c)
-			}
-		}
-		cands = kept
+	if q.cloak == cloak {
+		st.mu.Unlock()
+		return nil
 	}
-	q.aext = res.AExt
-	q.candidates = cands
-	q.candIDs = make(map[int64]bool, len(cands))
-	for _, c := range cands {
-		q.candIDs[c.ID] = true
+	q.cloak = cloak
+	if q.hasSafe && q.safe.ContainsRect(cloak) {
+		// The candidate list is still inclusive for every position in
+		// the new cloak: pure counter bump, no re-evaluation, no event.
+		m.safeHits.Add(1)
+		contSafeHits.Inc()
+		st.mu.Unlock()
+		return nil
 	}
+	st.mu.Unlock()
+
+	m.lockAll()
+	if !q.dead {
+		q.dirty = false
+		m.reevalLocked(q)
+	}
+	m.unlockAll()
 	return nil
 }
 
-// reevalNN refreshes q and notifies when the candidate list changed.
-func (m *Monitor) reevalNN(id QueryID, q *nnQuery) {
-	oldIDs := q.candIDs
-	if err := m.evalNN(q); err != nil {
-		// The table emptied under a standing query; report an empty
-		// candidate list rather than failing silently forever.
-		q.aext = geom.Rect{}
-		q.candidates = nil
-		q.candIDs = map[int64]bool{}
+func (m *Monitor) lookup(id QueryID, kind queryKind) *query {
+	m.regMu.RLock()
+	q := m.queries[id]
+	m.regMu.RUnlock()
+	if q == nil || q.kind != kind {
+		return nil
 	}
-	m.evaluations++
-	monEvaluations.Inc()
-	if !sameIDSet(oldIDs, q.candIDs) {
-		m.emit(Event{
-			Query:      id,
-			Kind:       CandidatesChanged,
-			Candidates: append([]rtree.Item(nil), q.candidates...),
-		})
-	}
+	return q
 }
 
-// emit dispatches an event: inline for New monitors, queued for
-// NewAsync ones. Called with m.mu held; a queued send may block for
-// backpressure, which is safe because the delivery goroutine never
-// touches m.mu.
+// entry returns (creating if needed) the serialization point for one
+// pseudonym's shadow-table updates.
+func (m *Monitor) entry(pid int64) *privEntry {
+	m.privMu.RLock()
+	e := m.priv[pid]
+	m.privMu.RUnlock()
+	if e != nil {
+		return e
+	}
+	m.privMu.Lock()
+	e = m.priv[pid]
+	if e == nil {
+		e = &privEntry{}
+		m.priv[pid] = e
+	}
+	m.privMu.Unlock()
+	return e
+}
+
+// emit dispatches an event: inline for synchronous monitors, queued
+// for buffered ones. Called with stripe locks held; a queued send may
+// block for backpressure, which is safe because the delivery
+// goroutine never touches monitor locks.
 func (m *Monitor) emit(e Event) {
+	m.emitMu.RLock()
+	defer m.emitMu.RUnlock()
 	if m.closed {
 		monEventsDropped.Inc()
 		return
@@ -628,4 +585,10 @@ func sameIDSet(a, b map[int64]bool) bool {
 		}
 	}
 	return true
+}
+
+// sortOps orders a batch by pid (ties: input order) so entry mutexes
+// are always taken in one global order.
+func sortOps(ops []applyOp) {
+	sort.SliceStable(ops, func(i, j int) bool { return ops[i].pid < ops[j].pid })
 }

@@ -1,0 +1,657 @@
+package continuous
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"casper/internal/geom"
+	"casper/internal/mobgen"
+	"casper/internal/privacyqp"
+	"casper/internal/roadnet"
+	"casper/internal/rtree"
+)
+
+func traceNet(seed int64) *roadnet.Graph {
+	return roadnet.SyntheticHennepin(seed, roadnet.SyntheticHennepinConfig{
+		Extent: 10000, GridN: 8, ArterialEvery: 4, Jitter: 0.2,
+	})
+}
+
+func cloakAround(p geom.Point, half float64) geom.Rect {
+	return geom.R(p.X-half, p.Y-half, p.X+half, p.Y+half).ClipTo(world)
+}
+
+// TestMobgenTraceEquivalence is the property test for the sharded,
+// safe-region monitor: over a seeded mobgen trace interleaving
+// registrations, deregistrations, object churn, and asker movement,
+// every maintained answer must (a) exactly equal a fresh snapshot
+// query at the query's evaluation cloak, and (b) stay inclusive — the
+// refined exact answer at any position inside the asker's CURRENT
+// cloak is always among the maintained candidates. (b) is the
+// property the safe region is allowed to trade (a)'s freshness for;
+// both are checked on every tick. The same trace runs against the
+// exact, inflated, and legacy linear-scan configurations, so the
+// indexed path is also differentially tested against the O(Q) scan.
+func TestMobgenTraceEquivalence(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		cfg  Config
+	}{
+		{"indexed-exact", Config{Universe: world}},
+		{"indexed-inflated", Config{Universe: world, SafeRegionFrac: 0.7}},
+		{"linear-legacy", Config{Universe: world, LinearScan: true, SafeRegionFrac: -1}},
+	} {
+		t.Run(tc.name, func(t *testing.T) { runTraceEquivalence(t, tc.cfg) })
+	}
+}
+
+func runTraceEquivalence(t *testing.T, cfg Config) {
+	rng := rand.New(rand.NewSource(42))
+	m := NewMonitor(cfg)
+	gen := mobgen.New(traceNet(3), mobgen.DefaultConfig(80, 9))
+
+	// Fixed public targets (points, like the paper's gas stations).
+	var pub []rtree.Item
+	for i, p := range mobgen.UniformPoints(world, 50, 7) {
+		pub = append(pub, rtree.Item{Rect: geom.Rect{Min: p, Max: p}, ID: int64(1000 + i)})
+	}
+	m.SetPublic(pub)
+
+	// Seed the private table from the generator's initial positions;
+	// mirror is the test's own ground-truth copy of the shadow table.
+	mirror := map[int64]geom.Rect{}
+	push := func(us []mobgen.Update) {
+		batch := make([]PrivateUpdate, 0, len(us))
+		for _, u := range us {
+			r := cloakAround(u.Pos, 120)
+			batch = append(batch, PrivateUpdate{ID: u.ID, Region: r})
+			mirror[u.ID] = r
+		}
+		if err := m.ApplyUpdates(batch); err != nil {
+			t.Fatal(err)
+		}
+	}
+	push(gen.Positions())
+
+	freshPriv := func() *rtree.Tree {
+		items := make([]rtree.Item, 0, len(mirror))
+		for id, r := range mirror {
+			items = append(items, rtree.Item{Rect: r, ID: id})
+		}
+		return rtree.BulkLoad(items)
+	}
+
+	type watch struct {
+		id       QueryID
+		kind     queryKind
+		dataKind privacyqp.DataKind
+		asker    int64 // object whose cloak drives the query
+		cloak    geom.Rect
+		radius   float64
+		exclude  int64
+	}
+	type rangeReg struct {
+		id     QueryID
+		rect   geom.Rect
+		policy privacyqp.CountPolicy
+	}
+	var watches []watch
+	var ranges []rangeReg
+
+	opt := privacyqp.DefaultOptions()
+	addWatch := func(asker mobgen.Update) {
+		c := cloakAround(asker.Pos, 150)
+		switch rng.Intn(3) {
+		case 0:
+			id, _, err := m.RegisterNN(c, privacyqp.PublicData, opt, -1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			watches = append(watches, watch{id: id, kind: qNN, dataKind: privacyqp.PublicData, asker: asker.ID, cloak: c, exclude: -1})
+		case 1:
+			id, _, err := m.RegisterNN(c, privacyqp.PrivateData, opt, asker.ID)
+			if err != nil {
+				t.Fatal(err)
+			}
+			watches = append(watches, watch{id: id, kind: qNN, dataKind: privacyqp.PrivateData, asker: asker.ID, cloak: c, exclude: asker.ID})
+		default:
+			rad := 400 + rng.Float64()*800
+			id, _, err := m.RegisterRadius(c, rad, privacyqp.PrivateData, asker.ID)
+			if err != nil {
+				t.Fatal(err)
+			}
+			watches = append(watches, watch{id: id, kind: qRadius, dataKind: privacyqp.PrivateData, asker: asker.ID, cloak: c, radius: rad, exclude: asker.ID})
+		}
+	}
+
+	check := func(tick int) {
+		t.Helper()
+		db := freshPriv()
+		for _, rr := range ranges {
+			got, ok := m.Count(rr.id)
+			if !ok {
+				t.Fatalf("tick %d: range query %d vanished", tick, rr.id)
+			}
+			want, err := privacyqp.PublicRangeCount(db, rr.rect, rr.policy)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if d := got - want; d > 1e-6 || d < -1e-6 {
+				t.Fatalf("tick %d: range %d count %v, snapshot %v", tick, rr.id, got, want)
+			}
+		}
+		for _, w := range watches {
+			got, ok := m.Candidates(w.id)
+			if !ok {
+				t.Fatalf("tick %d: watch %d vanished", tick, w.id)
+			}
+			gotIDs := map[int64]bool{}
+			for _, c := range got {
+				gotIDs[c.ID] = true
+			}
+			// (a) exact equality with a fresh snapshot at the cloak the
+			// monitor actually evaluated (inflated under SafeRegionFrac>0).
+			q := m.queries[w.id]
+			var snapdb privacyqp.SpatialIndex = db
+			all := db.All()
+			if w.dataKind == privacyqp.PublicData {
+				snapdb = rtree.BulkLoad(pub)
+				all = pub
+			}
+			if q.evalCloak.IsValid() && !q.evalCloak.IsPoint() || len(got) > 0 {
+				var wantCands []rtree.Item
+				var err error
+				if w.kind == qNN {
+					var res privacyqp.Result
+					res, err = privacyqp.PrivateNN(snapdb, q.evalCloak, w.dataKind, opt)
+					wantCands = res.Candidates
+				} else {
+					var res privacyqp.Result
+					res, err = privacyqp.PrivateRange(snapdb, q.evalCloak, w.radius, w.dataKind)
+					wantCands = res.Candidates
+				}
+				if err != nil {
+					t.Fatalf("tick %d: snapshot at evalCloak: %v", tick, err)
+				}
+				wantIDs := map[int64]bool{}
+				for _, c := range wantCands {
+					if c.ID != w.exclude {
+						wantIDs[c.ID] = true
+					}
+				}
+				if !sameIDSet(gotIDs, wantIDs) {
+					t.Fatalf("tick %d: watch %d (kind %d, data %v): maintained %d candidates != snapshot %d at evalCloak %v",
+						tick, w.id, w.kind, w.dataKind, len(gotIDs), len(wantIDs), q.evalCloak)
+				}
+			}
+			// (b) inclusiveness for the asker's CURRENT cloak: sample
+			// positions inside it and require the refined exact answer
+			// to come from the maintained list.
+			samples := []geom.Point{w.cloak.Center(), w.cloak.Min, w.cloak.Max,
+				geom.Pt(w.cloak.Min.X, w.cloak.Max.Y), geom.Pt(w.cloak.Max.X, w.cloak.Min.Y)}
+			for _, p := range samples {
+				if w.kind == qNN {
+					// Inclusiveness oracle per Theorems 1/3: the exact
+					// NN — for private targets, under a sampled concrete
+					// position inside each target's cloak — must be
+					// among the maintained candidates. The excluded
+					// asker stays in the brute force: the repo-wide
+					// exclusion contract (server.NNPrivate) drops the
+					// asker from the shipped list AFTER the query, so
+					// inclusiveness is over the full table and "your
+					// own cloak won" is an acceptable outcome.
+					best, bd := int64(-1), 0.0
+					for _, it := range all {
+						truePos := it.Rect.Min
+						if w.dataKind == privacyqp.PrivateData {
+							truePos = geom.Pt(
+								it.Rect.Min.X+rng.Float64()*it.Rect.Width(),
+								it.Rect.Min.Y+rng.Float64()*it.Rect.Height(),
+							)
+						}
+						if d := p.Dist(truePos); best < 0 || d < bd {
+							best, bd = it.ID, d
+						}
+					}
+					if best < 0 || best == w.exclude {
+						continue
+					}
+					if !gotIDs[best] {
+						t.Fatalf("tick %d: watch %d: true NN %d at %v missing from maintained candidates (safe region broke inclusiveness)",
+							tick, w.id, best, p)
+					}
+				} else {
+					for _, it := range privacyqp.RefineRange(p, all, w.radius, w.dataKind) {
+						if it.ID != w.exclude && !gotIDs[it.ID] {
+							t.Fatalf("tick %d: watch %d: in-range target %d missing from maintained candidates", tick, w.id, it.ID)
+						}
+					}
+				}
+			}
+		}
+	}
+
+	for tick := 0; tick < 40; tick++ {
+		// Interleave registrations/deregistrations with movement.
+		switch {
+		case tick < 4 || rng.Float64() < 0.25:
+			us := gen.Positions()
+			addWatch(us[rng.Intn(len(us))])
+		case len(watches) > 2 && rng.Float64() < 0.15:
+			i := rng.Intn(len(watches))
+			if !m.Unregister(watches[i].id) {
+				t.Fatalf("unregister %d failed", watches[i].id)
+			}
+			watches = append(watches[:i], watches[i+1:]...)
+		case rng.Float64() < 0.3:
+			r := randRegion(rng, 2500)
+			policy := []privacyqp.CountPolicy{
+				privacyqp.CountAnyOverlap, privacyqp.CountCenterIn, privacyqp.CountFractional,
+			}[rng.Intn(3)]
+			id, _, err := m.RegisterRangeCount(r, policy)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ranges = append(ranges, rangeReg{id, r, policy})
+		}
+		// Object churn: occasionally remove and later re-add an object.
+		if rng.Float64() < 0.2 && len(mirror) > 10 {
+			for id := range mirror {
+				if !m.RemovePrivate(id) {
+					t.Fatalf("remove %d failed", id)
+				}
+				delete(mirror, id)
+				break
+			}
+		}
+		// Advance the world and push the batch.
+		push(gen.StepInto(5, nil))
+		// Move the asker cloaks.
+		pos := map[int64]geom.Point{}
+		for _, u := range gen.Positions() {
+			pos[u.ID] = u.Pos
+		}
+		for i := range watches {
+			w := &watches[i]
+			p, ok := pos[w.asker]
+			if !ok {
+				continue
+			}
+			w.cloak = cloakAround(p, 150)
+			var err error
+			if w.kind == qNN {
+				err = m.UpdateNNCloak(w.id, w.cloak)
+			} else {
+				err = m.UpdateRadiusCloak(w.id, w.cloak)
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+		check(tick)
+	}
+	if m.Updates() == 0 || m.Evaluations() == 0 {
+		t.Fatalf("trace exercised nothing: updates %d evals %d", m.Updates(), m.Evaluations())
+	}
+	t.Logf("cfg %+v: updates %d evaluations %d safe-hits %d", cfg, m.Updates(), m.Evaluations(), m.SafeRegionHits())
+}
+
+// TestSafeRegionCutsNNReevaluations drives the same mobgen
+// moving-asker trace through a legacy monitor (every cloak change
+// re-evaluates) and a safe-region monitor, and requires the
+// safe-region path to cut NN re-evaluations by at least half — the
+// acceptance bar for the Hashem-style safe regions.
+func TestSafeRegionCutsNNReevaluations(t *testing.T) {
+	gen := mobgen.New(traceNet(5), mobgen.DefaultConfig(8, 11))
+	var cloaks [][]geom.Rect // per tick, per asker
+	for tick := 0; tick < 300; tick++ {
+		us := gen.Step(1)
+		row := make([]geom.Rect, len(us))
+		for i, u := range us {
+			row[i] = cloakAround(u.Pos, 150)
+		}
+		cloaks = append(cloaks, row)
+	}
+	var pub []rtree.Item
+	for i, p := range mobgen.UniformPoints(world, 200, 13) {
+		pub = append(pub, rtree.Item{Rect: geom.Rect{Min: p, Max: p}, ID: int64(i)})
+	}
+	run := func(frac float64) (evals, hits int64) {
+		m := NewMonitor(Config{Universe: world, SafeRegionFrac: frac})
+		m.SetPublic(pub)
+		ids := make([]QueryID, len(cloaks[0]))
+		for i, c := range cloaks[0] {
+			id, _, err := m.RegisterNN(c, privacyqp.PublicData, privacyqp.DefaultOptions(), -1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ids[i] = id
+		}
+		for _, row := range cloaks[1:] {
+			for i, c := range row {
+				if err := m.UpdateNNCloak(ids[i], c); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		return m.Evaluations(), m.SafeRegionHits()
+	}
+	legacyEvals, _ := run(-1)
+	safeEvals, safeHits := run(1.0)
+	t.Logf("legacy evaluations %d, safe-region evaluations %d (hits %d)", legacyEvals, safeEvals, safeHits)
+	if safeHits == 0 {
+		t.Fatal("safe regions absorbed no cloak updates")
+	}
+	if 2*safeEvals > legacyEvals {
+		t.Fatalf("safe regions cut evaluations only %d -> %d (< 50%%)", legacyEvals, safeEvals)
+	}
+}
+
+// TestApplyUpdatesBatch pins the batch entry point's semantics.
+func TestApplyUpdatesBatch(t *testing.T) {
+	m := New(nil)
+	qid, _, err := m.RegisterRangeCount(geom.R(0, 0, 1000, 1000), privacyqp.CountAnyOverlap)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Duplicate IDs collapse to the last occurrence.
+	err = m.ApplyUpdates([]PrivateUpdate{
+		{ID: 1, Region: geom.R(5000, 5000, 5100, 5100)},
+		{ID: 2, Region: geom.R(100, 100, 200, 200)},
+		{ID: 1, Region: geom.R(400, 400, 500, 500)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, _ := m.Count(qid); n != 2 {
+		t.Fatalf("count = %v, want 2 (both objects inside after dedup)", n)
+	}
+
+	// An invalid region rejects the whole batch atomically.
+	err = m.ApplyUpdates([]PrivateUpdate{
+		{ID: 3, Region: geom.R(0, 0, 100, 100)},
+		{ID: 4, Region: geom.Rect{Min: geom.Pt(10, 10), Max: geom.Pt(0, 0)}},
+	})
+	if err == nil {
+		t.Fatal("invalid region accepted")
+	}
+	if n, _ := m.Count(qid); n != 2 {
+		t.Fatalf("count = %v after rejected batch, want 2 (no partial application)", n)
+	}
+
+	// Empty batch is a no-op.
+	if err := m.ApplyUpdates(nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestConcurrentStripeStress drives all five stripes at once under
+// -race: one updater per quadrant, a seam updater whose regions cross
+// the center, registration churn, asker movement, and readers. The
+// final counts must equal a fresh snapshot.
+func TestConcurrentStripeStress(t *testing.T) {
+	m := NewMonitor(Config{Universe: world, SafeRegionFrac: 0.5, Buffer: 256, Notify: func(Event) {}})
+	defer m.Close()
+	var pub []rtree.Item
+	for i, p := range mobgen.UniformPoints(world, 100, 3) {
+		pub = append(pub, rtree.Item{Rect: geom.Rect{Min: p, Max: p}, ID: int64(i)})
+	}
+	m.SetPublic(pub)
+
+	const rounds = 400
+	var wg sync.WaitGroup
+	// Four quadrant updaters: objects confined to one quadrant each,
+	// so their batches take disjoint stripe locks and truly overlap.
+	quadrants := []geom.Rect{
+		geom.R(100, 100, 4800, 4800), geom.R(5200, 100, 9900, 4800),
+		geom.R(100, 5200, 4800, 9900), geom.R(5200, 5200, 9900, 9900),
+	}
+	for qi, quad := range quadrants {
+		wg.Add(1)
+		go func(qi int, quad geom.Rect) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(qi)))
+			base := int64(qi * 1000)
+			for r := 0; r < rounds; r++ {
+				batch := make([]PrivateUpdate, 8)
+				for i := range batch {
+					x := quad.Min.X + rng.Float64()*(quad.Width()-200)
+					y := quad.Min.Y + rng.Float64()*(quad.Height()-200)
+					batch[i] = PrivateUpdate{ID: base + int64(rng.Intn(100)), Region: geom.R(x, y, x+150, y+150)}
+				}
+				if err := m.ApplyUpdates(batch); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(qi, quad)
+	}
+	// Seam updater: regions straddling the center, forcing escalation.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		rng := rand.New(rand.NewSource(99))
+		for r := 0; r < rounds; r++ {
+			d := 100 + rng.Float64()*400
+			reg := geom.R(5000-d, 5000-d, 5000+d, 5000+d)
+			if err := m.UpsertPrivate(9000+int64(rng.Intn(50)), reg); err != nil {
+				t.Error(err)
+				return
+			}
+			if rng.Float64() < 0.1 {
+				m.RemovePrivate(9000 + int64(rng.Intn(50)))
+			}
+		}
+	}()
+	// Registration churn + asker movement across the seam.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		rng := rand.New(rand.NewSource(7))
+		var ids []QueryID
+		for r := 0; r < rounds; r++ {
+			if len(ids) < 20 || rng.Float64() < 0.4 {
+				c := randRegion(rng, 600)
+				var id QueryID
+				var err error
+				switch rng.Intn(3) {
+				case 0:
+					id, _, err = m.RegisterNN(c, privacyqp.PublicData, privacyqp.DefaultOptions(), -1)
+				case 1:
+					id, _, err = m.RegisterRadius(c, 500, privacyqp.PrivateData, -1)
+				default:
+					id, _, err = m.RegisterRangeCount(c, privacyqp.CountAnyOverlap)
+				}
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				ids = append(ids, id)
+			} else if rng.Float64() < 0.2 {
+				i := rng.Intn(len(ids))
+				m.Unregister(ids[i])
+				ids = append(ids[:i], ids[i+1:]...)
+			} else {
+				i := rng.Intn(len(ids))
+				c := randRegion(rng, 600)
+				// Wrong-kind updates error; that's fine, just exercise.
+				_ = m.UpdateNNCloak(ids[i], c)
+				_ = m.UpdateRadiusCloak(ids[i], c)
+			}
+		}
+		for _, id := range ids {
+			m.Unregister(id)
+		}
+	}()
+	// Readers.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for r := 0; r < rounds*4; r++ {
+			m.Count(QueryID(r%64) + 1)
+			m.Candidates(QueryID(r%64) + 1)
+			m.QueryCounts()
+		}
+	}()
+	wg.Wait()
+
+	// Final consistency: register a fresh range query per quadrant and
+	// compare against a snapshot of the shadow table.
+	db := rtree.BulkLoad(m.privateTable().All())
+	for i, quad := range quadrants {
+		id, got, err := m.RegisterRangeCount(quad, privacyqp.CountAnyOverlap)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := privacyqp.PublicRangeCount(db, quad, privacyqp.CountAnyOverlap)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("quadrant %d: fresh registration count %v, snapshot %v", i, got, want)
+		}
+		m.Unregister(id)
+	}
+	nr, nn, nrad := m.QueryCounts()
+	if nr != 0 || nn != 0 || nrad != 0 {
+		t.Fatalf("query counts not zero after teardown: %d/%d/%d", nr, nn, nrad)
+	}
+}
+
+// TestQueryCounts pins the per-kind gauges' source of truth.
+func TestQueryCounts(t *testing.T) {
+	m := New(nil)
+	if err := m.UpsertPrivate(1, geom.R(100, 100, 200, 200)); err != nil {
+		t.Fatal(err)
+	}
+	m.SetPublic([]rtree.Item{{Rect: geom.R(50, 50, 50, 50), ID: 9}})
+	rid, _, err := m.RegisterRangeCount(geom.R(0, 0, 1000, 1000), privacyqp.CountAnyOverlap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nid, _, err := m.RegisterNN(geom.R(0, 0, 300, 300), privacyqp.PublicData, privacyqp.DefaultOptions(), -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := m.RegisterRadius(geom.R(0, 0, 300, 300), 500, privacyqp.PrivateData, -1); err != nil {
+		t.Fatal(err)
+	}
+	if nr, nn, nrad := m.QueryCounts(); nr != 1 || nn != 1 || nrad != 1 {
+		t.Fatalf("QueryCounts = %d/%d/%d, want 1/1/1", nr, nn, nrad)
+	}
+	m.Unregister(rid)
+	m.Unregister(nid)
+	if nr, nn, nrad := m.QueryCounts(); nr != 0 || nn != 0 || nrad != 1 {
+		t.Fatalf("QueryCounts after unregister = %d/%d/%d, want 0/0/1", nr, nn, nrad)
+	}
+}
+
+// TestStripeAssignment pins the half-open quadrant discipline the
+// matching correctness argument rests on: rects confined to different
+// quadrants are disjoint, and anything touching a split line goes to
+// the seam stripe.
+func TestStripeAssignment(t *testing.T) {
+	m := NewMonitor(Config{Universe: world})
+	cases := []struct {
+		r    geom.Rect
+		want int
+	}{
+		{geom.R(0, 0, 4999, 4999), 0},
+		{geom.R(5000, 0, 9000, 4999), 1},
+		{geom.R(0, 5000, 4999, 9000), 2},
+		{geom.R(5000, 5000, 9000, 9000), 3},
+		{geom.R(4000, 4000, 6000, 6000), crossStripe},
+		{geom.R(4000, 100, 5000, 200), crossStripe}, // touches x split
+		{geom.R(100, 4999, 200, 5000), crossStripe}, // touches y split
+		{geom.R(-50, -50, -10, -10), 0},             // out of universe, still a quadrant
+	}
+	for _, c := range cases {
+		if got := m.stripeOf(c.r); got != c.want {
+			t.Errorf("stripeOf(%v) = %d, want %d", c.r, got, c.want)
+		}
+	}
+	// The disjointness theorem itself, by random sampling.
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 2000; i++ {
+		a, b := randRegion(rng, 4000), randRegion(rng, 4000)
+		sa, sb := m.stripeOf(a), m.stripeOf(b)
+		if sa != sb && sa != crossStripe && sb != crossStripe && a.Intersects(b) {
+			t.Fatalf("rects in different quadrants intersect: %v (s%d) vs %v (s%d)", a, sa, b, sb)
+		}
+	}
+}
+
+// TestLinearScanMatchesIndexed differentially tests the spatial-join
+// index against the baseline scan on identical random op streams.
+func TestLinearScanMatchesIndexed(t *testing.T) {
+	runStream := func(cfg Config) string {
+		rng := rand.New(rand.NewSource(77))
+		m := NewMonitor(cfg)
+		var pub []rtree.Item
+		for i, p := range mobgen.UniformPoints(world, 40, 5) {
+			pub = append(pub, rtree.Item{Rect: geom.Rect{Min: p, Max: p}, ID: int64(i)})
+		}
+		m.SetPublic(pub)
+		var qids []QueryID
+		for i := 0; i < 30; i++ {
+			switch i % 3 {
+			case 0:
+				id, _, err := m.RegisterRangeCount(randRegion(rng, 3000), privacyqp.CountFractional)
+				if err != nil {
+					t.Fatal(err)
+				}
+				qids = append(qids, id)
+			case 1:
+				id, _, err := m.RegisterNN(randRegion(rng, 400), privacyqp.PublicData, privacyqp.DefaultOptions(), -1)
+				if err != nil {
+					t.Fatal(err)
+				}
+				qids = append(qids, id)
+			default:
+				id, _, err := m.RegisterRadius(randRegion(rng, 400), 600, privacyqp.PrivateData, -1)
+				if err != nil {
+					t.Fatal(err)
+				}
+				qids = append(qids, id)
+			}
+		}
+		for i := 0; i < 500; i++ {
+			switch {
+			case rng.Float64() < 0.7:
+				if err := m.UpsertPrivate(int64(rng.Intn(60)), randRegion(rng, 250)); err != nil {
+					t.Fatal(err)
+				}
+			case rng.Float64() < 0.5:
+				m.RemovePrivate(int64(rng.Intn(60)))
+			default:
+				id := qids[rng.Intn(len(qids))]
+				_ = m.UpdateNNCloak(id, randRegion(rng, 400))
+				_ = m.UpdateRadiusCloak(id, randRegion(rng, 400))
+			}
+		}
+		var state []string
+		for _, id := range qids {
+			if n, ok := m.Count(id); ok {
+				state = append(state, fmt.Sprintf("c%d=%.6f", id, n))
+			}
+			if cands, ok := m.Candidates(id); ok {
+				ids := make(map[int64]bool, len(cands))
+				for _, c := range cands {
+					ids[c.ID] = true
+				}
+				state = append(state, fmt.Sprintf("n%d=%d", id, len(ids)))
+			}
+		}
+		return fmt.Sprint(state)
+	}
+	// Legacy safe-region setting on both sides so answers match
+	// tick-exactly (safe regions legitimately defer re-evaluations).
+	indexed := runStream(Config{Universe: world, SafeRegionFrac: -1})
+	linear := runStream(Config{Universe: world, SafeRegionFrac: -1, LinearScan: true})
+	if indexed != linear {
+		t.Fatalf("indexed and linear-scan monitors diverged:\nindexed: %s\nlinear:  %s", indexed, linear)
+	}
+}

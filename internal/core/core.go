@@ -122,6 +122,14 @@ type Config struct {
 	BackendMinK int
 	// Query tunes the privacy-aware query processor (filter count).
 	Query privacyqp.Options
+	// MonitorSafeFrac tunes the continuous monitor's safe regions
+	// (continuous.Config.SafeRegionFrac): 0 (default) evaluates at the
+	// exact cloak and skips re-evaluation only within the derived
+	// candidate-validity slack; > 0 inflates the evaluation cloak by
+	// that fraction of its longer side, widening the safe region at
+	// the price of slightly larger candidate lists; < 0 disables safe
+	// regions (every cloak change re-evaluates).
+	MonitorSafeFrac float64
 	// Transmission models the downlink carrying the candidate list.
 	Transmission TransmissionModel
 	// Seed drives pseudonym generation and backend randomness.
@@ -508,7 +516,7 @@ func (c *Casper) RemovePublicObject(id int64) error {
 // for off-hot-path delivery). Calling it again returns the existing
 // monitor.
 func (c *Casper) EnableContinuous(notify func(continuous.Event)) *continuous.Monitor {
-	return c.enableContinuous(func() *continuous.Monitor { return continuous.New(notify) })
+	return c.enableContinuous(continuous.Config{Notify: notify})
 }
 
 // EnableContinuousBuffered is EnableContinuous with event delivery
@@ -517,26 +525,33 @@ func (c *Casper) EnableContinuous(notify func(continuous.Event)) *continuous.Mon
 // updates never block on a slow subscriber until the buffer fills.
 // Close the Casper (or the Monitor) to stop delivery.
 func (c *Casper) EnableContinuousBuffered(notify func(continuous.Event), buffer int) *continuous.Monitor {
-	return c.enableContinuous(func() *continuous.Monitor { return continuous.NewAsync(notify, buffer) })
+	if buffer < 1 {
+		buffer = 1
+	}
+	return c.enableContinuous(continuous.Config{Notify: notify, Buffer: buffer})
 }
 
-func (c *Casper) enableContinuous(build func() *continuous.Monitor) *continuous.Monitor {
+func (c *Casper) enableContinuous(mcfg continuous.Config) *continuous.Monitor {
 	c.monMu.Lock()
 	defer c.monMu.Unlock()
 	if c.monitor != nil {
 		return c.monitor
 	}
-	c.monitor = build()
+	mcfg.Universe = c.cfg.Universe
+	mcfg.SafeRegionFrac = c.cfg.MonitorSafeFrac
+	c.monitor = continuous.NewMonitor(mcfg)
 	c.watches = make(map[anonymizer.UserID][]continuous.QueryID)
 	c.rangeWatches = make(map[anonymizer.UserID][]continuous.QueryID)
-	// Seed with current state.
+	// Seed with the server's current state: the stored cloaks under
+	// their pseudonyms, so the shadow table starts bit-identical to
+	// what snapshot queries see (re-cloaking here could diverge).
 	c.monitor.SetPublic(c.srv.PublicItems())
-	c.pseudo.Range(func(uid int64, pid int64) bool {
-		if cr, err := c.anon().Cloak(anonymizer.UserID(uid)); err == nil {
-			_ = c.monitor.UpsertPrivate(pid, cr.Region)
-		}
-		return true
-	})
+	items := c.srv.PrivateItems()
+	seed := make([]continuous.PrivateUpdate, len(items))
+	for i, it := range items {
+		seed[i] = continuous.PrivateUpdate{ID: it.ID, Region: it.Rect}
+	}
+	_ = c.monitor.ApplyUpdates(seed)
 	return c.monitor
 }
 
@@ -600,6 +615,38 @@ func (c *Casper) WatchRange(uid anonymizer.UserID, radius float64, kind privacyq
 	return qid, cands, nil
 }
 
+// Unwatch tears down one standing query previously registered with
+// WatchNearest or WatchRange, reporting whether it was found. The
+// user's other watches (and the user registration itself) are
+// untouched — this is the per-subscription counterpart of the
+// wholesale teardown DeregisterUser performs.
+func (c *Casper) Unwatch(uid anonymizer.UserID, qid continuous.QueryID) bool {
+	c.monMu.Lock()
+	defer c.monMu.Unlock()
+	if c.monitor == nil {
+		return false
+	}
+	removed := c.monitor.Unregister(qid)
+	dropQID(c.watches, uid, qid)
+	dropQID(c.rangeWatches, uid, qid)
+	return removed
+}
+
+// dropQID removes qid from the user's watch list, deleting the map
+// entry when the list empties so churned users do not accumulate.
+func dropQID(m map[anonymizer.UserID][]continuous.QueryID, uid anonymizer.UserID, qid continuous.QueryID) {
+	qids := m[uid]
+	for i, q := range qids {
+		if q == qid {
+			m[uid] = append(qids[:i], qids[i+1:]...)
+			if len(m[uid]) == 0 {
+				delete(m, uid)
+			}
+			return
+		}
+	}
+}
+
 // RegisterUser registers a mobile user: the anonymizer learns the
 // exact position and profile, assigns a pseudonym, and pushes only the
 // cloaked region to the server. The anonymizer's own duplicate check
@@ -659,6 +706,14 @@ type UserUpdate struct {
 	Pos geom.Point
 }
 
+// cloakedPush is one freshly stored cloak awaiting monitor/watch
+// propagation.
+type cloakedPush struct {
+	uid    anonymizer.UserID
+	pid    int64
+	region geom.Rect
+}
+
 // UpdateUsers applies a batch of location updates and refreshes all
 // the resulting cloaks at the server in one shot: one server write
 // lock, and with persistence configured one WAL record (chunked only
@@ -679,13 +734,8 @@ func (c *Casper) updateUsers(updates []UserUpdate, tr *trace.Trace) (int, error)
 	if len(updates) == 0 {
 		return 0, nil
 	}
-	type cloaked struct {
-		uid    anonymizer.UserID
-		pid    int64
-		region geom.Rect
-	}
 	objs := make([]server.PrivateObject, 0, len(updates))
-	pushed := make([]cloaked, 0, len(updates))
+	pushed := make([]cloakedPush, 0, len(updates))
 	applied := 0
 	var firstErr error
 	for _, u := range updates {
@@ -708,7 +758,7 @@ func (c *Casper) updateUsers(updates []UserUpdate, tr *trace.Trace) (int, error)
 			break
 		}
 		objs = append(objs, server.PrivateObject{ID: pid, Region: cr.Region})
-		pushed = append(pushed, cloaked{uid: u.UID, pid: pid, region: cr.Region})
+		pushed = append(pushed, cloakedPush{uid: u.UID, pid: pid, region: cr.Region})
 		applied++
 	}
 	if len(objs) > 0 {
@@ -723,13 +773,44 @@ func (c *Casper) updateUsers(updates []UserUpdate, tr *trace.Trace) (int, error)
 		if storeErr != nil {
 			return applied, storeErr
 		}
-		for _, p := range pushed {
-			if err := c.notifyCloak(p.uid, p.pid, p.region); err != nil && firstErr == nil {
+		if err := c.notifyCloakBatch(pushed); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return applied, firstErr
+}
+
+// notifyCloakBatch propagates a batch of freshly stored cloaks to the
+// continuous monitor in one ApplyUpdates call — each monitor stripe
+// lock is taken once for the whole batch instead of once per user —
+// then refreshes the users' standing watches.
+func (c *Casper) notifyCloakBatch(pushed []cloakedPush) error {
+	if len(pushed) == 0 {
+		return nil
+	}
+	c.monMu.RLock()
+	defer c.monMu.RUnlock()
+	if c.monitor == nil {
+		return nil
+	}
+	batch := make([]continuous.PrivateUpdate, len(pushed))
+	for i, p := range pushed {
+		batch[i] = continuous.PrivateUpdate{ID: p.pid, Region: p.region}
+	}
+	firstErr := c.monitor.ApplyUpdates(batch)
+	for _, p := range pushed {
+		for _, qid := range c.watches[p.uid] {
+			if err := c.monitor.UpdateNNCloak(qid, p.region); err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
+		for _, qid := range c.rangeWatches[p.uid] {
+			if err := c.monitor.UpdateRadiusCloak(qid, p.region); err != nil && firstErr == nil {
 				firstErr = err
 			}
 		}
 	}
-	return applied, firstErr
+	return firstErr
 }
 
 // SetProfile changes a user's privacy profile and re-cloaks.

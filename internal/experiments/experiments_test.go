@@ -466,6 +466,24 @@ func TestUnshownAminPanels(t *testing.T) {
 	}
 }
 
+func TestContinuousPanel(t *testing.T) {
+	w := NewWorld(tiny())
+	x4 := FigX4(w)
+	if len(x4.Rows) != 3 {
+		t.Fatalf("X4 rows = %d", len(x4.Rows))
+	}
+	// The indexed matcher must beat the linear scan at the largest
+	// standing-query count, and safe regions must answer at least some
+	// asker moves without a full re-evaluation (1.00 means none).
+	last := len(x4.Rows) - 1
+	if lin, idx := cell(t, x4, last, 1), cell(t, x4, last, 2); idx >= lin {
+		t.Fatalf("indexed %v us/upd not below linear %v at %s queries", idx, lin, x4.Rows[last][0])
+	}
+	if evals := cell(t, x4, last, 4); evals >= 1 {
+		t.Fatalf("safe regions saved nothing: %v evals/move", evals)
+	}
+}
+
 func TestCompareBackendsShape(t *testing.T) {
 	w := NewWorld(tiny())
 	tab := CompareBackends(w)

@@ -72,6 +72,32 @@ func TestStepMovesObjects(t *testing.T) {
 	}
 }
 
+func TestStepIntoReusesBuffer(t *testing.T) {
+	g := testNet(t)
+	a := New(g, DefaultConfig(100, 7))
+	b := New(g, DefaultConfig(100, 7))
+	buf := make([]Update, 0, a.NumObjects())
+	for tick := 0; tick < 5; tick++ {
+		want := a.Step(2)
+		buf = b.StepInto(2, buf)
+		if len(buf) != len(want) {
+			t.Fatalf("tick %d: StepInto returned %d updates, Step %d", tick, len(buf), len(want))
+		}
+		for i := range want {
+			if buf[i] != want[i] {
+				t.Fatalf("tick %d: update %d differs: %+v vs %+v", tick, i, buf[i], want[i])
+			}
+		}
+		if cap(buf) != a.NumObjects() {
+			t.Fatalf("buffer reallocated: cap %d", cap(buf))
+		}
+	}
+	snap := b.PositionsInto(buf)
+	if len(snap) != b.NumObjects() || cap(snap) != b.NumObjects() {
+		t.Fatalf("PositionsInto: len %d cap %d", len(snap), cap(snap))
+	}
+}
+
 func TestStepPanicsOnBadDt(t *testing.T) {
 	g := testNet(t)
 	gen := New(g, DefaultConfig(5, 1))

@@ -1,0 +1,68 @@
+package privacyqp
+
+import (
+	"math"
+
+	"casper/internal/geom"
+	"casper/internal/rtree"
+)
+
+// CandidateValiditySlack bounds how far an asker's cloaked region may
+// drift from the evaluated cloak before a nearest-neighbor candidate
+// list computed at that cloak can stop being inclusive. It is the
+// safe-region derivation of Hashem, Kulik & Zhang ("Privacy
+// Preserving Moving KNN Queries") transplanted to Casper's
+// cloaked-rectangle answers: there the region is bounded by the
+// distance gap to the (k+1)-th neighbor; here the role of the
+// (k+1)-th neighbor is played by the nearest target that is NOT in
+// the candidate list, which — by Algorithm 2's construction — lies
+// outside the extended area A_EXT.
+//
+// Let C be the evaluated cloak, and consider any asker position p
+// within distance s of C. Two bounds:
+//
+//   - every point of C is at least g away from any point outside
+//     A_EXT, where g is the smallest margin between C's sides and
+//     A_EXT's (so any non-candidate is at distance > g - s from p);
+//   - some candidate c has max-distance h = min over candidates of
+//     maxDist(c, C), so the nearest candidate is within h + s of p.
+//
+// While h + s <= g - s, i.e. s <= (g - h)/2, no non-candidate can
+// beat the best candidate, so the list stays inclusive (ties resolve
+// to a candidate, which is then also a true nearest neighbor). The
+// returned slack is that s, clamped at zero.
+//
+// The geometric margin g is data-independent: targets later inserted
+// inside A_EXT invalidate the answer through the monitor's interest-
+// region join, not through this bound, so the slack stays sound under
+// data churn. The bound requires that every target inside A_EXT made
+// the candidate list, which holds for public point data with no
+// admission threshold; for private (cloaked-rectangle) targets or a
+// MinOverlap policy it returns 0 and callers fall back to
+// containment-only safe regions.
+func CandidateValiditySlack(cloak, aext geom.Rect, candidates []rtree.Item, kind DataKind, minOverlap float64) float64 {
+	if kind != PublicData || minOverlap != 0 || len(candidates) == 0 {
+		return 0
+	}
+	if !cloak.IsValid() || !aext.IsValid() || !aext.ContainsRect(cloak) {
+		return 0
+	}
+	g := math.Min(
+		math.Min(cloak.Min.X-aext.Min.X, aext.Max.X-cloak.Max.X),
+		math.Min(cloak.Min.Y-aext.Min.Y, aext.Max.Y-cloak.Max.Y),
+	)
+	if g <= 0 {
+		return 0
+	}
+	h := math.Inf(1)
+	for _, c := range candidates {
+		if d := c.Rect.Min.MaxDistRect(cloak); d < h {
+			h = d
+		}
+	}
+	s := (g - h) / 2
+	if s <= 0 || math.IsNaN(s) || math.IsInf(s, 0) {
+		return 0
+	}
+	return s
+}

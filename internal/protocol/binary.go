@@ -104,8 +104,12 @@ const (
 	// backend's name; a separate bit (not a widened respFStats payload)
 	// so frames from servers predating it still decode.
 	respFBackend
+	// respFContinuous extends the stats block with the continuous
+	// monitor's counters, following the respFBackend pattern: a
+	// separate bit keeps old clients' respFStats payload layout intact.
+	respFContinuous
 
-	respFKnown = respFBackend<<1 - 1
+	respFKnown = respFContinuous<<1 - 1
 )
 
 const respFlagOK byte = 1
@@ -278,6 +282,9 @@ func appendResponse(b []byte, resp *Response) []byte {
 	if resp.Stats != nil && resp.Stats.Backend != "" {
 		mask |= respFBackend
 	}
+	if resp.Stats != nil && resp.Stats.Continuous != nil {
+		mask |= respFContinuous
+	}
 	b = appendU32(b, mask)
 	if mask&respFError != 0 {
 		b = appendString(b, resp.Error)
@@ -323,6 +330,13 @@ func appendResponse(b []byte, resp *Response) []byte {
 	}
 	if mask&respFBackend != 0 {
 		b = appendString(b, resp.Stats.Backend)
+	}
+	if mask&respFContinuous != 0 {
+		c := resp.Stats.Continuous
+		b = appendI64(b, int64(c.Queries))
+		b = appendI64(b, c.Updates)
+		b = appendI64(b, c.Evaluations)
+		b = appendI64(b, c.SafeRegionHits)
 	}
 	return b
 }
@@ -572,6 +586,17 @@ func decodeResponse(b []byte) (Response, error) {
 			return Response{}, fmt.Errorf("backend field without stats block")
 		}
 		resp.Stats.Backend = r.str()
+	}
+	if mask&respFContinuous != 0 {
+		if resp.Stats == nil {
+			return Response{}, fmt.Errorf("continuous field without stats block")
+		}
+		resp.Stats.Continuous = &ContinuousStats{
+			Queries:        r.intField(),
+			Updates:        r.i64(),
+			Evaluations:    r.i64(),
+			SafeRegionHits: r.i64(),
+		}
 	}
 	if err := r.finish("response"); err != nil {
 		return Response{}, err

@@ -129,6 +129,20 @@ type Stats struct {
 	// Backend names the active privacy backend ("" from servers
 	// predating backend selection).
 	Backend string `json:"backend,omitempty"`
+	// Continuous reports the continuous-query monitor; nil when the
+	// monitor is disabled (or the server predates it).
+	Continuous *ContinuousStats `json:"continuous,omitempty"`
+}
+
+// ContinuousStats is the continuous monitor's block of Stats: the
+// standing-query population and the incremental-maintenance counters
+// (evaluations/updates is the ratio to watch; safe-region hits are
+// cloak moves absorbed without re-evaluating).
+type ContinuousStats struct {
+	Queries        int   `json:"queries"`
+	Updates        int64 `json:"updates"`
+	Evaluations    int64 `json:"evaluations"`
+	SafeRegionHits int64 `json:"safe_region_hits"`
 }
 
 // Response is one server frame.

@@ -458,6 +458,14 @@ func (s *Server) PublicItems() []rtree.Item {
 	return s.snap.Load().public.All()
 }
 
+// PrivateItems snapshots the private table as index items: the stored
+// cloaks under their pseudonyms, exactly as queries see them. The
+// continuous monitor seeds its shadow table from this snapshot so both
+// sides start from the same stored regions.
+func (s *Server) PrivateItems() []rtree.Item {
+	return s.snap.Load().private.All()
+}
+
 // GetPublic looks up a public object by ID.
 func (s *Server) GetPublic(id int64) (PublicObject, bool) {
 	s.idxMu.RLock()
