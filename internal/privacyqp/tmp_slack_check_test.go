@@ -1,0 +1,75 @@
+package privacyqp
+
+import (
+	"math"
+	"testing"
+
+	"casper/internal/geom"
+	"casper/internal/rtree"
+)
+
+func TestTmpSlackCornerCounterexample(t *testing.T) {
+	cloak := geom.R(0, 0, 10, 10)
+	for D := 12.0; D < 60; D += 0.5 {
+		var items []rtree.Item
+		id := int64(1)
+		for k := 0; k < 8; k++ {
+			ang := 2 * math.Pi * float64(k) / 8
+			p := geom.Point{X: 5 + D*math.Cos(ang), Y: 5 + D*math.Sin(ang)}
+			items = append(items, rtree.Item{Rect: geom.R(p.X, p.Y, p.X, p.Y), ID: id})
+			id++
+		}
+		db := rtree.BulkLoad(items)
+		res, err := PrivateNN(db, cloak, PublicData, Options{Filters: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := CandidateValiditySlack(cloak, res.AExt, res.Candidates, PublicData, 0)
+		if s <= 0 {
+			continue
+		}
+		safe := cloak.Expand(s)
+		p := safe.Min // corner of the safe region
+		adv := geom.Point{X: res.AExt.Min.X - 1e-6, Y: p.Y}
+
+		// Full honest re-check with the adversarial target present at
+		// evaluation time.
+		items2 := append(append([]rtree.Item(nil), items...), rtree.Item{Rect: geom.R(adv.X, adv.Y, adv.X, adv.Y), ID: 999})
+		db2 := rtree.BulkLoad(items2)
+		res2, err := PrivateNN(db2, cloak, PublicData, Options{Filters: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		s2 := CandidateValiditySlack(cloak, res2.AExt, res2.Candidates, PublicData, 0)
+		if s2 <= 0 {
+			continue
+		}
+		safe2 := cloak.Expand(s2)
+		p2 := safe2.Min
+		if !safe2.Contains(p2) {
+			continue
+		}
+		inList := false
+		for _, c := range res2.Candidates {
+			if c.ID == 999 {
+				inList = true
+			}
+		}
+		if inList {
+			continue
+		}
+		best := math.Inf(1)
+		for _, c := range res2.Candidates {
+			if d := c.Rect.Min.Dist(p2); d < best {
+				best = d
+			}
+		}
+		dAdv := adv.Dist(p2)
+		if dAdv < best {
+			t.Logf("VIOLATION at D=%v: slack=%v, asker at safe-region corner %v: non-candidate target %v at dist %v beats best candidate dist %v (AExt=%v)",
+				D, s2, p2, adv, dAdv, best, res2.AExt)
+			return
+		}
+	}
+	t.Log("no violation found in sweep")
+}
