@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet staticcheck test race check shutdown-smoke bench bench-updates bench-queries bench-smoke bench-allocs bench-e2e bench-backends bench-continuous fuzz race-stress
+.PHONY: all build vet staticcheck test race check shutdown-smoke metrics-audit bench bench-updates bench-queries bench-smoke bench-allocs bench-e2e bench-backends bench-continuous fuzz race-stress
 
 all: check
 
@@ -38,10 +38,18 @@ shutdown-smoke:
 	$(GO) run ./cmd/casper-loadgen -duration 4s -rate 400 -conns 2 -inflight 32 \
 	  -users 200 -targets 100 -shutdown-after 2s -drain-deadline 5s -out ""
 
+# metrics-audit cross-checks the registered casper_* metric families
+# against the DESIGN.md §8 inventory, in both directions: a metric
+# added without documentation fails, and so does documentation for a
+# metric that was renamed or removed.
+metrics-audit:
+	$(GO) test -run TestMetricsAudit -count=1 ./cmd/casperd
+
 # check is the CI gate: everything must build, vet clean (plus
 # staticcheck when present), pass the full suite under the race
-# detector (the framework is concurrent), and drain cleanly under load.
-check: build vet staticcheck race shutdown-smoke
+# detector (the framework is concurrent), keep the metric inventory
+# honest, and drain cleanly under load.
+check: build vet staticcheck race metrics-audit shutdown-smoke
 
 bench:
 	$(GO) test -bench=. -benchmem

@@ -286,6 +286,15 @@ var ErrDeprecatedOp = protocol.ErrDeprecatedOp
 // ProtocolClient round trip.
 var ErrOverloaded = protocol.ErrOverloaded
 
+// ErrBudgetExhausted reports a cloak refused because the user's
+// cumulative ε spend reached the per-user budget ceiling (casperd
+// -epsilon-budget, hot-reloadable as epsilon_budget). Travels as the
+// wire-stable "budget_exhausted" code on both protocol versions, so
+// errors.Is(err, casper.ErrBudgetExhausted) holds across a
+// ProtocolClient round trip. Requests succeed again once an operator
+// raises or clears the ceiling.
+var ErrBudgetExhausted = core.ErrBudgetExhausted
+
 // NewProtocolServer wraps a framework instance for network serving.
 func NewProtocolServer(c *Casper) *ProtocolServer { return protocol.NewServer(c) }
 

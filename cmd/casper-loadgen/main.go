@@ -66,24 +66,25 @@ import (
 
 	"casper"
 	"casper/internal/core"
+	"casper/internal/privacyobs"
 )
 
 type config struct {
-	addr     string
-	duration time.Duration
-	rate     float64
-	conns    int
-	inflight int
-	protocol int
+	addr      string
+	duration  time.Duration
+	rate      float64
+	conns     int
+	inflight  int
+	protocol  int
 	users     int
 	targets   int
 	subscribe int
-	mix      string
-	slo      time.Duration
-	seed     int64
-	out      string
-	raw      string
-	benchTxt string
+	mix       string
+	slo       time.Duration
+	seed      int64
+	out       string
+	raw       string
+	benchTxt  string
 
 	shutdownAfter time.Duration
 	drainDeadline time.Duration
@@ -213,6 +214,7 @@ type workerStats struct {
 	errs       int64    // failures before shutdown began (all failures when no shutdown)
 	errsDrain  int64    // failures at/after the shutdown instant
 	shedServer int64    // ErrOverloaded responses: admission control, not failure
+	shedBudget int64    // ErrBudgetExhausted responses: ε-budget enforcement, not failure
 	perOp      [numOps]int64
 }
 
@@ -448,6 +450,8 @@ func run(cfg config) (*report, error) {
 						switch ss := shutdownStart.Load(); {
 						case errors.Is(err, casper.ErrOverloaded):
 							ws.shedServer++
+						case errors.Is(err, casper.ErrBudgetExhausted):
+							ws.shedBudget++
 						case ss != 0 && time.Now().UnixNano() >= ss:
 							ws.errsDrain++
 						default:
@@ -524,6 +528,7 @@ func run(cfg config) (*report, error) {
 		errs       int64
 		errsDrain  int64
 		shedServer int64
+		shedBudget int64
 		perOp      [numOps]int64
 	)
 	for _, ws := range stats {
@@ -531,6 +536,7 @@ func run(cfg config) (*report, error) {
 		errs += ws.errs
 		errsDrain += ws.errsDrain
 		shedServer += ws.shedServer
+		shedBudget += ws.shedBudget
 		for k := range ws.perOp {
 			perOp[k] += ws.perOp[k]
 		}
@@ -555,6 +561,7 @@ func run(cfg config) (*report, error) {
 		Errors:     errs,
 		Shed:       shed.Load(),
 		ShedServer: shedServer,
+		ShedBudget: shedBudget,
 		SLOMillis:  float64(cfg.slo) / float64(time.Millisecond),
 		PerOp:      make(map[string]int64, numOps),
 	}
@@ -593,6 +600,32 @@ func run(cfg config) (*report, error) {
 			}
 			rep.Continuous = cr
 		}
+	}
+
+	// Privacy observatory verdict (in-process only: the observer is
+	// process-global, so it saw exactly this run's cloaks). The backend
+	// row is the server's configured backend; the aggregate dimensions
+	// (k-satisfied, entropy, linkage, ε ledger) are observer-wide.
+	if inproc != nil {
+		snap := privacyobs.Default.Snapshot()
+		pr := &privacyReport{
+			Backend:            inproc.Backend(),
+			KSatisfiedFraction: snap.KSatisfiedFraction,
+			EntropyMeanBits:    snap.Entropy.MeanBits,
+			LinkageEstimate:    snap.Linkage.Estimate,
+			LinkageEvidence:    snap.Linkage.Evidence,
+			EpsilonSpentTotal:  snap.Epsilon.SpentTotal,
+			ShedBudget:         shedBudget,
+		}
+		for _, b := range snap.Backends {
+			if b.Backend == pr.Backend {
+				pr.Releases = b.Releases
+				pr.KP50 = b.KP50
+				pr.KP99 = b.KP99
+				pr.KViolations = b.KViolations
+			}
+		}
+		rep.Privacy = pr
 	}
 
 	if cfg.raw != "" {

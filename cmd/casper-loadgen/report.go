@@ -31,6 +31,7 @@ type report struct {
 	Errors       int64            `json:"errors"`
 	Shed         int64            `json:"shed"`
 	ShedServer   int64            `json:"shed_by_server"`
+	ShedBudget   int64            `json:"shed_budget_exhausted"`
 	AchievedRate float64          `json:"achieved_rate_rps"`
 	ErrorRate    float64          `json:"error_rate"`
 	ShedRate     float64          `json:"shed_rate"`
@@ -44,6 +45,29 @@ type report struct {
 	PipelineBench *pipelineBench    `json:"pipeline_benchmark,omitempty"`
 	Shutdown      *shutdownReport   `json:"shutdown,omitempty"`
 	Continuous    *continuousReport `json:"continuous,omitempty"`
+	Privacy       *privacyReport    `json:"privacy,omitempty"`
+}
+
+// privacyReport is the privacy observatory's verdict on the run
+// (in-process only): what the anonymizer actually released while the
+// open-loop load was on. Releases count every successful cloak;
+// achieved-k quantiles and k-violations cover region releases (the
+// loadgen registers k=1 users, so violations should stay 0); ShedBudget
+// counts requests refused with the budget_exhausted code, which the
+// latency stats exclude the same way they exclude admission-control
+// sheds.
+type privacyReport struct {
+	Backend            string  `json:"backend"`
+	Releases           int64   `json:"releases"`
+	KP50               float64 `json:"achieved_k_p50"`
+	KP99               float64 `json:"achieved_k_p99"`
+	KViolations        int64   `json:"k_violations"`
+	KSatisfiedFraction float64 `json:"k_satisfied_fraction"`
+	EntropyMeanBits    float64 `json:"entropy_mean_bits"`
+	LinkageEstimate    float64 `json:"linkage_surviving_frac"`
+	LinkageEvidence    bool    `json:"linkage_evidence"`
+	EpsilonSpentTotal  float64 `json:"epsilon_spent_total"`
+	ShedBudget         int64   `json:"shed_budget_exhausted"`
 }
 
 // continuousReport summarizes the -subscribe side-load: how many
@@ -150,6 +174,9 @@ func (r *report) print(w io.Writer) {
 	if r.ShedServer > 0 {
 		fmt.Fprintf(w, ", %d shed by server", r.ShedServer)
 	}
+	if r.ShedBudget > 0 {
+		fmt.Fprintf(w, ", %d refused on epsilon budget", r.ShedBudget)
+	}
 	fmt.Fprintf(w, ")\n")
 	fmt.Fprintf(w, "  latency  p50 %.2fms  p99 %.2fms  p99.9 %.2fms  (SLO p99 <= %.0fms: %s)\n",
 		r.P50Millis, r.P99Millis, r.P999Millis, r.SLOMillis, passFail(r.SLOMet))
@@ -165,6 +192,14 @@ func (r *report) print(w io.Writer) {
 	if c := r.Continuous; c != nil {
 		fmt.Fprintf(w, "  continuous: %d watches (%d churned), %d events, %d monitor updates -> %.3f evals/update (%d safe-region hits)\n",
 			c.Subscriptions, c.Churned, c.Events, c.MonitorUpdates, c.EvalsPerUpdate, c.SafeRegionHits)
+	}
+	if p := r.Privacy; p != nil {
+		fmt.Fprintf(w, "  privacy: backend %s, %d releases, achieved k p50=%.0f p99=%.0f, %d k-violations (satisfied %.4f)",
+			p.Backend, p.Releases, p.KP50, p.KP99, p.KViolations, p.KSatisfiedFraction)
+		if p.ShedBudget > 0 || p.EpsilonSpentTotal > 0 {
+			fmt.Fprintf(w, ", eps spent %.4g, %d budget-shed", p.EpsilonSpentTotal, p.ShedBudget)
+		}
+		fmt.Fprintf(w, "\n")
 	}
 	if s := r.Shutdown; s != nil {
 		fmt.Fprintf(w, "  shutdown: drained in %.3fs of %.1fs budget (forced: %v, errors before/after: %d/%d) -> %s\n",

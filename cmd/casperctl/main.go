@@ -23,6 +23,11 @@
 //	                                    -watch prints per-second counter rates
 //	trace <debug-addr> [trace-id]       list recent request traces, or render
 //	                                    one trace's span waterfall
+//	privacy <debug-addr> [-watch interval]  the live privacy observatory:
+//	                                    per-backend achieved-k distribution,
+//	                                    k-satisfied fraction, windowed entropy,
+//	                                    linkage estimate, ε-budget ledger and
+//	                                    the privacy-SLO verdict
 package main
 
 import (
@@ -66,6 +71,18 @@ func main() {
 		fs.Parse(args[2:])
 		if err := statsFromDebug(args[1], *watch); err != nil {
 			fatal("stats: %v", err)
+		}
+		return
+	}
+	if args[0] == "privacy" {
+		if len(args) < 2 {
+			fatal("privacy: need the casperd -debug-addr (host:port)")
+		}
+		fs := flag.NewFlagSet("privacy", flag.ExitOnError)
+		watch := fs.Duration("watch", 0, "refresh this often until interrupted")
+		fs.Parse(args[2:])
+		if err := privacyFromDebug(args[1], *watch); err != nil {
+			fatal("privacy: %v", err)
 		}
 		return
 	}
@@ -227,6 +244,19 @@ func run(ctx context.Context, cl *casper.ProtocolClient, cmd string, args []stri
 			fmt.Printf("continuous queries: %d\nmonitor updates: %d\nmonitor evaluations: %d (%.3f per update)\nsafe-region hits: %d\n",
 				c.Queries, c.Updates, c.Evaluations, ratio, c.SafeRegionHits)
 		}
+		if p := st.Privacy; p != nil {
+			slo := "ok"
+			if !p.SLOOK {
+				slo = "VIOLATED"
+			}
+			fmt.Printf("privacy: %d releases, %d k-violations (%.4f k-satisfied), entropy %.2f bits mean / %.2f min, linkage %.3f, SLO %s\n",
+				p.Releases, p.KViolations, p.KSatisfiedFraction,
+				p.EntropyMeanBits, p.EntropyMinBits, p.Linkage, slo)
+			if p.EpsilonSpent > 0 || p.EpsilonBudget > 0 {
+				fmt.Printf("epsilon: %.4g spent, %.4g max user, budget %g, %d refused\n",
+					p.EpsilonSpent, p.EpsilonMaxUser, p.EpsilonBudget, p.BudgetExhausted)
+			}
+		}
 	default:
 		return fmt.Errorf("unknown command (run casperctl -h)")
 	}
@@ -290,5 +320,9 @@ commands:
                                          counter rates over the interval
   trace <debug-addr> [trace-id]          list recent request traces, or
                                          render one trace's span waterfall
+  privacy <debug-addr> [-watch interval] the live privacy observatory:
+                                         per-backend achieved-k, k-satisfied
+                                         fraction, windowed entropy, linkage
+                                         estimate, ε-budget ledger, SLO verdict
 `)
 }

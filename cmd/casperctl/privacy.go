@@ -1,0 +1,97 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"time"
+
+	"casper/internal/privacyobs"
+)
+
+// privacyFromDebug fetches /debug/privacy from a casperd -debug-addr
+// endpoint and renders the privacy observatory: per-backend achieved-k
+// and area distributions, the k-satisfied fraction, the windowed
+// anonymity-set entropy, the online linkage estimate, the ε-budget
+// ledger, and the SLO verdict. With watch > 0 it refreshes every
+// interval until interrupted.
+func privacyFromDebug(addr string, watch time.Duration) error {
+	if !strings.Contains(addr, "://") {
+		addr = "http://" + addr
+	}
+	url := strings.TrimSuffix(addr, "/") + "/debug/privacy"
+	cl := &http.Client{Timeout: 10 * time.Second}
+	for {
+		snap, err := fetchPrivacy(cl, url)
+		if err != nil {
+			return err
+		}
+		printPrivacy(snap)
+		if watch <= 0 {
+			return nil
+		}
+		time.Sleep(watch)
+		fmt.Println()
+	}
+}
+
+func fetchPrivacy(cl *http.Client, url string) (privacyobs.Snapshot, error) {
+	var snap privacyobs.Snapshot
+	resp, err := cl.Get(url)
+	if err != nil {
+		return snap, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return snap, fmt.Errorf("GET %s: %s (is this a casperd -debug-addr?)", url, resp.Status)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		return snap, fmt.Errorf("decode %s: %w", url, err)
+	}
+	return snap, nil
+}
+
+func printPrivacy(s privacyobs.Snapshot) {
+	if len(s.Backends) == 0 {
+		fmt.Println("no releases yet")
+	}
+	for _, b := range s.Backends {
+		fmt.Printf("backend %s: %d releases", b.Backend, b.Releases)
+		if b.RegionReleases > 0 {
+			fmt.Printf(", achieved k mean=%.1f p50=%.0f p99=%.0f, %d k-violations",
+				b.KMean, b.KP50, b.KP99, b.KViolations)
+		}
+		if b.Releases > 0 {
+			fmt.Printf(", area mean=%.3g p50=%.3g p99=%.3g", b.AreaMean, b.AreaP50, b.AreaP99)
+		}
+		fmt.Println()
+	}
+	fmt.Printf("k-satisfied fraction: %.4f\n", s.KSatisfiedFraction)
+	fmt.Printf("anonymity-set entropy: mean=%.2f bits min=%.2f bits (window %d releases)\n",
+		s.Entropy.MeanBits, s.Entropy.MinBits, s.Entropy.Window)
+	if s.Linkage.Evidence {
+		fmt.Printf("linkage estimate: %.3f surviving fraction (%d users tracked, %d resets)\n",
+			s.Linkage.Estimate, s.Linkage.TrackedUsers, s.Linkage.Resets)
+	} else {
+		fmt.Printf("linkage estimate: no repeat-release evidence yet (%d users tracked)\n",
+			s.Linkage.TrackedUsers)
+	}
+	budget := "unlimited"
+	if s.Epsilon.Budget > 0 {
+		budget = fmt.Sprintf("%g", s.Epsilon.Budget)
+	}
+	fmt.Printf("epsilon: spent=%.4g total, max user=%.4g, budget=%s, %d users, %d refusals\n",
+		s.Epsilon.SpentTotal, s.Epsilon.MaxUser, budget, s.Epsilon.Users, s.Epsilon.Refusals)
+	verdict := "OK"
+	if !s.SLO.OK {
+		verdict = "VIOLATED"
+	}
+	detail := ""
+	if s.SLO.MinKSatisfied > 0 || s.SLO.MaxLinkage > 0 {
+		detail = fmt.Sprintf(" (min k-satisfied %g, max linkage %g)", s.SLO.MinKSatisfied, s.SLO.MaxLinkage)
+	} else {
+		detail = " (no thresholds configured)"
+	}
+	fmt.Printf("privacy SLO: %s%s\n", verdict, detail)
+}

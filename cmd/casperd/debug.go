@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"casper/internal/metrics"
+	"casper/internal/privacyobs"
 	"casper/internal/trace"
 )
 
@@ -20,6 +21,10 @@ import (
 //	/readyz        readiness probe: 503 with a reason when the process
 //	               should be taken out of rotation (see ready below)
 //	/debug/traces  recent request traces (JSON list; ?id= for detail)
+//	/debug/privacy the privacy observatory's full snapshot: per-backend
+//	               achieved-k and area distributions, k-satisfied
+//	               fraction, windowed entropy, online linkage estimate,
+//	               ε-budget ledger, and the SLO verdict
 //	/debug/pprof/  the standard Go profiling handlers
 //	/-/reload      POST: re-read and apply the -config file (the
 //	               API-driven twin of SIGHUP); 500 with the parse or
@@ -80,6 +85,7 @@ func startDebugServer(addr string, ready func() error, reload func() error) (net
 		io.WriteString(w, "ok\n")
 	})
 	mux.HandleFunc("/debug/traces", serveTraces)
+	mux.HandleFunc("/debug/privacy", servePrivacy)
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -123,4 +129,15 @@ func serveTraces(w http.ResponseWriter, r *http.Request) {
 		out[i] = t.Export(false)
 	}
 	enc.Encode(out)
+}
+
+// servePrivacy exposes the privacy observatory. Taking the snapshot
+// also evaluates the SLO, so watching this endpoint (casperctl privacy
+// -watch) keeps the verdict and its slog transitions current even when
+// nothing scrapes /metrics.
+func servePrivacy(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(privacyobs.Default.Snapshot())
 }

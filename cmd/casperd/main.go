@@ -29,6 +29,11 @@
 //	-rate-limit  per-user token-bucket req/s   (default off)
 //	-rate-burst  per-user bucket size          (default 2x rate)
 //	-max-concurrent  global in-flight ceiling  (default off)
+//	-epsilon-budget  per-user cumulative ε ceiling (default off)
+//	-slo-min-k-satisfied  privacy-SLO floor on the k-satisfied
+//	             fraction of region releases   (default off)
+//	-slo-max-linkage  privacy-SLO ceiling on the online linkage
+//	             estimate                      (default off)
 //
 // Lifecycle: on the first SIGINT/SIGTERM casperd flips /readyz to 503,
 // stops accepting, finishes in-flight requests up to the drain
@@ -44,7 +49,9 @@
 // 503 when the WAL directory is unwritable or the published query
 // snapshot is older than -ready-max-snapshot-age with writes
 // pending), /debug/traces (recent request traces; ?id= for a full
-// span listing), and /debug/pprof/* on that address; with -slow-query
+// span listing), /debug/privacy (the live privacy observatory:
+// per-backend achieved-k, windowed entropy, linkage estimate, ε-budget
+// ledger, SLO verdict), and /debug/pprof/* on that address; with -slow-query
 // set (e.g. 50ms), every request slower than the threshold is logged
 // with its cloak/query/transmit breakdown and its trace is always
 // retained in the ring regardless of sampling. See DESIGN.md §8.
@@ -110,6 +117,9 @@ func main() {
 	rateLimit := flag.Float64("rate-limit", 0, "per-user token-bucket rate limit in req/s; 0 disables")
 	rateBurst := flag.Float64("rate-burst", 0, "per-user token-bucket burst size (0 = 2x -rate-limit)")
 	maxConcurrent := flag.Int("max-concurrent", 0, "global in-flight request ceiling; excess is shed with the retryable overloaded code; 0 disables")
+	epsilonBudget := flag.Float64("epsilon-budget", 0, "per-user cumulative ε ceiling; further cloaks for an exhausted user fail with the budget_exhausted code; 0 disables")
+	sloMinKSat := flag.Float64("slo-min-k-satisfied", 0, "privacy-SLO floor on the fraction of region releases meeting requested k, in (0,1]; 0 disables")
+	sloMaxLinkage := flag.Float64("slo-max-linkage", 0, "privacy-SLO ceiling on the online linkage estimate, in (0,1]; 0 disables")
 	flag.Parse()
 
 	if (*tlsCert == "") != (*tlsKey == "") {
@@ -159,6 +169,18 @@ func main() {
 		fmt.Fprintf(os.Stderr, "casperd: -min-k %d must be >= 1 (0 disables)\n", *minK)
 		os.Exit(2)
 	}
+	if *epsilonBudget != 0 && (!(*epsilonBudget > 0) || math.IsInf(*epsilonBudget, 0)) {
+		fmt.Fprintf(os.Stderr, "casperd: -epsilon-budget %v must be finite and > 0 (0 disables)\n", *epsilonBudget)
+		os.Exit(2)
+	}
+	if !(*sloMinKSat >= 0) || *sloMinKSat > 1 {
+		fmt.Fprintf(os.Stderr, "casperd: -slo-min-k-satisfied %v must be in [0,1]\n", *sloMinKSat)
+		os.Exit(2)
+	}
+	if !(*sloMaxLinkage >= 0) || *sloMaxLinkage > 1 {
+		fmt.Fprintf(os.Stderr, "casperd: -slo-max-linkage %v must be in [0,1]\n", *sloMaxLinkage)
+		os.Exit(2)
+	}
 	cfg.Backend = backendName
 	cfg.BackendEpsilon = *epsilon
 	cfg.BackendMinK = *minK
@@ -203,15 +225,18 @@ func main() {
 		burst = 2 * *rateLimit
 	}
 	rel, err := newReloader(srv, settings{
-		slowQuery:      *slowQuery,
-		traceSample:    *traceSample,
-		rateLimitRPS:   *rateLimit,
-		rateLimitBurst: burst,
-		maxConcurrent:  *maxConcurrent,
-		drainDeadline:  *drainDeadline,
-		backend:        backendName,
-		backendEpsilon: *epsilon,
-		backendMinK:    *minK,
+		slowQuery:        *slowQuery,
+		traceSample:      *traceSample,
+		rateLimitRPS:     *rateLimit,
+		rateLimitBurst:   burst,
+		maxConcurrent:    *maxConcurrent,
+		drainDeadline:    *drainDeadline,
+		backend:          backendName,
+		backendEpsilon:   *epsilon,
+		backendMinK:      *minK,
+		epsilonBudget:    *epsilonBudget,
+		sloMinKSatisfied: *sloMinKSat,
+		sloMaxLinkage:    *sloMaxLinkage,
 	}, *configPath)
 	if err != nil {
 		slog.Error("config", "path", *configPath, "err", err)
@@ -234,7 +259,7 @@ func main() {
 		}
 		defer stopDebug()
 		slog.Info("observability endpoints up", "addr", dbgBound.String(),
-			"endpoints", "/metrics /healthz /readyz /debug/traces /debug/pprof /-/reload")
+			"endpoints", "/metrics /healthz /readyz /debug/traces /debug/privacy /debug/pprof /-/reload")
 	}
 
 	bound, err := srv.Listen(*addr)

@@ -12,6 +12,7 @@ import (
 	"casper"
 	"casper/internal/config"
 	"casper/internal/metrics"
+	"casper/internal/privacyobs"
 	"casper/internal/trace"
 )
 
@@ -26,6 +27,10 @@ var (
 		"Monotonic generation of the applied runtime config; bumps on every successful reload.")
 )
 
+// Resolve both result children eagerly so the series exist from the
+// first scrape and the metric inventory audit sees the family.
+var _ = []*metrics.Counter{configReloads.With("ok"), configReloads.With("error")}
+
 // settings is the effective runtime-tunable configuration: the
 // flag-derived baseline overlaid with whatever keys the config file
 // names. Everything here can change on a live server.
@@ -39,6 +44,12 @@ type settings struct {
 	backend        string  // "" keeps the framework's current backend
 	backendEpsilon float64 // 0 keeps the backend's current budget
 	backendMinK    int     // 0 keeps the backend's current k floor
+
+	// Privacy-observatory knobs; 0 disables the respective enforcement
+	// or SLO dimension.
+	epsilonBudget    float64
+	sloMinKSatisfied float64
+	sloMaxLinkage    float64
 }
 
 // overlay returns base with f's present keys applied; a nil file is
@@ -74,6 +85,15 @@ func overlay(base settings, f *config.File) settings {
 	}
 	if f.BackendMinK != nil {
 		eff.backendMinK = *f.BackendMinK
+	}
+	if f.EpsilonBudget != nil {
+		eff.epsilonBudget = *f.EpsilonBudget
+	}
+	if f.SLOMinKSatisfied != nil {
+		eff.sloMinKSatisfied = *f.SLOMinKSatisfied
+	}
+	if f.SLOMaxLinkage != nil {
+		eff.sloMaxLinkage = *f.SLOMaxLinkage
 	}
 	return eff
 }
@@ -144,6 +164,8 @@ func (r *reloader) apply(eff settings) error {
 	r.srv.SetRateLimit(eff.rateLimitRPS, eff.rateLimitBurst)
 	r.srv.SetMaxConcurrent(eff.maxConcurrent)
 	trace.SetSampleEvery(int64(eff.traceSample))
+	privacyobs.Default.SetEpsilonBudget(eff.epsilonBudget)
+	privacyobs.Default.SetSLOThresholds(eff.sloMinKSatisfied, eff.sloMaxLinkage)
 	r.drain.Store(int64(eff.drainDeadline))
 	gen := r.gen.Add(1)
 	configGeneration.Set(gen)
@@ -155,7 +177,10 @@ func (r *reloader) apply(eff settings) error {
 		"rate_limit_burst", eff.rateLimitBurst,
 		"max_concurrent", eff.maxConcurrent,
 		"drain_deadline", eff.drainDeadline,
-		"backend", r.srv.Casper().Backend())
+		"backend", r.srv.Casper().Backend(),
+		"epsilon_budget", eff.epsilonBudget,
+		"slo_min_k_satisfied", eff.sloMinKSatisfied,
+		"slo_max_linkage", eff.sloMaxLinkage)
 	return nil
 }
 

@@ -350,10 +350,11 @@ func (a *Adaptive) cloakFromNode(n *aNode, prof Profile, opts CloakOpts) (Cloake
 		area := a.grid.CellArea(n.cell.Level)
 		if n.count >= prof.K && area >= prof.AMin {
 			return CloakedRegion{
-				Region:  a.grid.CellRect(n.cell),
-				Level:   n.cell.Level,
-				KFound:  n.count,
-				StepsUp: steps,
+				Region:     a.grid.CellRect(n.cell),
+				Level:      n.cell.Level,
+				KFound:     n.count,
+				KRequested: prof.K,
+				StepsUp:    steps,
 			}, nil
 		}
 		if n.parent == nil {
@@ -378,10 +379,11 @@ func (a *Adaptive) cloakFromNode(n *aNode, prof Profile, opts CloakOpts) (Cloake
 					with, kFound = sibV, nV
 				}
 				return CloakedRegion{
-					Region:  a.grid.CellRect(n.cell).Union(a.grid.CellRect(with.cell)),
-					Level:   n.cell.Level,
-					KFound:  kFound,
-					StepsUp: steps,
+					Region:     a.grid.CellRect(n.cell).Union(a.grid.CellRect(with.cell)),
+					Level:      n.cell.Level,
+					KFound:     kFound,
+					KRequested: prof.K,
+					StepsUp:    steps,
 				}, nil
 			}
 		}

@@ -116,6 +116,12 @@ type CloakedRegion struct {
 	// cloaking time (k' in the paper's accuracy metric k'/k); zero for
 	// MechPerturbed, which offers no population guarantee.
 	KFound int
+	// KRequested is the k the release was asked to satisfy: the
+	// profile's K, after any backend-level floor (the cluster backend's
+	// min-k). The privacy observatory compares it against KFound to
+	// count k-violations; for MechPerturbed it sizes the ε_u = ε/k
+	// budget split.
+	KRequested int
 	// StepsUp is the number of times the cloaking procedure had to
 	// widen its scope before succeeding (parent-cell recursions for
 	// Algorithm 1, ring expansions for the cluster backend); an
@@ -255,10 +261,11 @@ func bottomUpCloakOpt(src cellCounter, g pyramid.Grid, start pyramid.CellID, pro
 		area := g.CellArea(cid.Level)
 		if n >= prof.K && area >= prof.AMin {
 			return CloakedRegion{
-				Region:  g.CellRect(cid),
-				Level:   cid.Level,
-				KFound:  n,
-				StepsUp: steps,
+				Region:     g.CellRect(cid),
+				Level:      cid.Level,
+				KFound:     n,
+				KRequested: prof.K,
+				StepsUp:    steps,
 			}, nil
 		}
 		if cid.IsRoot() {
@@ -286,10 +293,11 @@ func bottomUpCloakOpt(src cellCounter, g pyramid.Grid, start pyramid.CellID, pro
 				with, kFound = cidV, nV
 			}
 			return CloakedRegion{
-				Region:  g.CellRect(cid).Union(g.CellRect(with)),
-				Level:   cid.Level,
-				KFound:  kFound,
-				StepsUp: steps,
+				Region:     g.CellRect(cid).Union(g.CellRect(with)),
+				Level:      cid.Level,
+				KFound:     kFound,
+				KRequested: prof.K,
+				StepsUp:    steps,
 			}, nil
 		}
 		steps++
@@ -320,10 +328,11 @@ func bottomUpCloakQuadrant(src cellCounter, g pyramid.Grid, start pyramid.CellID
 		area := g.CellArea(cid.Level)
 		if n >= prof.K && area >= prof.AMin {
 			return CloakedRegion{
-				Region:  g.CellRect(cid),
-				Level:   cid.Level,
-				KFound:  n,
-				StepsUp: steps,
+				Region:     g.CellRect(cid),
+				Level:      cid.Level,
+				KFound:     n,
+				KRequested: prof.K,
+				StepsUp:    steps,
 			}, nil, true
 		}
 		if opts.DisableNeighborMerge {
@@ -348,10 +357,11 @@ func bottomUpCloakQuadrant(src cellCounter, g pyramid.Grid, start pyramid.CellID
 				with, kFound = cidV, nV
 			}
 			return CloakedRegion{
-				Region:  g.CellRect(cid).Union(g.CellRect(with)),
-				Level:   cid.Level,
-				KFound:  kFound,
-				StepsUp: steps,
+				Region:     g.CellRect(cid).Union(g.CellRect(with)),
+				Level:      cid.Level,
+				KFound:     kFound,
+				KRequested: prof.K,
+				StepsUp:    steps,
 			}, nil, true
 		}
 		steps++

@@ -254,10 +254,11 @@ func (c *Cluster) cloakLocked(pos geom.Point, prof Profile) (CloakedRegion, erro
 	}
 
 	return CloakedRegion{
-		Region:  box,
-		Level:   -1,
-		KFound:  c.countInLocked(box),
-		StepsUp: rings,
+		Region:     box,
+		Level:      -1,
+		KFound:     c.countInLocked(box),
+		KRequested: k,
+		StepsUp:    rings,
 	}, nil
 }
 

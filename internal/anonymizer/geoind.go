@@ -203,12 +203,13 @@ func (g *GeoInd) perturb(pos geom.Point, prof Profile) (CloakedRegion, error) {
 		radius = half
 	}
 	return CloakedRegion{
-		Region:    geom.R(noisy.X-radius, noisy.Y-radius, noisy.X+radius, noisy.Y+radius),
-		Level:     -1,
-		Mechanism: MechPerturbed,
-		Point:     noisy,
-		Radius:    radius,
-		Epsilon:   epsU,
+		Region:     geom.R(noisy.X-radius, noisy.Y-radius, noisy.X+radius, noisy.Y+radius),
+		Level:      -1,
+		KRequested: prof.K,
+		Mechanism:  MechPerturbed,
+		Point:      noisy,
+		Radius:     radius,
+		Epsilon:    epsU,
 	}, nil
 }
 
@@ -216,7 +217,7 @@ func (g *GeoInd) perturb(pos geom.Point, prof Profile) (CloakedRegion, error) {
 // distribution: the r with 1 - (1 + εr)e^(-εr) = p, via the W₋₁
 // branch of the Lambert W function.
 func laplaceRadius(eps, p float64) float64 {
-	return -(lambertWm1((p - 1) / math.E) + 1) / eps
+	return -(lambertWm1((p-1)/math.E) + 1) / eps
 }
 
 // lambertWm1 evaluates the W₋₁ branch of the Lambert W function

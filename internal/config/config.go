@@ -18,7 +18,10 @@
 //	  "drain_deadline": "10s",
 //	  "backend": "geoind",
 //	  "backend_epsilon": 0.01,
-//	  "backend_min_k": 5
+//	  "backend_min_k": 5,
+//	  "epsilon_budget": 1.0,
+//	  "slo_min_k_satisfied": 0.99,
+//	  "slo_max_linkage": 0.5
 //	}
 //
 // Parsing is strict: unknown keys, malformed durations, negative
@@ -93,6 +96,17 @@ type File struct {
 	// BackendMinK is the cluster backend's k floor; must be >= 1 when
 	// present.
 	BackendMinK *int `json:"backend_min_k,omitempty"`
+	// EpsilonBudget is the per-user cumulative ε ceiling enforced by
+	// the privacy observatory; 0 disables enforcement. Must be finite
+	// and >= 0 when present.
+	EpsilonBudget *float64 `json:"epsilon_budget,omitempty"`
+	// SLOMinKSatisfied is the privacy-SLO floor on the fraction of
+	// region releases meeting their requested k, in (0,1]; 0 disables
+	// this SLO dimension.
+	SLOMinKSatisfied *float64 `json:"slo_min_k_satisfied,omitempty"`
+	// SLOMaxLinkage is the privacy-SLO ceiling on the online linkage
+	// estimate, in (0,1]; 0 disables this SLO dimension.
+	SLOMaxLinkage *float64 `json:"slo_max_linkage,omitempty"`
 }
 
 // Parse decodes and validates a config file's contents.
@@ -156,6 +170,15 @@ func (f *File) validate() error {
 	}
 	if f.BackendMinK != nil && *f.BackendMinK < 1 {
 		return fmt.Errorf("backend_min_k must be >= 1, got %d", *f.BackendMinK)
+	}
+	if f.EpsilonBudget != nil && (!(*f.EpsilonBudget >= 0) || math.IsInf(*f.EpsilonBudget, 0)) {
+		return fmt.Errorf("epsilon_budget must be finite and >= 0, got %v", *f.EpsilonBudget)
+	}
+	if f.SLOMinKSatisfied != nil && (!(*f.SLOMinKSatisfied >= 0) || *f.SLOMinKSatisfied > 1) {
+		return fmt.Errorf("slo_min_k_satisfied must be in [0,1], got %v", *f.SLOMinKSatisfied)
+	}
+	if f.SLOMaxLinkage != nil && (!(*f.SLOMaxLinkage >= 0) || *f.SLOMaxLinkage > 1) {
+		return fmt.Errorf("slo_max_linkage must be in [0,1], got %v", *f.SLOMaxLinkage)
 	}
 	return nil
 }

@@ -2,6 +2,7 @@ package continuous
 
 import (
 	"fmt"
+	"time"
 
 	"casper/internal/geom"
 	"casper/internal/privacyqp"
@@ -100,6 +101,13 @@ func (m *Monitor) RemovePrivate(id int64) bool {
 // mutation either happened before the re-evaluation (which reads the
 // current table) or re-marks the query dirty for the next pass.
 func (m *Monitor) applyPrivate(ops []applyOp) {
+	start := time.Now()
+	defer func() {
+		d := time.Since(start)
+		m.applyTicks.Add(1)
+		m.applyNanos.Add(int64(d))
+		monApplySeconds.Observe(d.Seconds())
+	}()
 	m.noteUpdates(int64(len(ops)))
 	for i := range ops {
 		ops[i].e = m.entry(ops[i].pid)

@@ -125,6 +125,7 @@ func BenchmarkMonitorBatchIngest(b *testing.B) {
 	const batchSize = 256
 	m, trace := benchMonitor(b, Config{}, 10000, 2048)
 	nBatches := len(trace) / batchSize
+	ticks0, total0 := m.ApplyStats()
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -133,7 +134,17 @@ func BenchmarkMonitorBatchIngest(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+	b.StopTimer()
 	b.ReportMetric(batchSize, "updates/op")
+	// Per-tick apply cost and the delivery-queue high-water mark are
+	// the resource-telemetry headline numbers (ROADMAP): the same
+	// figures casper_monitor_apply_seconds and
+	// casper_monitor_queue_high_water export at runtime.
+	if ticks, total := m.ApplyStats(); ticks > ticks0 {
+		b.ReportMetric(float64(total-total0)/float64(ticks-ticks0), "applyns/tick")
+	}
+	_, hw := m.QueueStats()
+	b.ReportMetric(float64(hw), "queuehw/run")
 }
 
 // BenchmarkMonitorNNRecloak drives a moving-asker trace through

@@ -48,6 +48,7 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"casper/internal/geom"
 	"casper/internal/privacyqp"
@@ -156,6 +157,9 @@ type Monitor struct {
 	updates     atomic.Int64
 	evaluations atomic.Int64
 	safeHits    atomic.Int64
+	applyTicks  atomic.Int64
+	applyNanos  atomic.Int64
+	queueHW     atomic.Int64
 
 	nRange  atomic.Int64
 	nNN     atomic.Int64
@@ -246,7 +250,7 @@ func NewMonitor(cfg Config) *Monitor {
 		go func(ch <-chan Event, notify func(Event)) {
 			defer close(m.done)
 			for e := range ch {
-				monQueueDepth.Set(int64(len(ch)))
+				m.noteQueueDepth(int64(len(ch)))
 				if notify != nil {
 					notify(e)
 				}
@@ -310,6 +314,43 @@ func (m *Monitor) SafeRegionHits() int64 { return m.safeHits.Load() }
 // registered right now.
 func (m *Monitor) QueryCounts() (rangeCount, nn, radius int) {
 	return int(m.nRange.Load()), int(m.nNN.Load()), int(m.nRadius.Load())
+}
+
+// noteQueueDepth records the async delivery queue's instantaneous
+// depth and folds it into the high-water mark (atomic max).
+func (m *Monitor) noteQueueDepth(n int64) {
+	monQueueDepth.Set(n)
+	for {
+		hw := m.queueHW.Load()
+		if n <= hw {
+			return
+		}
+		if m.queueHW.CompareAndSwap(hw, n) {
+			monQueueHighWater.Set(n)
+			return
+		}
+	}
+}
+
+// ApplyStats returns how many apply ticks have run and their
+// cumulative wall time. An apply tick is one private-update batch
+// through both phases of applyPrivate; it runs single-threaded, so
+// total/ticks is the per-tick CPU cost the ROADMAP tracks.
+func (m *Monitor) ApplyStats() (ticks int64, total time.Duration) {
+	return m.applyTicks.Load(), time.Duration(m.applyNanos.Load())
+}
+
+// QueueStats returns the asynchronous delivery queue's current depth
+// and its high-water mark since the monitor started. Both are 0 for
+// monitors built with New (inline notification).
+func (m *Monitor) QueueStats() (depth, highWater int) {
+	m.emitMu.Lock()
+	ch := m.events
+	m.emitMu.Unlock()
+	if ch != nil {
+		depth = len(ch)
+	}
+	return depth, int(m.queueHW.Load())
 }
 
 func (m *Monitor) noteUpdates(n int64) {
@@ -549,7 +590,7 @@ func (m *Monitor) emit(e Event) {
 	monEvents.Inc()
 	if m.events != nil {
 		m.events <- e
-		monQueueDepth.Set(int64(len(m.events)))
+		m.noteQueueDepth(int64(len(m.events)))
 		return
 	}
 	if m.notify != nil {

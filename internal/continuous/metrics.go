@@ -20,6 +20,13 @@ var (
 	monQueueDepth = metrics.Default.Gauge(
 		"casper_monitor_queue_depth", "",
 		"Events queued for asynchronous delivery right now.")
+	monQueueHighWater = metrics.Default.Gauge(
+		"casper_monitor_queue_high_water", "",
+		"Highest asynchronous delivery queue depth seen since start; near the buffer size means subscribers are falling behind.")
+	monApplySeconds = metrics.Default.Histogram(
+		"casper_monitor_apply_seconds", "",
+		"Wall time of one monitor apply tick (a private-update batch through both phases); the batch runs single-threaded, so this approximates per-tick CPU time.",
+		metrics.TimeBuckets())
 )
 
 // Standing-query population and maintenance cost, aggregated across

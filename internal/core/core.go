@@ -25,6 +25,7 @@ import (
 	"casper/internal/continuous"
 	"casper/internal/geom"
 	"casper/internal/metrics"
+	"casper/internal/privacyobs"
 	"casper/internal/privacyqp"
 	"casper/internal/pyramid"
 	"casper/internal/rtree"
@@ -52,6 +53,11 @@ var (
 	// ErrNoBuddies reports a buddy query with no other users to answer
 	// it.
 	ErrNoBuddies = errors.New("core: no other users to answer the buddy query")
+	// ErrBudgetExhausted reports a cloak refused because the user's
+	// cumulative ε spend reached the configured per-user budget ceiling
+	// (see privacyobs). Retryable in the operational sense: the request
+	// succeeds again once an operator raises or clears the ceiling.
+	ErrBudgetExhausted = errors.New("core: privacy budget exhausted")
 )
 
 // userErr translates the anonymizer's identity errors into the core
@@ -889,15 +895,24 @@ func (c *Casper) pushCloak(uid anonymizer.UserID, tr *trace.Trace) error {
 // notifyCloak propagates a freshly stored cloak to the continuous
 // monitor and the user's standing watches. It takes monMu only after
 // all anonymizer and server locks have been released.
-// cloakUID cloaks the user's location. When tr is non-nil it wraps
-// the cloak in a "cloak" span annotated with the pyramid level
-// reached, the anonymity actually found, and the stripe-escalation
-// steps taken; anonymizers that support it also record their own
-// sub-spans (stripe_escalation, adaptive_flush) into tr.
+// cloakUID cloaks the user's location. Every release in the process
+// funnels through here, so this is where the privacy observatory
+// plugs in: the ε-budget ceiling is enforced before the cloak, and
+// every successful release is fed to privacyobs.Default. When tr is
+// non-nil the cloak runs inside a "cloak" span annotated with the
+// release's privacy characteristics; anonymizers that support it also
+// record their own sub-spans (stripe_escalation, adaptive_flush).
 func (c *Casper) cloakUID(uid anonymizer.UserID, tr *trace.Trace) (anonymizer.CloakedRegion, error) {
+	if privacyobs.Default.BudgetExhausted(int64(uid)) {
+		return anonymizer.CloakedRegion{}, fmt.Errorf("%w: user %d", ErrBudgetExhausted, uid)
+	}
 	b := c.backend.Load()
 	if tr == nil {
-		return b.anon.Cloak(uid)
+		cr, err := b.anon.Cloak(uid)
+		if err == nil {
+			privacyobs.Default.ObserveCloak(b.name, int64(uid), cr)
+		}
+		return cr, err
 	}
 	sp := tr.StartSpan("cloak")
 	var cr anonymizer.CloakedRegion
@@ -907,11 +922,17 @@ func (c *Casper) cloakUID(uid anonymizer.UserID, tr *trace.Trace) (anonymizer.Cl
 	} else {
 		cr, err = b.anon.Cloak(uid)
 	}
+	if err == nil {
+		privacyobs.Default.ObserveCloak(b.name, int64(uid), cr)
+	}
 	sp.End(trace.Str("backend", b.name),
 		trace.Str("mechanism", cr.Mechanism.String()),
 		trace.Int("level", int64(cr.Level)),
 		trace.Int("k_found", int64(cr.KFound)),
-		trace.Int("steps_up", int64(cr.StepsUp)))
+		trace.Int("steps_up", int64(cr.StepsUp)),
+		trace.Int("k_req", int64(cr.KRequested)),
+		trace.Int("area_m2", int64(cr.Region.Area())),
+		trace.Int("epsilon_micro", int64(cr.Epsilon*1e6)))
 	return cr, err
 }
 

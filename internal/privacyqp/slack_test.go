@@ -1,0 +1,162 @@
+package privacyqp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"casper/internal/geom"
+	"casper/internal/rtree"
+)
+
+func pointItem(id int64, x, y float64) rtree.Item {
+	return rtree.Item{Rect: geom.R(x, y, x, y), ID: id}
+}
+
+// TestSlackGuardClauses pins the cases where the bound must refuse to
+// apply: non-public data, a MinOverlap admission threshold, an empty
+// candidate list, and geometry where A_EXT does not enclose the cloak.
+func TestSlackGuardClauses(t *testing.T) {
+	cloak := geom.R(0, 0, 10, 10)
+	aext := geom.R(-20, -20, 30, 30)
+	cands := []rtree.Item{pointItem(1, 5, 5)}
+	cases := []struct {
+		name string
+		got  float64
+	}{
+		{"private data", CandidateValiditySlack(cloak, aext, cands, PrivateData, 0)},
+		{"min-overlap policy", CandidateValiditySlack(cloak, aext, cands, PublicData, 0.5)},
+		{"no candidates", CandidateValiditySlack(cloak, aext, nil, PublicData, 0)},
+		{"aext not containing cloak", CandidateValiditySlack(cloak, geom.R(1, 1, 30, 30), cands, PublicData, 0)},
+		{"invalid cloak", CandidateValiditySlack(geom.Rect{Min: geom.Point{X: 1}, Max: geom.Point{X: -1}}, aext, cands, PublicData, 0)},
+	}
+	for _, c := range cases {
+		if c.got != 0 {
+			t.Errorf("%s: slack = %v, want 0", c.name, c.got)
+		}
+	}
+}
+
+// TestSlackBound checks the closed form on hand-built geometry: with
+// margin g between cloak and A_EXT and a candidate whose max-distance
+// to the cloak is h, the slack is (g-h)/2 clamped at zero.
+func TestSlackBound(t *testing.T) {
+	cloak := geom.R(0, 0, 10, 10)
+	aext := geom.R(-30, -30, 40, 40) // margin g = 30 on every side
+	center := pointItem(1, 5, 5)     // maxDist to any cloak corner = sqrt(50)
+	h := math.Sqrt(50)
+	want := (30 - h) / 2
+	got := CandidateValiditySlack(cloak, aext, []rtree.Item{center}, PublicData, 0)
+	if math.Abs(got-want) > 1e-9 {
+		t.Errorf("slack = %v, want (g-h)/2 = %v", got, want)
+	}
+
+	// A candidate further out than the margin makes the bound vacuous.
+	far := pointItem(2, 38, 38)
+	if got := CandidateValiditySlack(cloak, aext, []rtree.Item{far}, PublicData, 0); got != 0 {
+		t.Errorf("h > g: slack = %v, want 0", got)
+	}
+
+	// The best (smallest-h) candidate governs.
+	both := CandidateValiditySlack(cloak, aext, []rtree.Item{far, center}, PublicData, 0)
+	if math.Abs(both-want) > 1e-9 {
+		t.Errorf("mixed candidates: slack = %v, want %v", both, want)
+	}
+}
+
+// adversarialSlackCheck evaluates PrivateNN on the given targets,
+// and — when the slack is positive — places the asker at the safe
+// region's corner (the worst position) and a non-candidate target just
+// outside A_EXT, then requires that the candidate list still contains
+// a true nearest neighbor, i.e. that the claimed slack is sound. It
+// reports whether a positive-slack configuration was actually
+// exercised.
+func adversarialSlackCheck(t *testing.T, cloak geom.Rect, items []rtree.Item, filters int) bool {
+	t.Helper()
+	res, err := PrivateNN(rtree.BulkLoad(items), cloak, PublicData, Options{Filters: filters})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := CandidateValiditySlack(cloak, res.AExt, res.Candidates, PublicData, 0)
+	if s <= 0 {
+		return false
+	}
+	// Adversary: a target a hair outside A_EXT, level with the safe
+	// region's lower-left corner. Re-evaluate honestly with it present
+	// so the candidate list and slack account for it.
+	corner := cloak.Expand(s).Min
+	adv := geom.Point{X: res.AExt.Min.X - 1e-6, Y: corner.Y}
+	items2 := append(append([]rtree.Item(nil), items...), pointItem(999, adv.X, adv.Y))
+	res2, err := PrivateNN(rtree.BulkLoad(items2), cloak, PublicData, Options{Filters: filters})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2 := CandidateValiditySlack(cloak, res2.AExt, res2.Candidates, PublicData, 0)
+	if s2 <= 0 {
+		return true // the adversary killed the slack: nothing to violate
+	}
+	asker := cloak.Expand(s2).Min
+	for _, c := range res2.Candidates {
+		if c.ID == 999 {
+			return true // the adversary made the list: nothing to violate
+		}
+	}
+	best := math.Inf(1)
+	for _, c := range res2.Candidates {
+		if d := c.Rect.Min.Dist(asker); d < best {
+			best = d
+		}
+	}
+	if dAdv := adv.Dist(asker); dAdv < best {
+		t.Errorf("slack %v unsound — asker at safe-region corner %v: non-candidate at %v (dist %v) beats best candidate (dist %v), AExt=%v",
+			s2, asker, adv, dAdv, best, res2.AExt)
+	}
+	return true
+}
+
+// TestSlackCornerAdversary is the adversarial probe that once lived in
+// tmp_slack_check_test.go, promoted to a hard assertion. Positive
+// slack needs asymmetric geometry (a candidate much closer to the
+// cloak than the A_EXT margin its filters produced), so the sweep
+// combines a pinned fixture known to yield slack with a seeded random
+// search, and fails if no positive-slack configuration was exercised —
+// a vacuous soundness check is no check at all.
+func TestSlackCornerAdversary(t *testing.T) {
+	cloak := geom.R(40, 40, 50, 50)
+	checked := 0
+
+	// Pinned fixture (found by random search): slack ≈ 0.26 with two
+	// opposite-corner filters.
+	fixture := []rtree.Item{
+		pointItem(1, 17.394, 67.621),
+		pointItem(2, 33.210, 31.616),
+		pointItem(3, 19.014, 43.188),
+		pointItem(4, 53.454, 89.448),
+		pointItem(5, 57.527, 57.956),
+		pointItem(6, 36.869, 52.668),
+	}
+	if !adversarialSlackCheck(t, cloak, fixture, 2) {
+		t.Error("pinned fixture no longer yields positive slack; replace it")
+	} else {
+		checked++
+	}
+
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 3000; trial++ {
+		n := 2 + rng.Intn(6)
+		var items []rtree.Item
+		for i := 0; i < n; i++ {
+			x, y := rng.Float64()*100, rng.Float64()*100
+			items = append(items, pointItem(int64(i+1), x, y))
+		}
+		for _, filters := range []int{1, 2, 4} {
+			if adversarialSlackCheck(t, cloak, items, filters) {
+				checked++
+			}
+		}
+	}
+	if checked < 2 {
+		t.Errorf("only %d positive-slack configurations exercised; the sweep has gone vacuous", checked)
+	}
+	t.Logf("%d positive-slack configurations checked", checked)
+}

@@ -108,8 +108,12 @@ const (
 	// monitor's counters, following the respFBackend pattern: a
 	// separate bit keeps old clients' respFStats payload layout intact.
 	respFContinuous
+	// respFPrivacy extends the stats block with the privacy
+	// observatory's aggregates, again as its own bit so frames from
+	// servers predating it still decode.
+	respFPrivacy
 
-	respFKnown = respFContinuous<<1 - 1
+	respFKnown = respFPrivacy<<1 - 1
 )
 
 const respFlagOK byte = 1
@@ -285,6 +289,9 @@ func appendResponse(b []byte, resp *Response) []byte {
 	if resp.Stats != nil && resp.Stats.Continuous != nil {
 		mask |= respFContinuous
 	}
+	if resp.Stats != nil && resp.Stats.Privacy != nil {
+		mask |= respFPrivacy
+	}
 	b = appendU32(b, mask)
 	if mask&respFError != 0 {
 		b = appendString(b, resp.Error)
@@ -337,6 +344,24 @@ func appendResponse(b []byte, resp *Response) []byte {
 		b = appendI64(b, c.Updates)
 		b = appendI64(b, c.Evaluations)
 		b = appendI64(b, c.SafeRegionHits)
+	}
+	if mask&respFPrivacy != 0 {
+		p := resp.Stats.Privacy
+		b = appendI64(b, p.Releases)
+		b = appendI64(b, p.KViolations)
+		b = appendF64(b, p.KSatisfiedFraction)
+		b = appendF64(b, p.EntropyMeanBits)
+		b = appendF64(b, p.EntropyMinBits)
+		b = appendF64(b, p.Linkage)
+		b = appendF64(b, p.EpsilonSpent)
+		b = appendF64(b, p.EpsilonMaxUser)
+		b = appendF64(b, p.EpsilonBudget)
+		b = appendI64(b, p.BudgetExhausted)
+		var ok byte
+		if p.SLOOK {
+			ok = 1
+		}
+		b = append(b, ok)
 	}
 	return b
 }
@@ -596,6 +621,24 @@ func decodeResponse(b []byte) (Response, error) {
 			Updates:        r.i64(),
 			Evaluations:    r.i64(),
 			SafeRegionHits: r.i64(),
+		}
+	}
+	if mask&respFPrivacy != 0 {
+		if resp.Stats == nil {
+			return Response{}, fmt.Errorf("privacy field without stats block")
+		}
+		resp.Stats.Privacy = &PrivacyStats{
+			Releases:           r.i64(),
+			KViolations:        r.i64(),
+			KSatisfiedFraction: r.f64(),
+			EntropyMeanBits:    r.f64(),
+			EntropyMinBits:     r.f64(),
+			Linkage:            r.f64(),
+			EpsilonSpent:       r.f64(),
+			EpsilonMaxUser:     r.f64(),
+			EpsilonBudget:      r.f64(),
+			BudgetExhausted:    r.i64(),
+			SLOOK:              r.u8() == 1,
 		}
 	}
 	if err := r.finish("response"); err != nil {

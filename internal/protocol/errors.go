@@ -51,6 +51,11 @@ const (
 	// CodeOverloaded maps ErrOverloaded. Retryable: the server shed the
 	// request under admission control before doing any work.
 	CodeOverloaded = "overloaded"
+	// CodeBudgetExhausted maps core.ErrBudgetExhausted. The cloak was
+	// refused before doing any work because the user's cumulative ε
+	// spend reached the -epsilon-budget ceiling; retrying succeeds once
+	// an operator raises or clears the ceiling.
+	CodeBudgetExhausted = "budget_exhausted"
 )
 
 // wireCodes orders the sentinel → code mapping. More specific
@@ -70,7 +75,20 @@ var wireCodes = []struct {
 	{server.ErrDuplicateObject, CodeDuplicateObject},
 	{ErrDeprecatedOp, CodeDeprecatedOp},
 	{ErrOverloaded, CodeOverloaded},
+	{core.ErrBudgetExhausted, CodeBudgetExhausted},
 }
+
+// Resolve an error-code child per wire code eagerly (plus the two
+// codes minted outside the sentinel table) so the series exist from
+// the first scrape and the metric inventory audit sees the family.
+var _ = func() int {
+	for _, w := range wireCodes {
+		rpcErrors.With(w.code)
+	}
+	rpcErrors.With("internal")
+	rpcErrors.With("write_timeout")
+	return 0
+}()
 
 // codeOf returns the wire code for an error's sentinel, or "" when the
 // error carries none.

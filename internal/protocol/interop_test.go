@@ -233,7 +233,7 @@ func TestV2DeadlineDoesNotPoison(t *testing.T) {
 	}
 	// Same connection keeps working.
 	for i := 0; i < 10; i++ {
-		if err := cl.Update(ctx, 1, float64(100 + i), 100); err != nil {
+		if err := cl.Update(ctx, 1, float64(100+i), 100); err != nil {
 			t.Fatalf("connection unusable after abandoned v2 call: %v", err)
 		}
 	}

@@ -34,8 +34,8 @@ var (
 	wireBytes = metrics.Default.CounterVec(
 		"casper_wire_bytes_total", "dir",
 		"Bytes moved on protocol connections, by direction.")
-	bytesIn  = wireBytes.With("in")
-	bytesOut = wireBytes.With("out")
+	bytesIn        = wireBytes.With("in")
+	bytesOut       = wireBytes.With("out")
 	framesInFlight = metrics.Default.Gauge(
 		"casper_frames_inflight", "",
 		"v2 request frames dispatched and not yet answered.")
@@ -55,6 +55,14 @@ var (
 		"casper_connections_force_closed_total", "",
 		"Connections force-closed because the drain deadline expired.")
 )
+
+// Resolve the known label children eagerly (the bytesIn/bytesOut
+// idiom) so these series exist from the first scrape and the metric
+// inventory audit sees the families without traffic.
+var _ = []*metrics.Counter{
+	protoConns.With("1"), protoConns.With("2"),
+	shedTotal.With(shedReasonRateLimit), shedTotal.With(shedReasonInFlight),
+}
 
 // rpcInstruments bundles one op's counter and histogram.
 type rpcInstruments struct {

@@ -1,0 +1,28 @@
+package protocol
+
+import "casper/internal/privacyobs"
+
+// privacyStats maps the privacy observatory's snapshot onto the wire
+// stats block. The wire carries aggregates only — the per-backend
+// distributions stay on /debug/privacy, where cardinality is free.
+func privacyStats() *PrivacyStats {
+	snap := privacyobs.Default.Snapshot()
+	var releases, violations int64
+	for _, b := range snap.Backends {
+		releases += b.Releases
+		violations += b.KViolations
+	}
+	return &PrivacyStats{
+		Releases:           releases,
+		KViolations:        violations,
+		KSatisfiedFraction: snap.KSatisfiedFraction,
+		EntropyMeanBits:    snap.Entropy.MeanBits,
+		EntropyMinBits:     snap.Entropy.MinBits,
+		Linkage:            snap.Linkage.Estimate,
+		EpsilonSpent:       snap.Epsilon.SpentTotal,
+		EpsilonMaxUser:     snap.Epsilon.MaxUser,
+		EpsilonBudget:      snap.Epsilon.Budget,
+		BudgetExhausted:    snap.Epsilon.Refusals,
+		SLOOK:              snap.SLO.OK,
+	}
+}

@@ -132,6 +132,10 @@ type Stats struct {
 	// Continuous reports the continuous-query monitor; nil when the
 	// monitor is disabled (or the server predates it).
 	Continuous *ContinuousStats `json:"continuous,omitempty"`
+	// Privacy reports the privacy observatory's aggregates; nil from
+	// servers predating it. The full per-backend distribution lives on
+	// /debug/privacy — the wire carries only the headline numbers.
+	Privacy *PrivacyStats `json:"privacy,omitempty"`
 }
 
 // ContinuousStats is the continuous monitor's block of Stats: the
@@ -143,6 +147,24 @@ type ContinuousStats struct {
 	Updates        int64 `json:"updates"`
 	Evaluations    int64 `json:"evaluations"`
 	SafeRegionHits int64 `json:"safe_region_hits"`
+}
+
+// PrivacyStats is the privacy observatory's block of Stats: the
+// aggregate release accounting, the windowed anonymity-set entropy,
+// the online linkage estimate, the ε-budget ledger, and the SLO
+// verdict. See internal/privacyobs for the semantics of each number.
+type PrivacyStats struct {
+	Releases           int64   `json:"releases"`
+	KViolations        int64   `json:"k_violations"`
+	KSatisfiedFraction float64 `json:"k_satisfied_fraction"`
+	EntropyMeanBits    float64 `json:"entropy_mean_bits"`
+	EntropyMinBits     float64 `json:"entropy_min_bits"`
+	Linkage            float64 `json:"linkage"`
+	EpsilonSpent       float64 `json:"epsilon_spent"`
+	EpsilonMaxUser     float64 `json:"epsilon_max_user"`
+	EpsilonBudget      float64 `json:"epsilon_budget"`
+	BudgetExhausted    int64   `json:"budget_exhausted"`
+	SLOOK              bool    `json:"slo_ok"`
 }
 
 // Response is one server frame.

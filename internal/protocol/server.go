@@ -856,6 +856,7 @@ func (s *Server) dispatch(req Request, tr *trace.Trace, proto int) Response {
 				SafeRegionHits: mon.SafeRegionHits(),
 			}
 		}
+		st.Privacy = privacyStats()
 		return Response{OK: true, Stats: st}
 	default:
 		return errResponse("unknown op %q", req.Op)

@@ -16,7 +16,7 @@
 //     an explicit `if tr != nil` guard to keep the hot path
 //     allocation-free.
 //  2. No per-span allocation when on. Spans live in a fixed-capacity
-//     slice inside the pooled Trace; attributes live in a fixed [4]
+//     slice inside the pooled Trace; attributes live in a fixed [8]
 //     array inside each Span. Spans past the capacity are counted and
 //     dropped, never grown.
 //  3. Published traces are immutable. Once a trace reaches the ring it
@@ -40,8 +40,10 @@ import (
 // wal_append, store, transmit, encode) is well under this.
 const maxSpans = 16
 
-// maxAttrs bounds the attributes per span; extras are dropped.
-const maxAttrs = 4
+// maxAttrs bounds the attributes per span; extras are dropped. The
+// widest span today is cloak (backend, mechanism, level, k_found,
+// steps_up, k_req, area_m2, epsilon_micro).
+const maxAttrs = 8
 
 // maxIDLen bounds client-supplied trace IDs; longer IDs are truncated
 // so a hostile client cannot make the ring retain arbitrary payloads.

@@ -79,7 +79,8 @@ func TestSpanOverflowDropped(t *testing.T) {
 	// Attr overflow: extras silently dropped.
 	tr2 := New("op", "")
 	sp := tr2.StartSpan("s")
-	sp.End(Int("a", 1), Int("b", 2), Int("c", 3), Int("d", 4), Int("e", 5))
+	sp.End(Int("a", 1), Int("b", 2), Int("c", 3), Int("d", 4), Int("e", 5),
+		Int("f", 6), Int("g", 7), Int("h", 8), Int("i", 9))
 	if n := len(tr2.Spans()[0].Attrs()); n != maxAttrs {
 		t.Fatalf("got %d attrs, want %d", n, maxAttrs)
 	}
